@@ -1,0 +1,43 @@
+"""Fig. 3 — the analytic cost model for NoPriv / Baseline / Pretzel.
+
+Prints the Fig. 3-style table at the paper's headline parameters (spam:
+N = 5M, B = 2; topics: N = 100K, B = 2048, B' = 20) using both the paper's
+microbenchmark constants and constants measured from this library's own
+implementations.
+"""
+
+from repro.costmodel import MicrobenchmarkConstants, WorkloadParameters
+from repro.costmodel.estimates import estimate_all, format_table
+
+
+def test_fig03_cost_model_paper_constants(benchmark):
+    constants = MicrobenchmarkConstants.paper_values()
+
+    def evaluate():
+        return (
+            estimate_all(constants, WorkloadParameters.spam_default()),
+            estimate_all(constants, WorkloadParameters.topics_default()),
+        )
+
+    spam, topics = benchmark(evaluate)
+    print("\n=== Fig. 3 cost model — spam filtering (N=5M, B=2, L=692), paper constants ===")
+    print(format_table(spam))
+    print("\n=== Fig. 3 cost model — topic extraction (N=100K, B=2048, B'=20), paper constants ===")
+    print(format_table(topics))
+    # Sanity: the headline claims of §6 must hold in the model.
+    baseline_spam = next(e for e in spam if e.arm == "baseline")
+    pretzel_spam = next(e for e in spam if e.arm == "pretzel")
+    assert pretzel_spam.client_storage_bytes < baseline_spam.client_storage_bytes / 5
+    baseline_topics = next(e for e in topics if e.arm == "baseline")
+    pretzel_topics = next(e for e in topics if e.arm == "pretzel")
+    assert pretzel_topics.email_network_bytes < baseline_topics.email_network_bytes / 10
+
+
+def test_fig03_cost_model_measured_constants(benchmark):
+    constants = benchmark(MicrobenchmarkConstants.measure_local, True)
+    spam = estimate_all(constants, WorkloadParameters.spam_default())
+    topics = estimate_all(constants, WorkloadParameters.topics_default())
+    print("\n=== Fig. 3 cost model — spam filtering, constants measured on this machine ===")
+    print(format_table(spam))
+    print("\n=== Fig. 3 cost model — topic extraction, constants measured on this machine ===")
+    print(format_table(topics))

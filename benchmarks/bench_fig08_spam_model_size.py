@@ -1,0 +1,71 @@
+"""Fig. 8 — size of the encrypted spam-classification model.
+
+Compares, per model size N: the plaintext model, the Baseline's Paillier
+encryption, Pretzel with the legacy packing ("Pretzel-NoOptimPack") and
+Pretzel with across-row packing.  The paper's claims: Pretzel's model is ~7x
+smaller than the Baseline's, and the across-row packing is what makes the
+XPIR-BV ciphertext expansion tolerable (NoOptimPack is ~400x worse).
+"""
+
+import pytest
+
+from benchmarks.conftest import SPAM_MODEL_FEATURES, make_quantized_model, print_table
+from repro.costmodel import MicrobenchmarkConstants, WorkloadParameters
+from repro.costmodel.estimates import estimate_baseline, estimate_pretzel
+from repro.crypto.packing import PackedLinearModel
+
+
+@pytest.mark.parametrize("num_features", [500, 2_000])
+def test_fig08_measured_model_sizes(benchmark, bv_scheme_small, paillier_scheme_small, num_features):
+    model = make_quantized_model(num_features=num_features, num_categories=2)
+    rows_matrix = model.matrix_rows()
+    bv_keys = bv_scheme_small.generate_keypair()
+    paillier_keys = paillier_scheme_small.generate_keypair()
+
+    pretzel = benchmark(
+        PackedLinearModel.encrypt, bv_scheme_small, bv_keys.public, rows_matrix, True
+    )
+    no_pack = PackedLinearModel.encrypt(bv_scheme_small, bv_keys.public, rows_matrix, across_rows=False)
+    baseline = PackedLinearModel.encrypt(
+        paillier_scheme_small, paillier_keys.public, rows_matrix, across_rows=False
+    )
+    plaintext = model.plaintext_size_bytes()
+    rows = [
+        ["non-encrypted", f"{plaintext/1024:.1f} KB"],
+        ["baseline (paillier)", f"{baseline.storage_bytes()/1024:.1f} KB"],
+        ["pretzel-NoOptimPack", f"{no_pack.storage_bytes()/1024:.1f} KB"],
+        ["pretzel", f"{pretzel.storage_bytes()/1024:.1f} KB"],
+    ]
+    print_table(f"Fig. 8 — spam model sizes (N={num_features}, B=2)", ["arm", "size"], rows)
+    # Shape checks from the paper.
+    assert pretzel.storage_bytes() < no_pack.storage_bytes() / 50
+    assert pretzel.storage_bytes() < baseline.storage_bytes() * 2
+
+
+def test_fig08_extrapolated_to_paper_scale(benchmark):
+    """Analytic extrapolation to N = 200K / 1M / 5M (the actual Fig. 8 axis)."""
+    constants = MicrobenchmarkConstants.paper_values()
+    rows = []
+
+    def compute():
+        rows.clear()
+        for features in (200_000, 1_000_000, 5_000_000):
+            workload = WorkloadParameters(model_features=features, categories=2)
+            baseline = estimate_baseline(constants, workload)
+            pretzel = estimate_pretzel(constants, workload)
+            rows.append(
+                [
+                    f"N={features:,}",
+                    f"{features * 2 * 4 / 1e6:.1f} MB",
+                    f"{baseline.client_storage_bytes/1e6:.1f} MB",
+                    f"{pretzel.client_storage_bytes/1e6:.1f} MB",
+                ]
+            )
+        return rows
+
+    benchmark(compute)
+    print_table(
+        "Fig. 8 — extrapolated model sizes at paper scale",
+        ["N", "non-encrypted", "baseline", "pretzel"],
+        rows,
+    )

@@ -1,0 +1,88 @@
+"""Fig. 11 — network transfers per email for topic extraction.
+
+Measured protocol bytes per email for Baseline-style (B'=B) and Pretzel with
+decomposition (B'=10, 20), across category counts.  The paper's claims to
+reproduce: without decomposition the transfer grows linearly with B (8 MB at
+B=2048); with decomposition it is independent of B and proportional to B'.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_email_features, make_quantized_model, print_table
+from repro.costmodel import MicrobenchmarkConstants, WorkloadParameters
+from repro.costmodel.estimates import estimate_baseline, estimate_pretzel
+from repro.twopc.topics import TopicExtractionProtocol
+
+MODEL_FEATURES = 800
+CATEGORY_COUNTS = [16, 64]
+
+
+@pytest.fixture(scope="module")
+def setups(bv_scheme_small, dh_group):
+    result = {}
+    for categories in CATEGORY_COUNTS:
+        model = make_quantized_model(MODEL_FEATURES, categories, seed=categories)
+        protocol = TopicExtractionProtocol(bv_scheme_small, dh_group)
+        result[categories] = (protocol, protocol.setup(model))
+    return result
+
+
+@pytest.mark.parametrize("categories", CATEGORY_COUNTS)
+def test_fig11_measured_network_transfers(benchmark, setups, categories):
+    protocol, setup = setups[categories]
+    features = make_email_features(MODEL_FEATURES, 50, boolean=False)
+    results = {}
+
+    def run_all():
+        results["full"] = protocol.extract_topic(setup, features, candidate_topics=None)
+        results["b10"] = protocol.extract_topic(setup, features, candidate_topics=list(range(10)))
+        results["b5"] = protocol.extract_topic(setup, features, candidate_topics=list(range(5)))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        ["B'=B", f"{results['full'].network_bytes/1024:.1f} KB"],
+        ["B'=10", f"{results['b10'].network_bytes/1024:.1f} KB"],
+        ["B'=5", f"{results['b5'].network_bytes/1024:.1f} KB"],
+    ]
+    print_table(f"Fig. 11 — topic-extraction network per email, B={categories}", ["arm", "bytes"], rows)
+    # Decomposition decouples network cost from B.
+    assert results["b10"].network_bytes < results["full"].network_bytes
+    assert results["b5"].network_bytes < results["b10"].network_bytes
+
+
+def test_fig11_extrapolated_to_paper_scale(benchmark):
+    constants = MicrobenchmarkConstants.paper_values()
+    rows = []
+
+    def compute():
+        rows.clear()
+        for categories in (128, 512, 2048):
+            baseline = estimate_baseline(
+                constants, WorkloadParameters(model_features=100_000, categories=categories)
+            )
+            pretzel_20 = estimate_pretzel(
+                constants,
+                WorkloadParameters(model_features=100_000, categories=categories, candidate_topics=20),
+            )
+            pretzel_10 = estimate_pretzel(
+                constants,
+                WorkloadParameters(model_features=100_000, categories=categories, candidate_topics=10),
+            )
+            email = 75 * 1024
+            rows.append(
+                [
+                    f"B={categories}",
+                    f"{(baseline.email_network_bytes - email)/1024:.0f} KB",
+                    f"{(pretzel_20.email_network_bytes - email)/1024:.0f} KB",
+                    f"{(pretzel_10.email_network_bytes - email)/1024:.0f} KB",
+                ]
+            )
+        return rows
+
+    benchmark(compute)
+    print_table(
+        "Fig. 11 — extrapolated protocol bytes per email at paper scale",
+        ["B", "baseline", "pretzel B'=20", "pretzel B'=10"],
+        rows,
+    )

@@ -1,0 +1,68 @@
+"""Fig. 12 — size of the encrypted topic-extraction model.
+
+Measured storage for a scaled-down model plus the analytic extrapolation to
+the paper's N = 20K / 100K, B = 2048 parameters.  The paper's claim to
+reproduce: Pretzel's topic model is larger than the Baseline's (XPIR-BV
+ciphertext expansion, ~2x) but both are within a small factor of each other.
+"""
+
+from benchmarks.conftest import make_quantized_model, print_table
+from repro.costmodel import MicrobenchmarkConstants, WorkloadParameters
+from repro.costmodel.estimates import estimate_baseline, estimate_pretzel
+from repro.crypto.packing import PackedLinearModel
+
+
+def test_fig12_measured_topic_model_size(benchmark, bv_scheme_small, paillier_scheme_small):
+    categories = 64
+    model = make_quantized_model(num_features=400, num_categories=categories, seed=12)
+    rows_matrix = model.matrix_rows()
+    bv_keys = bv_scheme_small.generate_keypair()
+    paillier_keys = paillier_scheme_small.generate_keypair()
+    pretzel = benchmark.pedantic(
+        PackedLinearModel.encrypt,
+        args=(bv_scheme_small, bv_keys.public, rows_matrix),
+        kwargs={"across_rows": True},
+        rounds=1,
+        iterations=1,
+    )
+    baseline = PackedLinearModel.encrypt(
+        paillier_scheme_small, paillier_keys.public, rows_matrix, across_rows=False
+    )
+    rows = [
+        ["non-encrypted", f"{model.plaintext_size_bytes()/1024:.1f} KB"],
+        ["baseline (paillier)", f"{baseline.storage_bytes()/1024:.1f} KB"],
+        ["pretzel (xpir-bv)", f"{pretzel.storage_bytes()/1024:.1f} KB"],
+    ]
+    print_table(f"Fig. 12 — topic model size (N=400, B={categories})", ["arm", "size"], rows)
+
+
+def test_fig12_extrapolated_to_paper_scale(benchmark):
+    constants = MicrobenchmarkConstants.paper_values()
+    rows = []
+
+    def compute():
+        rows.clear()
+        for features in (20_000, 100_000):
+            workload = WorkloadParameters(model_features=features, categories=2048, candidate_topics=20)
+            baseline = estimate_baseline(constants, workload)
+            pretzel = estimate_pretzel(constants, workload)
+            rows.append(
+                [
+                    f"N={features:,}",
+                    f"{features * 2048 * 4 / 1e6:.0f} MB",
+                    f"{baseline.client_storage_bytes/1e6:.0f} MB",
+                    f"{pretzel.client_storage_bytes/1e6:.0f} MB",
+                ]
+            )
+        return rows
+
+    benchmark(compute)
+    print_table(
+        "Fig. 12 — extrapolated topic model sizes at paper scale (B=2048)",
+        ["N", "non-encrypted", "baseline", "pretzel"],
+        rows,
+    )
+    # Paper shape: Pretzel's encrypted model is within ~4x of the Baseline's.
+    baseline_mb = float(rows[-1][2].split()[0])
+    pretzel_mb = float(rows[-1][3].split()[0])
+    assert pretzel_mb < 4 * baseline_mb

@@ -1,0 +1,67 @@
+"""Fig. 15 — client-side keyword-search index: size, query time, update time.
+
+Builds the client-side inverted index over each corpus analogue and reports
+the index size, the per-keyword query latency and the per-email update
+latency — the three columns of Fig. 15.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.classify.features import tokenize
+from repro.datasets import enron_like, lingspam_like, newsgroups20_like, reuters_like
+from repro.search.index import KeywordSearchIndex
+
+CORPORA = {
+    "lingspam-like": lambda: lingspam_like(scale=0.5),
+    "enron-like": lambda: enron_like(scale=0.5),
+    "20news-like": lambda: newsgroups20_like(scale=0.3),
+    "reuters-like": lambda: reuters_like(scale=0.3),
+}
+
+
+@pytest.mark.parametrize("corpus_name", list(CORPORA))
+def test_fig15_index_build_and_size(benchmark, corpus_name):
+    corpus = CORPORA[corpus_name]()
+
+    def build():
+        index = KeywordSearchIndex()
+        for document in corpus.documents:
+            index.add_document(document)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        f"Fig. 15 — search index for {corpus_name}",
+        ["documents", "vocabulary", "index size"],
+        [[index.document_count(), index.vocabulary_size(), f"{index.size_bytes()/1024:.1f} KB"]],
+    )
+    assert index.document_count() == len(corpus)
+
+
+@pytest.mark.parametrize("corpus_name", ["enron-like"])
+def test_fig15_query_time(benchmark, corpus_name):
+    corpus = CORPORA[corpus_name]()
+    index = KeywordSearchIndex()
+    for document in corpus.documents:
+        index.add_document(document)
+    keyword = tokenize(corpus.documents[0])[0]
+    matches = benchmark(index.query, keyword)
+    assert matches  # the keyword comes from an indexed document
+
+
+@pytest.mark.parametrize("corpus_name", ["enron-like"])
+def test_fig15_update_time(benchmark, corpus_name):
+    corpus = CORPORA[corpus_name]()
+    index = KeywordSearchIndex()
+    for document in corpus.documents[:100]:
+        index.add_document(document)
+    new_email = corpus.documents[-1]
+    counter = {"next": 10_000}
+
+    def update():
+        counter["next"] += 1
+        index.add_document(new_email, document_id=counter["next"])
+
+    benchmark(update)
+    assert index.document_count() > 100

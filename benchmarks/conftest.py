@@ -1,0 +1,86 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index).  The paper's headline parameters (N = 5M
+features, 800k-document corpora, EC2 hardware) are too large for a
+pure-Python run, so the benches use scaled-down workloads and, where the
+figure is about absolute scale (model sizes, setup cost), also print the
+analytic extrapolation from the Fig. 3 cost model.  Run with ``-s`` to see
+the per-figure tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.model import LinearModel, QuantizedLinearModel
+from repro.crypto.bv import BVParameters, BVScheme
+from repro.crypto.dh import generate_group
+from repro.crypto.paillier import PaillierScheme
+
+# Scaled-down workload sizes used across the benches.
+SPAM_MODEL_FEATURES = [2_000, 10_000, 50_000]      # stands in for N = 200K / 1M / 5M
+EMAIL_FEATURE_COUNTS = [20, 100, 500]              # stands in for L = 200 / 1K / 5K
+TOPIC_CATEGORY_COUNTS = [16, 64, 256]              # stands in for B = 128 / 512 / 2048
+SCALE_NOTE = (
+    "scaled-down workload: divide-by-100 feature counts and divide-by-8 category "
+    "counts relative to the paper; shapes and ratios are the comparison target"
+)
+
+
+def make_quantized_model(num_features: int, num_categories: int, seed: int = 0) -> QuantizedLinearModel:
+    """Random linear model quantized with the default bin/fin budget."""
+    rng = np.random.default_rng(seed)
+    linear = LinearModel(
+        weights=rng.normal(size=(num_features, num_categories)),
+        biases=rng.normal(size=num_categories),
+        category_names=[f"c{i}" for i in range(num_categories)],
+    )
+    return QuantizedLinearModel.from_linear_model(
+        linear, value_bits=10, frequency_bits=4, max_features_per_email=4096
+    )
+
+
+def make_email_features(num_features: int, email_features: int, seed: int = 1, boolean: bool = True):
+    """A synthetic email's sparse feature vector with L non-zero entries."""
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(num_features, size=min(email_features, num_features), replace=False)
+    return {int(index): 1 if boolean else int(rng.integers(1, 5)) for index in indices}
+
+
+@pytest.fixture(scope="session")
+def dh_group():
+    return generate_group(256)
+
+
+@pytest.fixture(scope="session")
+def bv_scheme():
+    """Paper-faithful XPIR-BV parameters: 1024 slots, ~16 KB ciphertexts."""
+    return BVScheme(BVParameters())
+
+
+@pytest.fixture(scope="session")
+def bv_scheme_small():
+    """Reduced ring degree for benches that sweep many configurations."""
+    return BVScheme(BVParameters.test_parameters())
+
+
+@pytest.fixture(scope="session")
+def paillier_scheme():
+    return PaillierScheme(modulus_bits=1024, slot_bits=32)
+
+
+@pytest.fixture(scope="session")
+def paillier_scheme_small():
+    return PaillierScheme(modulus_bits=512, slot_bits=32)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform table printer for the per-figure outputs."""
+    print(f"\n=== {title} ===")
+    print(f"    ({SCALE_NOTE})")
+    widths = [max(len(str(header[i])), max((len(str(row[i])) for row in rows), default=0)) for i in range(len(header))]
+    print("    " + "  ".join(str(header[i]).ljust(widths[i]) for i in range(len(header))))
+    for row in rows:
+        print("    " + "  ".join(str(row[i]).ljust(widths[i]) for i in range(len(row))))

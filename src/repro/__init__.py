@@ -1,0 +1,38 @@
+"""Pretzel reproduction: end-to-end encrypted email with provider-supplied functions.
+
+This package reproduces *Pretzel: Email encryption and provider-supplied
+functions are compatible* (Gupta, Fingler, Alvisi, Walfish — SIGCOMM 2017)
+as a pure-Python library:
+
+* :mod:`repro.crypto` — Paillier and Ring-LWE ("XPIR-BV") additively
+  homomorphic encryption, packing, garbled circuits, oblivious transfer, and
+  the e2e primitives (ElGamal KEM, Schnorr, ChaCha20).
+* :mod:`repro.classify` — the linear classifiers (GR-NB, multinomial NB,
+  LR, SVM), quantization, chi-square feature selection and metrics.
+* :mod:`repro.twopc` — the two-party protocols: the Yao+GLLM baseline and
+  Pretzel's spam-filtering and decomposed topic-extraction protocols.
+* :mod:`repro.mail`, :mod:`repro.search` — the email substrate (messages,
+  e2e module, providers, replay defence) and client-side keyword search.
+* :mod:`repro.core` — function modules and the end-to-end system driver.
+* :mod:`repro.costmodel` — the analytic cost model of Fig. 3.
+* :mod:`repro.datasets` — synthetic corpora standing in for the evaluation
+  datasets.
+
+Quickstart::
+
+    from repro.core import PretzelSystem, PretzelConfig, SpamFunctionModule
+    system = PretzelSystem(PretzelConfig.test())
+    alice = system.add_user("alice@example.com")
+    bob = system.add_user("bob@example.com")
+    # ... attach function modules to bob, then:
+    report = system.roundtrip("alice@example.com", "bob@example.com", "hi", "lunch?")
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro.core.config import PretzelConfig
+from repro.core.system import PretzelSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["PretzelConfig", "PretzelSystem", "__version__"]

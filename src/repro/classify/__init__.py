@@ -1,0 +1,36 @@
+"""Linear classifiers for spam filtering and topic extraction (§3.1).
+
+Pretzel is geared to linear classifiers: Naive Bayes (the Graham–Robinson
+variant for spam and the multinomial variant for topics), logistic regression
+and linear SVMs.  When applying a trained model they all reduce to the same
+shape — per-category dot product of the email's feature vector with a weight
+vector plus a bias, followed by a threshold (spam) or an argmax (topics) —
+which is what lets the secure protocols of :mod:`repro.twopc` treat them
+uniformly through :class:`repro.classify.model.LinearModel`.
+"""
+
+from repro.classify.features import FeatureExtractor, tokenize
+from repro.classify.metrics import accuracy, candidate_recall, precision_recall
+from repro.classify.model import LinearModel, QuantizedLinearModel
+from repro.classify.naive_bayes import GrahamRobinsonNaiveBayes, MultinomialNaiveBayes
+from repro.classify.logistic import BinaryLogisticRegression, MultinomialLogisticRegression
+from repro.classify.svm import LinearSVM, OneVsAllSVM
+from repro.classify.selection import chi_square_scores, select_features
+
+__all__ = [
+    "FeatureExtractor",
+    "tokenize",
+    "accuracy",
+    "candidate_recall",
+    "precision_recall",
+    "LinearModel",
+    "QuantizedLinearModel",
+    "GrahamRobinsonNaiveBayes",
+    "MultinomialNaiveBayes",
+    "BinaryLogisticRegression",
+    "MultinomialLogisticRegression",
+    "LinearSVM",
+    "OneVsAllSVM",
+    "chi_square_scores",
+    "select_features",
+]

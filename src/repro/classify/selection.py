@@ -1,0 +1,96 @@
+"""Chi-square feature selection (§4.3, Fig. 13).
+
+Pretzel reduces client-side storage by selecting only the ``N'`` most
+discriminative features before encrypting the model ("the standard technique
+of feature selection ... using the Chi-square selection technique [111]").
+Fig. 13 plots classification accuracy as a function of ``N'/N``; the bench
+harness reproduces that sweep with this module.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+
+SparseVector = Mapping[int, int]
+
+
+def chi_square_scores(
+    documents: Sequence[SparseVector],
+    labels: Sequence[int],
+    num_features: int,
+    num_categories: int | None = None,
+) -> np.ndarray:
+    """Per-feature chi-square statistic of feature presence vs. category.
+
+    Uses the presence/absence contingency table per (feature, category) pair
+    and sums the statistic over categories — the standard formulation for
+    text feature selection.
+    """
+    if len(documents) != len(labels):
+        raise ClassifierError("documents and labels must have the same length")
+    if not documents:
+        raise ClassifierError("cannot score features on an empty dataset")
+    if num_categories is None:
+        num_categories = max(labels) + 1
+    total_docs = len(documents)
+    docs_per_category = np.zeros(num_categories, dtype=np.float64)
+    presence = np.zeros((num_features, num_categories), dtype=np.float64)
+    feature_docs = np.zeros(num_features, dtype=np.float64)
+    for document, label in zip(documents, labels):
+        docs_per_category[label] += 1
+        for feature, value in document.items():
+            if value and 0 <= feature < num_features:
+                presence[feature, label] += 1
+                feature_docs[feature] += 1
+    scores = np.zeros(num_features, dtype=np.float64)
+    for category in range(num_categories):
+        observed_present = presence[:, category]
+        observed_absent = docs_per_category[category] - observed_present
+        expected_present = feature_docs * docs_per_category[category] / total_docs
+        expected_absent = (total_docs - feature_docs) * docs_per_category[category] / total_docs
+        with np.errstate(divide="ignore", invalid="ignore"):
+            term_present = np.where(
+                expected_present > 0,
+                (observed_present - expected_present) ** 2 / expected_present,
+                0.0,
+            )
+            term_absent = np.where(
+                expected_absent > 0,
+                (observed_absent - expected_absent) ** 2 / expected_absent,
+                0.0,
+            )
+        scores += term_present + term_absent
+    return scores
+
+
+def select_features(
+    documents: Sequence[SparseVector],
+    labels: Sequence[int],
+    num_features: int,
+    keep_fraction: float,
+    num_categories: int | None = None,
+) -> list[int]:
+    """Indices of the top ``keep_fraction`` of features by chi-square score."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ClassifierError("keep_fraction must be in (0, 1]")
+    scores = chi_square_scores(documents, labels, num_features, num_categories)
+    keep_count = max(1, int(round(keep_fraction * num_features)))
+    order = np.argsort(scores)[::-1]
+    return sorted(int(index) for index in order[:keep_count])
+
+
+def project_documents(
+    documents: Sequence[SparseVector], keep_indices: Sequence[int]
+) -> list[dict[int, int]]:
+    """Re-index documents onto the selected feature subset."""
+    remap = {old: new for new, old in enumerate(keep_indices)}
+    projected = []
+    for document in documents:
+        projected.append(
+            {remap[index]: count for index, count in document.items() if index in remap}
+        )
+    return projected

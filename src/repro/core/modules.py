@@ -1,0 +1,48 @@
+"""Function-module abstraction (Fig. 1: client half + provider half).
+
+Every value-added function in Pretzel is a *function module*: a pair of
+components, one at the client and one at the provider, that jointly compute a
+result over the decrypted email without either side revealing its input.  The
+spam and topic modules run two-party protocols; the keyword-search module is
+client-only (§5).  This module defines the small shared vocabulary: a result
+record with cost accounting and the abstract interface the system driver
+calls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mail.message import EmailMessage
+
+
+@dataclass
+class ModuleRunResult:
+    """Outcome of running one function module over one email."""
+
+    module_name: str
+    output: Any
+    provider_seconds: float = 0.0
+    client_seconds: float = 0.0
+    network_bytes: int = 0
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class FunctionModule(ABC):
+    """A provider-supplied function evaluated jointly with the client."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def process_email(self, message: EmailMessage) -> ModuleRunResult:
+        """Run the module's protocol over one decrypted email."""
+
+    def client_storage_bytes(self) -> int:
+        """Client-side storage this module requires (encrypted models, indexes)."""
+        return 0
+
+    def setup_network_bytes(self) -> int:
+        """One-time setup-phase transfer (encrypted model shipping)."""
+        return 0

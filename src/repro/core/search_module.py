@@ -1,0 +1,59 @@
+"""The keyword-search function module (client-only, §5).
+
+Unlike the classification modules, search involves no provider computation at
+all: the client maintains a local inverted index over its decrypted email and
+answers its own queries.  The cost is client storage (Fig. 15), which
+:meth:`client_storage_bytes` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.modules import FunctionModule, ModuleRunResult
+from repro.mail.message import EmailMessage
+from repro.search.index import KeywordSearchIndex
+
+
+@dataclass
+class SearchModuleOutput:
+    """Result of indexing one email."""
+
+    document_id: int
+    indexed_documents: int
+
+
+class SearchFunctionModule(FunctionModule):
+    """Client-side keyword search over decrypted email."""
+
+    name = "keyword-search"
+
+    def __init__(self) -> None:
+        self.index = KeywordSearchIndex()
+        self._id_to_message: dict[int, str] = {}
+
+    def process_email(self, message: EmailMessage) -> ModuleRunResult:
+        """Index one freshly decrypted email (the per-email "update" of Fig. 15)."""
+        start = time.perf_counter()
+        document_id = self.index.add_document(message.text_content())
+        elapsed = time.perf_counter() - start
+        self._id_to_message[document_id] = message.message_id()
+        return ModuleRunResult(
+            module_name=self.name,
+            output=SearchModuleOutput(
+                document_id=document_id,
+                indexed_documents=self.index.document_count(),
+            ),
+            client_seconds=elapsed,
+        )
+
+    def search(self, keyword: str) -> tuple[list[str], float]:
+        """Query the index; returns matching message ids and the query latency."""
+        start = time.perf_counter()
+        document_ids = self.index.query(keyword)
+        elapsed = time.perf_counter() - start
+        return [self._id_to_message[document_id] for document_id in document_ids], elapsed
+
+    def client_storage_bytes(self) -> int:
+        return self.index.size_bytes()

@@ -1,0 +1,13 @@
+"""Analytic cost model (Fig. 3) and microbenchmark constants (Fig. 6)."""
+
+from repro.costmodel.params import MicrobenchmarkConstants, WorkloadParameters
+from repro.costmodel.estimates import CostEstimate, estimate_baseline, estimate_noprv, estimate_pretzel
+
+__all__ = [
+    "MicrobenchmarkConstants",
+    "WorkloadParameters",
+    "CostEstimate",
+    "estimate_noprv",
+    "estimate_baseline",
+    "estimate_pretzel",
+]

@@ -1,0 +1,34 @@
+"""Cryptographic substrates for Pretzel.
+
+This package implements, from scratch, every cryptographic building block the
+paper's protocol stack relies on:
+
+* number theory and prime generation (:mod:`repro.crypto.numtheory`),
+* hashing, HKDF, HMAC-DRBG and ChaCha20 (:mod:`repro.crypto.hashes`,
+  :mod:`repro.crypto.prg`, :mod:`repro.crypto.chacha`),
+* Diffie–Hellman groups with jointly-randomised parameters (§3.3 footnote 3),
+  ElGamal KEM and Schnorr signatures for the e2e module
+  (:mod:`repro.crypto.dh`, :mod:`repro.crypto.elgamal`,
+  :mod:`repro.crypto.schnorr`),
+* the two additively homomorphic encryption (AHE) schemes the paper compares:
+  Paillier (baseline, §3.3) and the Ring-LWE "XPIR-BV" scheme (§4.1)
+  (:mod:`repro.crypto.paillier`, :mod:`repro.crypto.bv`), behind a common
+  interface with slot packing (:mod:`repro.crypto.ahe`,
+  :mod:`repro.crypto.packing`),
+* Yao's garbled circuits with oblivious transfer
+  (:mod:`repro.crypto.circuits`, :mod:`repro.crypto.garbled`,
+  :mod:`repro.crypto.ot`, :mod:`repro.crypto.yao`).
+"""
+
+from repro.crypto.ahe import AHEScheme, AHECiphertext, AHEKeyPair
+from repro.crypto.paillier import PaillierScheme
+from repro.crypto.bv import BVScheme, BVParameters
+
+__all__ = [
+    "AHEScheme",
+    "AHECiphertext",
+    "AHEKeyPair",
+    "PaillierScheme",
+    "BVScheme",
+    "BVParameters",
+]

@@ -1,0 +1,149 @@
+"""Common interface for additively homomorphic encryption (AHE) with slots.
+
+The paper's protocols (Figures 2 and 5) are written against an abstract AHE
+scheme ``(Gen, Enc, Dec)`` supporting addition of ciphertexts and
+multiplication of a ciphertext by a plaintext constant.  Pretzel's packing
+optimisation (§4.2) additionally treats the plaintext space as an array of
+fixed-width *slots* and needs the ability to shift slots around.
+
+This module defines that contract once so the baseline cryptosystem
+(Paillier, §3.3) and Pretzel's cryptosystem (Ring-LWE "XPIR-BV", §4.1) are
+interchangeable in every protocol:
+
+* a plaintext is a list of non-negative integers, one per slot, each smaller
+  than ``2**slot_bits``;
+* ``add`` adds ciphertexts slot-wise;
+* ``scalar_mul`` multiplies every slot by the same non-negative constant;
+* ``shift_up`` moves slot ``i`` to slot ``i + k``; whatever enters the vacated
+  low slots is unspecified (callers must treat those slots as garbage and
+  blind them before revealing a ciphertext).
+
+Slot arithmetic is *not* modular from the caller's perspective: protocols
+choose ``slot_bits`` large enough (``log2 L + bin + fin`` plus blinding guard
+bits, Fig. 3) that sums never overflow a slot, exactly as the paper requires
+("the individual sums cannot overflow b bits", §4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class AHECiphertext:
+    """An opaque ciphertext produced by an :class:`AHEScheme`.
+
+    ``payload`` is scheme-specific.  ``size_bytes`` is the serialized size on
+    the wire, which the benchmark harness uses for network accounting.
+    """
+
+    scheme_name: str
+    payload: Any
+    size_bytes: int
+
+
+@dataclass
+class AHEPublicKey:
+    scheme_name: str
+    payload: Any
+    size_bytes: int
+
+
+@dataclass
+class AHESecretKey:
+    scheme_name: str
+    payload: Any
+
+
+@dataclass
+class AHEKeyPair:
+    public: AHEPublicKey
+    secret: AHESecretKey
+
+
+class AHEScheme(ABC):
+    """Abstract additively homomorphic scheme with slotted plaintexts."""
+
+    #: human-readable scheme name ("paillier", "xpir-bv")
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def slot_bits(self) -> int:
+        """Width of each plaintext slot in bits."""
+
+    @property
+    @abstractmethod
+    def num_slots(self) -> int:
+        """Number of slots available in a single ciphertext."""
+
+    @property
+    def slot_modulus(self) -> int:
+        """Upper bound (exclusive) on a slot value: ``2**slot_bits``."""
+        return 1 << self.slot_bits
+
+    @property
+    @abstractmethod
+    def supports_slot_shift(self) -> bool:
+        """Whether :meth:`shift_up` is available (needed by §4.2 across-row packing)."""
+
+    # -- key management -------------------------------------------------
+    @abstractmethod
+    def generate_keypair(self, seed: bytes | None = None) -> AHEKeyPair:
+        """Generate a key pair; *seed* (if given) injects joint randomness (§3.3 fn. 3)."""
+
+    # -- core operations -------------------------------------------------
+    @abstractmethod
+    def encrypt_slots(self, public_key: AHEPublicKey, values: Sequence[int]) -> AHECiphertext:
+        """Encrypt up to :attr:`num_slots` slot values (slot 0 first, rest zero)."""
+
+    @abstractmethod
+    def decrypt_slots(self, keypair: AHEKeyPair, ciphertext: AHECiphertext) -> list[int]:
+        """Decrypt and return all :attr:`num_slots` slot values."""
+
+    @abstractmethod
+    def add(self, left: AHECiphertext, right: AHECiphertext) -> AHECiphertext:
+        """Slot-wise homomorphic addition."""
+
+    @abstractmethod
+    def scalar_mul(self, ciphertext: AHECiphertext, scalar: int) -> AHECiphertext:
+        """Multiply every slot by a non-negative plaintext constant."""
+
+    def shift_up(self, ciphertext: AHECiphertext, positions: int) -> AHECiphertext:
+        """Move slot ``i`` to slot ``i + positions`` (low slots become garbage)."""
+        raise ParameterError(f"{self.name} does not support slot shifts")
+
+    # -- sizes -----------------------------------------------------------
+    @abstractmethod
+    def ciphertext_size_bytes(self) -> int:
+        """Serialized size of one ciphertext (constant for a fixed parameter set)."""
+
+    # -- helpers shared by implementations --------------------------------
+    def _check_slot_values(self, values: Sequence[int]) -> list[int]:
+        if len(values) > self.num_slots:
+            raise ParameterError(
+                f"{len(values)} slot values exceed capacity {self.num_slots}"
+            )
+        limit = self.slot_modulus
+        checked = []
+        for index, value in enumerate(values):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ParameterError(f"slot {index} value must be an int, got {type(value)!r}")
+            if not 0 <= value < limit:
+                raise ParameterError(
+                    f"slot {index} value {value} outside [0, 2^{self.slot_bits})"
+                )
+            checked.append(value)
+        return checked
+
+    def encrypt_single(self, public_key: AHEPublicKey, value: int) -> AHECiphertext:
+        """Convenience: encrypt a single value in slot 0."""
+        return self.encrypt_slots(public_key, [value])
+
+    def decrypt_single(self, keypair: AHEKeyPair, ciphertext: AHECiphertext) -> int:
+        """Convenience: decrypt slot 0."""
+        return self.decrypt_slots(keypair, ciphertext)[0]

@@ -1,0 +1,209 @@
+"""The additively homomorphic Ring-LWE cryptosystem ("XPIR-BV", §4.1).
+
+Pretzel replaces Paillier with the Brakerski–Vaikuntanathan scheme as
+implemented in the XPIR library.  We implement the additive-only variant over
+``R_q = Z_q[x]/(x^n + 1)`` with plaintext modulus ``t = 2**slot_bits``:
+
+* secret key ``s`` — ternary ring element;
+* public key ``(p0, p1)`` with ``p1`` uniform and ``p0 = -(p1·s) + t·e``;
+* ``Enc(m) = (p0·u + t·e1 + m,  p1·u + t·e2)`` for ternary ``u`` and small
+  noise ``e1, e2``;
+* ``Dec(c0, c1) = ((c0 + c1·s) mod q, centered) mod t``.
+
+The ``n`` plaintext polynomial coefficients are the packing *slots* of §4.2:
+ciphertext addition adds slot-wise, multiplication by an integer constant
+scales every slot, and multiplication by the monomial ``x^k`` shifts slots —
+this last operation is what the across-row packing and the candidate-topic
+protocol (Fig. 5) use to realign and extract dot products.
+
+Ciphertext size with the default parameters (n = 1024, two 31-bit RNS primes)
+is ~16 KB, matching the 16 KB XPIR-BV ciphertexts reported in §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ahe import (
+    AHECiphertext,
+    AHEKeyPair,
+    AHEPublicKey,
+    AHEScheme,
+    AHESecretKey,
+)
+from repro.crypto.prg import Prg
+from repro.crypto.ringlwe import RingContext, RingPolynomial
+from repro.exceptions import NoiseBudgetExceeded, ParameterError
+from repro.utils.rand import secure_bytes
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BVParameters:
+    """Public parameters of the XPIR-BV scheme."""
+
+    ring_degree: int = 1024
+    prime_bits: int = 31
+    prime_count: int = 2
+    slot_bits: int = 32
+    noise_bound: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ring_degree <= 1 or self.ring_degree & (self.ring_degree - 1):
+            raise ParameterError("ring_degree must be a power of two > 1")
+        if self.slot_bits <= 0:
+            raise ParameterError("slot_bits must be positive")
+        total_q_bits = self.prime_bits * self.prime_count
+        if self.slot_bits >= total_q_bits - 8:
+            raise ParameterError(
+                "slot_bits leaves no room for noise under the ciphertext modulus"
+            )
+
+    @classmethod
+    def test_parameters(cls) -> "BVParameters":
+        """Small, fast parameters for unit tests (reduced ring degree)."""
+        return cls(ring_degree=256, prime_bits=31, prime_count=2, slot_bits=32, noise_bound=4)
+
+
+@dataclass
+class BVPublic:
+    p0: RingPolynomial
+    p1: RingPolynomial
+
+
+@dataclass
+class BVSecret:
+    s: RingPolynomial
+
+
+@dataclass
+class BVCiphertextPayload:
+    c0: RingPolynomial
+    c1: RingPolynomial
+
+
+class BVScheme(AHEScheme):
+    """Additive Ring-LWE AHE with coefficient-slot packing."""
+
+    name = "xpir-bv"
+
+    def __init__(self, parameters: BVParameters | None = None) -> None:
+        self.parameters = parameters or BVParameters()
+        self.ring = RingContext.create(
+            ring_degree=self.parameters.ring_degree,
+            prime_bits=self.parameters.prime_bits,
+            prime_count=self.parameters.prime_count,
+        )
+        self._plain_modulus = 1 << self.parameters.slot_bits
+
+    # -- AHEScheme properties ------------------------------------------------
+    @property
+    def slot_bits(self) -> int:
+        return self.parameters.slot_bits
+
+    @property
+    def num_slots(self) -> int:
+        return self.parameters.ring_degree
+
+    @property
+    def supports_slot_shift(self) -> bool:
+        return True
+
+    # -- key management --------------------------------------------------------
+    def generate_keypair(self, seed: bytes | None = None) -> AHEKeyPair:
+        """Generate a key pair.
+
+        When *seed* is supplied, the public uniform element ``p1`` is derived
+        from it deterministically, implementing the jointly-randomised
+        parameter generation of §3.3 footnote 3 (both parties contribute to
+        the seed via DH, so neither controls ``p1``).  The secret key and the
+        noise are always drawn from fresh local randomness.
+        """
+        t = self._plain_modulus
+        if seed is None:
+            p1 = RingPolynomial.sample_uniform(self.ring)
+        else:
+            p1 = RingPolynomial.sample_uniform(self.ring, Prg(seed, domain=b"bv-public-a"))
+        s = RingPolynomial.sample_ternary(self.ring)
+        noise = RingPolynomial.sample_noise(self.ring, self.parameters.noise_bound)
+        p0 = p1.multiply(s).negate().add(noise.scalar_multiply(t))
+        public = BVPublic(p0=p0, p1=p1)
+        public_size = 2 * p0.serialized_size_bytes()
+        return AHEKeyPair(
+            public=AHEPublicKey(self.name, public, public_size),
+            secret=AHESecretKey(self.name, BVSecret(s=s)),
+        )
+
+    # -- encryption / decryption ------------------------------------------------
+    def encrypt_slots(self, public_key: AHEPublicKey, values: Sequence[int]) -> AHECiphertext:
+        public: BVPublic = public_key.payload
+        checked = self._check_slot_values(values)
+        t = self._plain_modulus
+        message = RingPolynomial.from_int_coefficients(self.ring, checked)
+        u = RingPolynomial.sample_ternary(self.ring)
+        e1 = RingPolynomial.sample_noise(self.ring, self.parameters.noise_bound)
+        e2 = RingPolynomial.sample_noise(self.ring, self.parameters.noise_bound)
+        c0 = public.p0.multiply(u).add(e1.scalar_multiply(t)).add(message)
+        c1 = public.p1.multiply(u).add(e2.scalar_multiply(t))
+        payload = BVCiphertextPayload(c0=c0, c1=c1)
+        return AHECiphertext(self.name, payload, self.ciphertext_size_bytes())
+
+    def decrypt_slots(self, keypair: AHEKeyPair, ciphertext: AHECiphertext) -> list[int]:
+        secret: BVSecret = keypair.secret.payload
+        payload: BVCiphertextPayload = ciphertext.payload
+        t = self._plain_modulus
+        phase = payload.c0.add(payload.c1.multiply(secret.s))
+        centered = phase.to_centered_coefficients()
+        # A correct ciphertext satisfies |t*E + m| < q/2; if accumulated noise
+        # has come close to the modulus the centered coefficients are
+        # meaningless, so flag blatant overflows instead of returning garbage.
+        budget = self.ring.modulus // 2
+        slots = []
+        for coefficient in centered:
+            if abs(coefficient) >= budget:
+                raise NoiseBudgetExceeded("BV ciphertext noise exceeded q/2 during decryption")
+            slots.append(coefficient % t)
+        return slots
+
+    # -- homomorphic operations ----------------------------------------------------
+    def add(self, left: AHECiphertext, right: AHECiphertext) -> AHECiphertext:
+        lp: BVCiphertextPayload = left.payload
+        rp: BVCiphertextPayload = right.payload
+        payload = BVCiphertextPayload(c0=lp.c0.add(rp.c0), c1=lp.c1.add(rp.c1))
+        return AHECiphertext(self.name, payload, self.ciphertext_size_bytes())
+
+    def scalar_mul(self, ciphertext: AHECiphertext, scalar: int) -> AHECiphertext:
+        if scalar < 0:
+            raise ParameterError("scalar must be non-negative")
+        payload: BVCiphertextPayload = ciphertext.payload
+        result = BVCiphertextPayload(
+            c0=payload.c0.scalar_multiply(scalar),
+            c1=payload.c1.scalar_multiply(scalar),
+        )
+        return AHECiphertext(self.name, result, self.ciphertext_size_bytes())
+
+    def shift_up(self, ciphertext: AHECiphertext, positions: int) -> AHECiphertext:
+        """Move slot ``i`` to slot ``i + positions`` via multiplication by ``x^positions``.
+
+        Slots pushed past the top wrap to the bottom *negated* (``x^n = -1``);
+        callers must treat the low slots as garbage after a shift, exactly as
+        the across-row packing protocol does (§4.2).
+        """
+        if positions < 0:
+            raise ParameterError("shift amount must be non-negative")
+        payload: BVCiphertextPayload = ciphertext.payload
+        result = BVCiphertextPayload(
+            c0=payload.c0.monomial_multiply(positions),
+            c1=payload.c1.monomial_multiply(positions),
+        )
+        return AHECiphertext(self.name, result, self.ciphertext_size_bytes())
+
+    # -- sizes -------------------------------------------------------------------------
+    def ciphertext_size_bytes(self) -> int:
+        coefficient_bits = self.ring.modulus_bits
+        return 2 * ((self.parameters.ring_degree * coefficient_bits + 7) // 8)
+
+    # -- misc ---------------------------------------------------------------------------
+    def encrypt_zero(self, public_key: AHEPublicKey) -> AHECiphertext:
+        """Fresh encryption of the all-zero slot vector (used for re-randomisation)."""
+        return self.encrypt_slots(public_key, [])

@@ -1,0 +1,73 @@
+"""ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+The e2e module (§2.2 of the paper uses GPG; see DESIGN.md for the
+substitution) encrypts email bodies with ChaCha20 under a per-message key
+derived from an ElGamal KEM, then authenticates with HMAC-SHA256
+(encrypt-then-MAC).  ChaCha20 is a pure ARX design, so a faithful and
+reasonably fast pure-Python implementation is practical.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.exceptions import ParameterError
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Produce one 64-byte ChaCha20 keystream block."""
+    if len(key) != 32:
+        raise ParameterError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ParameterError("ChaCha20 nonce must be 12 bytes")
+    if not 0 <= counter < 2**32:
+        raise ParameterError("ChaCha20 block counter out of range")
+    state = list(_CONSTANTS)
+    state += list(struct.unpack("<8L", key))
+    state.append(counter)
+    state += list(struct.unpack("<3L", nonce))
+    working = list(state)
+    for _ in range(10):
+        # Column rounds.
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        # Diagonal rounds.
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(working[i] + state[i]) & _MASK32 for i in range(16)]
+    return struct.pack("<16L", *output)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 1) -> bytes:
+    """Encrypt or decrypt *data* with the ChaCha20 keystream (XOR is symmetric)."""
+    out = bytearray(len(data))
+    block_count = (len(data) + 63) // 64
+    for block_index in range(block_count):
+        keystream = chacha20_block(key, initial_counter + block_index, nonce)
+        start = block_index * 64
+        chunk = data[start : start + 64]
+        for offset, byte in enumerate(chunk):
+            out[start + offset] = byte ^ keystream[offset]
+    return bytes(out)

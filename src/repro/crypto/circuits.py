@@ -1,0 +1,337 @@
+"""Boolean circuits for the functions Pretzel evaluates inside Yao's 2PC.
+
+Pretzel uses Yao's protocol "very selectively — just to compute several
+comparisons of 32-bit numbers" (§3.2): after the secure dot products, the two
+parties must (a) remove the client's blinding noise and (b) apply the final
+non-linear step, which is a threshold comparison for spam filtering and an
+argmax (returning the original topic index) for topic extraction (Fig. 2
+step 4, Fig. 5 step 5).
+
+This module provides a small circuit IR (XOR / AND / NOT gates over wires)
+and a :class:`CircuitBuilder` with the arithmetic gadgets those two functions
+need: ripple-carry addition, two's-complement subtraction, unsigned
+comparison, multiplexers and an argmax tree.  XOR gates are free under the
+free-XOR garbling optimisation, so the builders prefer XOR-heavy
+constructions; the AND-gate count is what determines garbling cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import CircuitError
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+
+class GateKind(Enum):
+    XOR = "xor"
+    AND = "and"
+    NOT = "not"
+
+
+@dataclass(frozen=True)
+class Gate:
+    kind: GateKind
+    input_a: int
+    input_b: int  # ignored for NOT gates
+    output: int
+
+
+@dataclass
+class Circuit:
+    """A gate list with designated garbler/evaluator input wires and output wires."""
+
+    num_wires: int
+    gates: list[Gate]
+    garbler_inputs: list[int]
+    evaluator_inputs: list[int]
+    outputs: list[int]
+
+    @property
+    def and_count(self) -> int:
+        return sum(1 for gate in self.gates if gate.kind is GateKind.AND)
+
+    @property
+    def xor_count(self) -> int:
+        return sum(1 for gate in self.gates if gate.kind is GateKind.XOR)
+
+    def evaluate_plain(self, garbler_bits: list[int], evaluator_bits: list[int]) -> list[int]:
+        """Evaluate in the clear (used for testing and for the NoPriv baseline)."""
+        if len(garbler_bits) != len(self.garbler_inputs):
+            raise CircuitError("wrong number of garbler input bits")
+        if len(evaluator_bits) != len(self.evaluator_inputs):
+            raise CircuitError("wrong number of evaluator input bits")
+        values: dict[int, int] = {}
+        for wire, bit in zip(self.garbler_inputs, garbler_bits):
+            values[wire] = bit & 1
+        for wire, bit in zip(self.evaluator_inputs, evaluator_bits):
+            values[wire] = bit & 1
+        for gate in self.gates:
+            a = values[gate.input_a]
+            if gate.kind is GateKind.NOT:
+                values[gate.output] = 1 - a
+            else:
+                b = values[gate.input_b]
+                values[gate.output] = (a ^ b) if gate.kind is GateKind.XOR else (a & b)
+        try:
+            return [values[wire] for wire in self.outputs]
+        except KeyError as missing:
+            raise CircuitError(f"output wire {missing} was never assigned") from missing
+
+
+class CircuitBuilder:
+    """Incrementally builds a :class:`Circuit`.
+
+    Inputs must be declared before any gate references them; the builder
+    enforces single assignment per wire.
+    """
+
+    def __init__(self) -> None:
+        self._num_wires = 0
+        self._gates: list[Gate] = []
+        self._garbler_inputs: list[int] = []
+        self._evaluator_inputs: list[int] = []
+        self._assigned: set[int] = set()
+
+    # -- wire/input management ---------------------------------------------
+    def _new_wire(self) -> int:
+        wire = self._num_wires
+        self._num_wires += 1
+        return wire
+
+    def garbler_input(self, width: int = 1) -> list[int]:
+        """Declare *width* fresh input wires owned by the garbler."""
+        wires = [self._new_wire() for _ in range(width)]
+        self._garbler_inputs.extend(wires)
+        self._assigned.update(wires)
+        return wires
+
+    def evaluator_input(self, width: int = 1) -> list[int]:
+        """Declare *width* fresh input wires owned by the evaluator."""
+        wires = [self._new_wire() for _ in range(width)]
+        self._evaluator_inputs.extend(wires)
+        self._assigned.update(wires)
+        return wires
+
+    # -- gates ---------------------------------------------------------------
+    def _emit(self, kind: GateKind, a: int, b: int) -> int:
+        for wire in (a, b):
+            if wire not in self._assigned:
+                raise CircuitError(f"gate reads unassigned wire {wire}")
+        out = self._new_wire()
+        self._gates.append(Gate(kind, a, b, out))
+        self._assigned.add(out)
+        return out
+
+    def xor(self, a: int, b: int) -> int:
+        return self._emit(GateKind.XOR, a, b)
+
+    def and_(self, a: int, b: int) -> int:
+        return self._emit(GateKind.AND, a, b)
+
+    def not_(self, a: int) -> int:
+        if a not in self._assigned:
+            raise CircuitError(f"gate reads unassigned wire {a}")
+        out = self._new_wire()
+        self._gates.append(Gate(GateKind.NOT, a, a, out))
+        self._assigned.add(out)
+        return out
+
+    def or_(self, a: int, b: int) -> int:
+        # a OR b = (a XOR b) XOR (a AND b): one AND gate, two free XORs.
+        return self.xor(self.xor(a, b), self.and_(a, b))
+
+    def mux_bit(self, select: int, when_zero: int, when_one: int) -> int:
+        """Return ``when_one`` if *select* else ``when_zero`` (one AND gate)."""
+        difference = self.xor(when_zero, when_one)
+        gated = self.and_(select, difference)
+        return self.xor(when_zero, gated)
+
+    # -- word-level gadgets -----------------------------------------------------
+    def mux_word(self, select: int, when_zero: list[int], when_one: list[int]) -> list[int]:
+        if len(when_zero) != len(when_one):
+            raise CircuitError("mux operands must have equal width")
+        return [self.mux_bit(select, z, o) for z, o in zip(when_zero, when_one)]
+
+    def add_words(self, a: list[int], b: list[int]) -> list[int]:
+        """Ripple-carry addition modulo 2^width (little-endian wire lists)."""
+        if len(a) != len(b):
+            raise CircuitError("adder operands must have equal width")
+        carry: int | None = None
+        result = []
+        for bit_a, bit_b in zip(a, b):
+            axb = self.xor(bit_a, bit_b)
+            if carry is None:
+                result.append(axb)
+                carry = self.and_(bit_a, bit_b)
+            else:
+                result.append(self.xor(axb, carry))
+                # carry_out = (a AND b) XOR (carry AND (a XOR b))
+                carry = self.xor(self.and_(bit_a, bit_b), self.and_(carry, axb))
+        return result
+
+    def subtract_words(self, a: list[int], b: list[int]) -> list[int]:
+        """``a - b`` modulo 2^width via two's complement."""
+        if len(a) != len(b):
+            raise CircuitError("subtractor operands must have equal width")
+        # a - b = a + ~b + 1; fold the +1 in as the initial carry.
+        not_b = [self.not_(bit) for bit in b]
+        carry: int | None = None
+        result = []
+        for index, (bit_a, bit_nb) in enumerate(zip(a, not_b)):
+            axb = self.xor(bit_a, bit_nb)
+            if index == 0:
+                # carry-in = 1: sum = a XOR ~b XOR 1 = NOT(a XOR ~b)
+                result.append(self.not_(axb))
+                carry = self.or_(self.and_(bit_a, bit_nb), axb)  # majority(a, ~b, 1)
+            else:
+                result.append(self.xor(axb, carry))
+                carry = self.xor(self.and_(bit_a, bit_nb), self.and_(carry, axb))
+        return result
+
+    def greater_than(self, a: list[int], b: list[int]) -> int:
+        """Unsigned ``a > b`` (single output bit)."""
+        if len(a) != len(b):
+            raise CircuitError("comparator operands must have equal width")
+        # Scan from least to most significant: gt = a_i AND NOT b_i, preserved
+        # by higher equal bits; eq tracking folded in bit by bit.
+        gt: int | None = None
+        for bit_a, bit_b in zip(a, b):
+            a_and_not_b = self.and_(bit_a, self.not_(bit_b))
+            if gt is None:
+                gt = a_and_not_b
+            else:
+                equal_here = self.not_(self.xor(bit_a, bit_b))
+                gt = self.xor(a_and_not_b, self.and_(equal_here, self.xor(gt, a_and_not_b)))
+        assert gt is not None
+        return gt
+
+    def greater_or_equal(self, a: list[int], b: list[int]) -> int:
+        """Unsigned ``a >= b``."""
+        return self.not_(self.greater_than(b, a))
+
+    def argmax(self, values: list[list[int]], payloads: list[list[int]]) -> list[int]:
+        """Return the payload associated with the maximum value.
+
+        *values* are unsigned words of equal width; *payloads* are arbitrary
+        words of equal width carried alongside (the topic protocol carries the
+        original topic index ``S'[j]``, Fig. 5 step 5).  Ties resolve to the
+        earliest entry, matching ``numpy.argmax`` semantics used by the
+        plaintext classifiers.
+        """
+        if not values or len(values) != len(payloads):
+            raise CircuitError("argmax needs matching non-empty value/payload lists")
+        best_value = values[0]
+        best_payload = payloads[0]
+        for value, payload in zip(values[1:], payloads[1:]):
+            is_greater = self.greater_than(value, best_value)
+            best_value = self.mux_word(is_greater, best_value, value)
+            best_payload = self.mux_word(is_greater, best_payload, payload)
+        return best_payload
+
+    # -- finalisation -------------------------------------------------------------
+    def build(self, outputs: list[int]) -> Circuit:
+        for wire in outputs:
+            if wire not in self._assigned:
+                raise CircuitError(f"output wire {wire} is unassigned")
+        return Circuit(
+            num_wires=self._num_wires,
+            gates=list(self._gates),
+            garbler_inputs=list(self._garbler_inputs),
+            evaluator_inputs=list(self._evaluator_inputs),
+            outputs=list(outputs),
+        )
+
+
+@dataclass
+class SpamCircuit:
+    """Unblind two dot products and compare them (Fig. 2 step 4, spam case).
+
+    Garbler (provider) inputs: blinded spam score, blinded non-spam score.
+    Evaluator (client) inputs: the two blinding noises.
+    Output (1 bit, learned by the client): 1 if the email is spam.
+    """
+
+    circuit: Circuit
+    width: int
+
+    @classmethod
+    def build(cls, width: int) -> "SpamCircuit":
+        builder = CircuitBuilder()
+        blinded_spam = builder.garbler_input(width)
+        blinded_ham = builder.garbler_input(width)
+        noise_spam = builder.evaluator_input(width)
+        noise_ham = builder.evaluator_input(width)
+        spam_score = builder.subtract_words(blinded_spam, noise_spam)
+        ham_score = builder.subtract_words(blinded_ham, noise_ham)
+        is_spam = builder.greater_than(spam_score, ham_score)
+        return cls(circuit=builder.build([is_spam]), width=width)
+
+    def garbler_bits(self, blinded_spam: int, blinded_ham: int) -> list[int]:
+        return int_to_bits(blinded_spam, self.width) + int_to_bits(blinded_ham, self.width)
+
+    def evaluator_bits(self, noise_spam: int, noise_ham: int) -> list[int]:
+        return int_to_bits(noise_spam, self.width) + int_to_bits(noise_ham, self.width)
+
+    @staticmethod
+    def decode_output(bits: list[int]) -> bool:
+        return bool(bits[0])
+
+
+@dataclass
+class TopicCircuit:
+    """Unblind B' candidate scores, take the argmax, and reveal the topic index.
+
+    Garbler (client) inputs: noises and the candidate topic indices ``S'[j]``
+    (both are the client's private inputs per Fig. 5 step 5).
+    Evaluator (provider) inputs: the blinded candidate scores it decrypted.
+    Output (index_bits, learned by the provider): ``S'[argmax_j d_j]``.
+    """
+
+    circuit: Circuit
+    width: int
+    candidates: int
+    index_bits: int
+
+    @classmethod
+    def build(cls, width: int, candidates: int, index_bits: int) -> "TopicCircuit":
+        if candidates < 1:
+            raise CircuitError("need at least one candidate topic")
+        builder = CircuitBuilder()
+        noise_words = [builder.garbler_input(width) for _ in range(candidates)]
+        index_words = [builder.garbler_input(index_bits) for _ in range(candidates)]
+        blinded_words = [builder.evaluator_input(width) for _ in range(candidates)]
+        scores = [
+            builder.subtract_words(blinded, noise)
+            for blinded, noise in zip(blinded_words, noise_words)
+        ]
+        winner_index = builder.argmax(scores, index_words)
+        return cls(
+            circuit=builder.build(winner_index),
+            width=width,
+            candidates=candidates,
+            index_bits=index_bits,
+        )
+
+    def garbler_bits(self, noises: list[int], topic_indices: list[int]) -> list[int]:
+        if len(noises) != self.candidates or len(topic_indices) != self.candidates:
+            raise CircuitError("wrong number of noises or candidate indices")
+        bits: list[int] = []
+        for noise in noises:
+            bits.extend(int_to_bits(noise, self.width))
+        for index in topic_indices:
+            bits.extend(int_to_bits(index, self.index_bits))
+        return bits
+
+    def evaluator_bits(self, blinded_scores: list[int]) -> list[int]:
+        if len(blinded_scores) != self.candidates:
+            raise CircuitError("wrong number of blinded scores")
+        bits: list[int] = []
+        for value in blinded_scores:
+            bits.extend(int_to_bits(value, self.width))
+        return bits
+
+    @staticmethod
+    def decode_output(bits: list[int]) -> int:
+        return bits_to_int(bits)

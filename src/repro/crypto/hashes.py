@@ -1,0 +1,86 @@
+"""Hashing, HMAC and key-derivation helpers.
+
+The garbled-circuit construction keys its gate "encryptions" off SHA-256; the
+e2e module derives symmetric keys through HKDF; the replay-defence and the OT
+extension need keyed PRFs.  Everything here wraps :mod:`hashlib`/:mod:`hmac`
+from the standard library — no third-party crypto.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.exceptions import ParameterError
+
+HASH_BYTES = 32
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over the concatenation of *parts*."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+    return digest.digest()
+
+
+def sha256_int(*parts: bytes) -> int:
+    """SHA-256 interpreted as a big-endian integer (used for Fiat–Shamir challenges)."""
+    return int.from_bytes(sha256(*parts), "big")
+
+
+def hmac_sha256(key: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA-256 over the concatenation of *parts*."""
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(part)
+    return mac.digest()
+
+
+def constant_time_equal(left: bytes, right: bytes) -> bool:
+    """Constant-time comparison for MACs and tags."""
+    return hmac.compare_digest(left, right)
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract (RFC 5869) with SHA-256."""
+    if not salt:
+        salt = b"\x00" * HASH_BYTES
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand (RFC 5869) with SHA-256."""
+    if length <= 0 or length > 255 * HASH_BYTES:
+        raise ParameterError("requested HKDF output length out of range")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(block) for block in blocks) < length:
+        previous = hmac_sha256(pseudo_random_key, previous, info, bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material: bytes, info: bytes, length: int, salt: bytes = b"") -> bytes:
+    """One-shot HKDF (extract-then-expand)."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def hash_to_group_element(data: bytes, modulus: int) -> int:
+    """Hash arbitrary bytes to an integer in ``[1, modulus)``.
+
+    Used by the oblivious-transfer protocol to derive one-time pads from
+    Diffie–Hellman shared values and by the DH parameter-agreement step
+    (§3.3 footnote 3) to turn a joint transcript into group parameters.
+    """
+    if modulus <= 2:
+        raise ParameterError("modulus too small")
+    counter = 0
+    needed_bytes = (modulus.bit_length() + 7) // 8 + 8
+    stream = b""
+    while len(stream) < needed_bytes:
+        stream += sha256(data, counter.to_bytes(4, "big"))
+        counter += 1
+    return 1 + int.from_bytes(stream[:needed_bytes], "big") % (modulus - 1)

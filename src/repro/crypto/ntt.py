@@ -1,0 +1,150 @@
+"""Number-theoretic transform (NTT) over NTT-friendly primes.
+
+The Ring-LWE cryptosystem of §4.1 works in the negacyclic polynomial ring
+``Z_q[x]/(x^n + 1)``.  Multiplying two degree-``n`` polynomials there is the
+inner loop of key generation, encryption and decryption, so it must be fast
+even in Python: we vectorise an iterative Cooley–Tukey NTT with NumPy int64
+arrays and reduce modulo a < 2^31 prime at every butterfly stage so products
+never overflow 64 bits.
+
+A negacyclic (negative-wrapped) convolution of length ``n`` is computed by
+pre-multiplying inputs by powers of a primitive ``2n``-th root of unity ψ,
+running a cyclic NTT with ω = ψ², and post-multiplying by powers of ψ⁻¹.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.numtheory import (
+    find_ntt_prime,
+    find_primitive_root_of_unity,
+    invmod,
+)
+from repro.exceptions import ParameterError
+
+# Cache of discovered NTT-friendly primes keyed by (bits, order) so repeated
+# scheme instantiations (tests, benchmarks) don't redo the prime search.
+_PRIME_CACHE: dict[tuple[int, int], list[int]] = {}
+
+
+def ntt_friendly_primes(count: int, bits: int, ring_degree: int) -> list[int]:
+    """Return *count* distinct primes ``q ≡ 1 (mod 2*ring_degree)`` of ~*bits* bits."""
+    if ring_degree <= 0 or ring_degree & (ring_degree - 1):
+        raise ParameterError("ring_degree must be a power of two")
+    if bits > 31:
+        raise ParameterError("primes above 31 bits would overflow int64 butterflies")
+    order = 2 * ring_degree
+    key = (bits, order)
+    cached = _PRIME_CACHE.setdefault(key, [])
+    candidate_bits = bits
+    while len(cached) < count:
+        prime = find_ntt_prime(candidate_bits, order)
+        if prime not in cached:
+            cached.append(prime)
+        else:
+            # Walk to a nearby size to find a distinct prime.
+            candidate_bits -= 1
+            if candidate_bits < 20:
+                raise ParameterError("could not find enough distinct NTT primes")
+    return cached[:count]
+
+
+def _bit_reverse_permutation(n: int) -> np.ndarray:
+    bits = n.bit_length() - 1
+    perm = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        reversed_index = 0
+        value = i
+        for _ in range(bits):
+            reversed_index = (reversed_index << 1) | (value & 1)
+            value >>= 1
+        perm[i] = reversed_index
+    return perm
+
+
+class NttContext:
+    """Forward/inverse negacyclic NTT modulo a single prime."""
+
+    def __init__(self, ring_degree: int, prime: int) -> None:
+        if ring_degree <= 1 or ring_degree & (ring_degree - 1):
+            raise ParameterError("ring degree must be a power of two > 1")
+        if (prime - 1) % (2 * ring_degree) != 0:
+            raise ParameterError("prime is not NTT-friendly for this ring degree")
+        self.n = ring_degree
+        self.prime = prime
+        psi = find_primitive_root_of_unity(2 * ring_degree, prime)
+        omega = (psi * psi) % prime
+        self._psi_powers = self._power_table(psi, ring_degree, prime)
+        self._psi_inv_powers = self._power_table(invmod(psi, prime), ring_degree, prime)
+        self._omega_powers = self._power_table(omega, ring_degree // 2, prime)
+        self._omega_inv_powers = self._power_table(invmod(omega, prime), ring_degree // 2, prime)
+        self._n_inverse = invmod(ring_degree, prime)
+        self._bitrev = _bit_reverse_permutation(ring_degree)
+
+    @staticmethod
+    def _power_table(base: int, count: int, prime: int) -> np.ndarray:
+        table = np.zeros(count, dtype=np.int64)
+        value = 1
+        for index in range(count):
+            table[index] = value
+            value = (value * base) % prime
+        return table
+
+    def _cyclic_transform(self, values: np.ndarray, twiddles: np.ndarray) -> np.ndarray:
+        prime = self.prime
+        data = values[self._bitrev].astype(np.int64)
+        length = 2
+        while length <= self.n:
+            half = length // 2
+            stride = self.n // length
+            stage_twiddles = twiddles[: half * stride : stride]
+            reshaped = data.reshape(-1, length)
+            left = reshaped[:, :half]
+            right = (reshaped[:, half:] * stage_twiddles) % prime
+            upper = (left + right) % prime
+            lower = (left - right) % prime
+            reshaped[:, :half] = upper
+            reshaped[:, half:] = lower
+            data = reshaped.reshape(-1)
+            length *= 2
+        return data
+
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        """Negacyclic forward transform of a coefficient vector (length n)."""
+        if coefficients.shape != (self.n,):
+            raise ParameterError("coefficient vector has the wrong length")
+        weighted = (coefficients.astype(np.int64) % self.prime * self._psi_powers) % self.prime
+        return self._cyclic_transform(weighted, self._omega_powers)
+
+    def inverse(self, spectrum: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward`."""
+        if spectrum.shape != (self.n,):
+            raise ParameterError("spectrum vector has the wrong length")
+        data = self._cyclic_transform(spectrum.astype(np.int64), self._omega_inv_powers)
+        data = (data * self._n_inverse) % self.prime
+        return (data * self._psi_inv_powers) % self.prime
+
+    def multiply(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Negacyclic polynomial product of two coefficient vectors."""
+        left_spectrum = self.forward(left)
+        right_spectrum = self.forward(right)
+        product = (left_spectrum * right_spectrum) % self.prime
+        return self.inverse(product)
+
+
+def negacyclic_multiply_reference(left: np.ndarray, right: np.ndarray, prime: int) -> np.ndarray:
+    """O(n²) schoolbook negacyclic product, used by tests to validate the NTT."""
+    n = len(left)
+    result = np.zeros(n, dtype=object)
+    for i in range(n):
+        if left[i] == 0:
+            continue
+        for j in range(n):
+            index = i + j
+            term = int(left[i]) * int(right[j])
+            if index >= n:
+                result[index - n] -= term
+            else:
+                result[index] += term
+    return np.array([int(value) % prime for value in result], dtype=np.int64)

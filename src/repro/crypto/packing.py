@@ -1,0 +1,337 @@
+"""Model-matrix packing: the GLLM layout and Pretzel's across-row layout (§4.2).
+
+The provider's model is a matrix with one row per feature and one column per
+category (plus one extra "prior/bias" row).  The setup phase of the protocol
+(Fig. 2, step 1) encrypts this matrix column-slot-wise so that the client can
+later compute, per category ``j``, the dot product ``d_j = Σ_i x_i · v_{i,j}``
+entirely in cipherspace (Fig. 2, step 2).
+
+Two layouts are implemented:
+
+* **Within-row (legacy GLLM / "NoOptimPack")** — each row is packed on its
+  own: ``ceil(B / p)`` ciphertexts per row, where ``p`` is the number of slots
+  per ciphertext.  When ``B`` is much smaller than ``p`` (spam filtering has
+  B = 2 while XPIR-BV offers ~1024 slots), most of every ciphertext is wasted;
+  Fig. 8's "Pretzel-NoOptimPack" row quantifies that waste.
+
+* **Across-row (Pretzel, §4.2)** — column segments of exactly ``p`` columns
+  are packed as above; the final segment with ``k = B mod p < p`` columns
+  packs ``m = floor(p / k)`` *rows* per ciphertext in row-major order (Fig. 4).
+  During the dot-product computation, each row's contribution is realigned to
+  a common *output region* (the slots of the last row position) using the
+  homomorphic slot shift, then accumulated.  Slots outside the output region
+  end up holding garbage and must be blinded before the ciphertext leaves the
+  client (the protocols in :mod:`repro.twopc` do that).
+
+The dot-product consumer API is :meth:`PackedLinearModel.dot_products`, which
+returns one :class:`DotProductCiphertexts` holding the encrypted ``d_j`` for
+all ``B`` columns together with the slot position of each column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.crypto.ahe import AHECiphertext, AHEKeyPair, AHEPublicKey, AHEScheme
+from repro.exceptions import PackingError, ParameterError
+
+
+@dataclass(frozen=True)
+class PackingLayout:
+    """Geometry of a packed model."""
+
+    num_columns: int            # B: categories
+    num_rows: int               # feature rows + 1 prior/bias row
+    slots_per_ciphertext: int   # p
+    across_rows: bool           # Pretzel packing (§4.2) vs legacy GLLM packing
+
+    @property
+    def full_segments(self) -> int:
+        """Number of column segments that occupy a whole ciphertext width."""
+        return self.num_columns // self.slots_per_ciphertext
+
+    @property
+    def leftover_columns(self) -> int:
+        """Columns in the final, partially filled segment (0 if B divides p)."""
+        return self.num_columns % self.slots_per_ciphertext
+
+    @property
+    def rows_per_leftover_ciphertext(self) -> int:
+        """How many matrix rows share one ciphertext in the leftover segment."""
+        if self.leftover_columns == 0:
+            return 0
+        if not self.across_rows:
+            return 1
+        return self.slots_per_ciphertext // self.leftover_columns
+
+    @property
+    def leftover_output_offset(self) -> int:
+        """Slot index where the leftover segment's dot products accumulate.
+
+        The output region is the slot range of the *last* row position inside
+        a leftover ciphertext, so that shifting any earlier row up never
+        pushes its payload past the top of the ciphertext.
+        """
+        if self.leftover_columns == 0:
+            return 0
+        return (self.rows_per_leftover_ciphertext - 1) * self.leftover_columns
+
+    def ciphertext_count(self) -> int:
+        """Total ciphertexts needed to store the encrypted model."""
+        count = self.full_segments * self.num_rows
+        if self.leftover_columns:
+            if self.across_rows:
+                rows_per_ct = self.rows_per_leftover_ciphertext
+                count += -(-self.num_rows // rows_per_ct)
+            else:
+                count += self.num_rows
+        return count
+
+    def column_location(self, column: int) -> tuple[str, int]:
+        """Where a column's dot product ends up: ("segment", index) or ("leftover", slot)."""
+        if not 0 <= column < self.num_columns:
+            raise ParameterError(f"column {column} out of range")
+        segment = column // self.slots_per_ciphertext
+        if segment < self.full_segments:
+            return "segment", segment
+        return "leftover", self.leftover_output_offset + (column % self.slots_per_ciphertext)
+
+
+@dataclass
+class EncryptedModelColumnSegment:
+    """One full-width column segment: one ciphertext per model row."""
+
+    segment_index: int
+    row_ciphertexts: list[AHECiphertext]
+
+
+@dataclass
+class EncryptedModelLeftover:
+    """The final (narrow) column segment, possibly packed across rows."""
+
+    ciphertexts: list[AHECiphertext]
+
+
+@dataclass
+class DotProductCiphertexts:
+    """Encrypted dot products for all columns, as produced by the client."""
+
+    layout: PackingLayout
+    segment_results: list[AHECiphertext]
+    leftover_result: AHECiphertext | None
+
+    def all_ciphertexts(self) -> list[AHECiphertext]:
+        results = list(self.segment_results)
+        if self.leftover_result is not None:
+            results.append(self.leftover_result)
+        return results
+
+    def network_bytes(self) -> int:
+        return sum(ct.size_bytes for ct in self.all_ciphertexts())
+
+
+class PackedLinearModel:
+    """An encrypted linear model plus the client-side dot-product evaluator.
+
+    The provider constructs this object during the setup phase and ships it to
+    the client (it contains only public-key material and ciphertexts).  The
+    client calls :meth:`dot_products` per email.
+    """
+
+    def __init__(
+        self,
+        scheme: AHEScheme,
+        public_key: AHEPublicKey,
+        layout: PackingLayout,
+        segments: list[EncryptedModelColumnSegment],
+        leftover: EncryptedModelLeftover | None,
+    ) -> None:
+        self.scheme = scheme
+        self.public_key = public_key
+        self.layout = layout
+        self.segments = segments
+        self.leftover = leftover
+
+    # -- construction (provider side, setup phase) -------------------------
+    @classmethod
+    def encrypt(
+        cls,
+        scheme: AHEScheme,
+        public_key: AHEPublicKey,
+        matrix_rows: Sequence[Sequence[int]],
+        across_rows: bool = True,
+    ) -> "PackedLinearModel":
+        """Encrypt a quantized model matrix (rows = features + prior row).
+
+        Every entry must be a non-negative integer that fits in a slot after
+        accounting for the dot-product growth (the caller — see
+        :mod:`repro.classify.model` — quantizes with the ``bin``/``fin``/``log L``
+        budget of Fig. 3).
+        """
+        if not matrix_rows:
+            raise PackingError("cannot pack an empty model matrix")
+        num_rows = len(matrix_rows)
+        num_columns = len(matrix_rows[0])
+        for index, row in enumerate(matrix_rows):
+            if len(row) != num_columns:
+                raise PackingError(f"row {index} has {len(row)} columns, expected {num_columns}")
+        if across_rows and not scheme.supports_slot_shift and num_columns % scheme.num_slots:
+            # Across-row packing needs slot shifts at dot-product time; fall
+            # back to the legacy layout on schemes that cannot shift (Paillier).
+            across_rows = False
+        layout = PackingLayout(
+            num_columns=num_columns,
+            num_rows=num_rows,
+            slots_per_ciphertext=scheme.num_slots,
+            across_rows=across_rows,
+        )
+        segments = []
+        p = scheme.num_slots
+        for segment_index in range(layout.full_segments):
+            start = segment_index * p
+            row_cts = [
+                scheme.encrypt_slots(public_key, list(row[start : start + p]))
+                for row in matrix_rows
+            ]
+            segments.append(EncryptedModelColumnSegment(segment_index, row_cts))
+        leftover = None
+        k = layout.leftover_columns
+        if k:
+            start = layout.full_segments * p
+            leftover_cts = []
+            if across_rows:
+                rows_per_ct = layout.rows_per_leftover_ciphertext
+                for first_row in range(0, num_rows, rows_per_ct):
+                    block_rows = matrix_rows[first_row : first_row + rows_per_ct]
+                    packed: list[int] = []
+                    for row in block_rows:
+                        packed.extend(int(v) for v in row[start : start + k])
+                    leftover_cts.append(scheme.encrypt_slots(public_key, packed))
+            else:
+                for row in matrix_rows:
+                    leftover_cts.append(
+                        scheme.encrypt_slots(public_key, list(row[start : start + k]))
+                    )
+            leftover = EncryptedModelLeftover(leftover_cts)
+        return cls(scheme, public_key, layout, segments, leftover)
+
+    # -- sizes --------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Client-side storage for the encrypted model (Fig. 8 / Fig. 12)."""
+        count = sum(len(segment.row_ciphertexts) for segment in self.segments)
+        if self.leftover is not None:
+            count += len(self.leftover.ciphertexts)
+        return count * self.scheme.ciphertext_size_bytes()
+
+    def ciphertext_count(self) -> int:
+        count = sum(len(segment.row_ciphertexts) for segment in self.segments)
+        if self.leftover is not None:
+            count += len(self.leftover.ciphertexts)
+        return count
+
+    # -- client-side evaluation (computation phase) ---------------------------
+    def dot_products(self, sparse_features: Iterable[tuple[int, int]]) -> DotProductCiphertexts:
+        """Homomorphically compute ``d_j = Σ_i x_i · v_{i,j}`` for every column.
+
+        *sparse_features* yields ``(row_index, frequency)`` pairs for the
+        non-zero entries of the email's feature vector; the prior/bias row
+        (the last row of the matrix) is always added with frequency 1, as in
+        expressions (1) and (2) of the paper.
+        """
+        features = list(sparse_features)
+        bias_row = self.layout.num_rows - 1
+        features.append((bias_row, 1))
+        segment_accumulators: list[AHECiphertext | None] = [None] * self.layout.full_segments
+        leftover_accumulator: AHECiphertext | None = None
+        for row_index, frequency in features:
+            if not 0 <= row_index < self.layout.num_rows:
+                raise PackingError(f"feature row {row_index} outside the model")
+            if frequency <= 0:
+                continue
+            for segment in self.segments:
+                term = segment.row_ciphertexts[row_index]
+                if frequency != 1:
+                    term = self.scheme.scalar_mul(term, frequency)
+                current = segment_accumulators[segment.segment_index]
+                segment_accumulators[segment.segment_index] = (
+                    term if current is None else self.scheme.add(current, term)
+                )
+            if self.leftover is not None:
+                term = self._leftover_term(row_index, frequency)
+                leftover_accumulator = (
+                    term
+                    if leftover_accumulator is None
+                    else self.scheme.add(leftover_accumulator, term)
+                )
+        segment_results = [ct for ct in segment_accumulators if ct is not None]
+        if len(segment_results) != self.layout.full_segments:
+            raise PackingError("internal error: missing segment accumulator")
+        return DotProductCiphertexts(
+            layout=self.layout,
+            segment_results=segment_results,
+            leftover_result=leftover_accumulator,
+        )
+
+    def _leftover_term(self, row_index: int, frequency: int) -> AHECiphertext:
+        assert self.leftover is not None
+        k = self.layout.leftover_columns
+        if not self.layout.across_rows:
+            term = self.leftover.ciphertexts[row_index]
+            if frequency != 1:
+                term = self.scheme.scalar_mul(term, frequency)
+            return term
+        rows_per_ct = self.layout.rows_per_leftover_ciphertext
+        ciphertext_index = row_index // rows_per_ct
+        position_in_ct = row_index % rows_per_ct
+        term = self.leftover.ciphertexts[ciphertext_index]
+        if frequency != 1:
+            term = self.scheme.scalar_mul(term, frequency)
+        # Realign this row's k values onto the common output region (the last
+        # row position): this is the homomorphic "left shift and add" of §4.2.
+        shift = (rows_per_ct - 1 - position_in_ct) * k
+        if shift:
+            term = self.scheme.shift_up(term, shift)
+        return term
+
+    # -- result interpretation (provider side, after decryption) ---------------
+    def column_slot_map(self) -> dict[int, tuple[int, int]]:
+        """Map column j -> (result ciphertext index, slot index).
+
+        Result ciphertext indices follow :meth:`DotProductCiphertexts.all_ciphertexts`
+        ordering: full segments first, leftover last.
+        """
+        mapping = {}
+        p = self.layout.slots_per_ciphertext
+        for column in range(self.layout.num_columns):
+            kind, where = self.layout.column_location(column)
+            if kind == "segment":
+                mapping[column] = (where, column % p)
+            else:
+                mapping[column] = (self.layout.full_segments, where)
+        return mapping
+
+
+def decrypt_dot_products(
+    scheme: AHEScheme,
+    keypair: AHEKeyPair,
+    result: DotProductCiphertexts,
+) -> list[int]:
+    """Decrypt a dot-product result into the per-column values (testing helper).
+
+    The real protocols never decrypt unblinded results at the provider — the
+    client blinds first (Fig. 2, step 2) — but unit tests use this to check
+    that packing preserves the plaintext dot products exactly.
+    """
+    layout = result.layout
+    ciphertexts = result.all_ciphertexts()
+    decrypted = [scheme.decrypt_slots(keypair, ct) for ct in ciphertexts]
+    values = []
+    p = layout.slots_per_ciphertext
+    for column in range(layout.num_columns):
+        kind, where = layout.column_location(column)
+        if kind == "segment":
+            values.append(decrypted[column // p][column % p])
+        else:
+            values.append(decrypted[layout.full_segments][where])
+    return values

@@ -1,0 +1,76 @@
+"""Pseudorandom generation: HMAC-DRBG style PRG and a simple PRF.
+
+The IKNP OT extension (used to make Yao's protocol practical, §3.2) stretches
+short seeds into long pseudorandom bit strings; the garbled-circuit layer
+derives wire labels from a master seed; the BV cryptosystem samples its noise
+and its uniform polynomials from a seeded PRG so that ciphertexts can be
+regenerated deterministically in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.exceptions import ParameterError
+from repro.utils.bitops import bytes_to_bits
+
+
+class Prg:
+    """Deterministic byte stream from a seed (HMAC-SHA256 in counter mode)."""
+
+    def __init__(self, seed: bytes, domain: bytes = b"repro-prg") -> None:
+        if not seed:
+            raise ParameterError("PRG seed must be non-empty")
+        self._key = hmac.new(domain, seed, hashlib.sha256).digest()
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, length: int) -> bytes:
+        """Return the next *length* pseudorandom bytes."""
+        if length < 0:
+            raise ParameterError("length must be non-negative")
+        while len(self._buffer) < length:
+            block = hmac.new(
+                self._key, self._counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:length], self._buffer[length:]
+        return out
+
+    def read_bits(self, count: int) -> list[int]:
+        """Return the next *count* pseudorandom bits (little-endian per byte)."""
+        data = self.read((count + 7) // 8)
+        return bytes_to_bits(data, count)
+
+    def read_int(self, upper: int) -> int:
+        """Uniform-ish integer in ``[0, upper)`` via rejection-free modular reduction.
+
+        The modulo bias is negligible because we draw 16 extra bytes beyond
+        the size of *upper*.
+        """
+        if upper <= 0:
+            raise ParameterError("upper must be positive")
+        width = (upper.bit_length() + 7) // 8 + 16
+        return int.from_bytes(self.read(width), "big") % upper
+
+    def read_signed_int(self, bound: int) -> int:
+        """Uniform integer in ``[-bound, bound]`` (noise sampling helper)."""
+        if bound < 0:
+            raise ParameterError("bound must be non-negative")
+        return self.read_int(2 * bound + 1) - bound
+
+
+def prf(key: bytes, message: bytes, length: int = 32) -> bytes:
+    """Fixed-length PRF output, ``HMAC(key, message)`` truncated/expanded to *length*."""
+    if length <= 0:
+        raise ParameterError("length must be positive")
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hmac.new(
+            key, message + counter.to_bytes(4, "big"), hashlib.sha256
+        ).digest()
+        counter += 1
+    return out[:length]

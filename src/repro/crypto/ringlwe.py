@@ -1,0 +1,214 @@
+"""Polynomial-ring arithmetic for the Ring-LWE cryptosystem of §4.1.
+
+Elements of ``R_q = Z_q[x]/(x^n + 1)`` are stored in a residue-number-system
+(RNS / "double-CRT") representation: one NumPy int64 vector of coefficients
+per 31-bit prime factor of ``q``.  All ring operations (addition, negation,
+scalar multiplication, monomial multiplication — the "left shift" of §4.2 —
+and full polynomial multiplication via the NTT) act prime-wise and stay
+inside int64 arithmetic.  Only decryption reconstructs full-width integers
+via the CRT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.ntt import NttContext, ntt_friendly_primes
+from repro.crypto.numtheory import invmod
+from repro.crypto.prg import Prg
+from repro.exceptions import ParameterError
+from repro.utils.rand import secure_bytes
+
+
+class RingContext:
+    """Shared parameters for polynomials in ``Z_q[x]/(x^n + 1)`` with RNS modulus q."""
+
+    def __init__(self, ring_degree: int, primes: list[int]) -> None:
+        if not primes:
+            raise ParameterError("at least one RNS prime is required")
+        self.n = ring_degree
+        self.primes = list(primes)
+        self.modulus = 1
+        for prime in primes:
+            self.modulus *= prime
+        self.ntt = [NttContext(ring_degree, prime) for prime in primes]
+        # Precompute CRT reconstruction coefficients: for residues r_i,
+        # value = sum_i r_i * M_i * (M_i^{-1} mod p_i) mod q, where M_i = q / p_i.
+        self._crt_terms = []
+        for prime in primes:
+            partial = self.modulus // prime
+            self._crt_terms.append(partial * invmod(partial % prime, prime))
+
+    @classmethod
+    def create(cls, ring_degree: int = 1024, prime_bits: int = 31, prime_count: int = 2) -> "RingContext":
+        """Build a context with freshly discovered NTT-friendly primes."""
+        primes = ntt_friendly_primes(prime_count, prime_bits, ring_degree)
+        return cls(ring_degree, primes)
+
+    @property
+    def modulus_bits(self) -> int:
+        return self.modulus.bit_length()
+
+    def crt_reconstruct(self, residues: np.ndarray) -> list[int]:
+        """Combine RNS residues (shape ``(num_primes, n)``) into centered integers.
+
+        Returns coefficients in ``(-q/2, q/2]`` as Python integers.
+        """
+        q = self.modulus
+        half = q // 2
+        coefficients = []
+        for column in range(self.n):
+            value = 0
+            for prime_index in range(len(self.primes)):
+                value += int(residues[prime_index, column]) * self._crt_terms[prime_index]
+            value %= q
+            if value > half:
+                value -= q
+            coefficients.append(value)
+        return coefficients
+
+
+@dataclass
+class RingPolynomial:
+    """A ring element in RNS coefficient representation."""
+
+    context: RingContext
+    residues: np.ndarray  # shape (num_primes, n), dtype int64, each row mod primes[i]
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zero(cls, context: RingContext) -> "RingPolynomial":
+        return cls(context, np.zeros((len(context.primes), context.n), dtype=np.int64))
+
+    @classmethod
+    def from_int_coefficients(cls, context: RingContext, coefficients: list[int]) -> "RingPolynomial":
+        """Build from signed integer coefficients (reduced modulo each prime)."""
+        if len(coefficients) > context.n:
+            raise ParameterError("too many coefficients for the ring degree")
+        residues = np.zeros((len(context.primes), context.n), dtype=np.int64)
+        for prime_index, prime in enumerate(context.primes):
+            row = [coefficient % prime for coefficient in coefficients]
+            residues[prime_index, : len(row)] = row
+        return cls(context, residues)
+
+    @classmethod
+    def sample_uniform(cls, context: RingContext, prg: Prg | None = None) -> "RingPolynomial":
+        """Uniform ring element (public-key component ``a``).
+
+        Coefficients are drawn independently per RNS prime by reducing 64-bit
+        PRG words modulo each < 2^31 prime; the modulo bias is below 2^-33.
+        """
+        prg = prg or Prg(secure_bytes(32), domain=b"ring-uniform")
+        residues = np.zeros((len(context.primes), context.n), dtype=np.int64)
+        for prime_index, prime in enumerate(context.primes):
+            raw = np.frombuffer(prg.read(8 * context.n), dtype=">u8")
+            residues[prime_index] = (raw % np.uint64(prime)).astype(np.int64)
+        return cls(context, residues)
+
+    @classmethod
+    def _from_signed_vector(cls, context: RingContext, signed: np.ndarray) -> "RingPolynomial":
+        residues = np.zeros((len(context.primes), context.n), dtype=np.int64)
+        for prime_index, prime in enumerate(context.primes):
+            residues[prime_index] = signed % prime
+        return cls(context, residues)
+
+    @classmethod
+    def sample_ternary(cls, context: RingContext, prg: Prg | None = None) -> "RingPolynomial":
+        """Ternary element with coefficients in {-1, 0, 1} (secrets, encryption randomness)."""
+        prg = prg or Prg(secure_bytes(32), domain=b"ring-ternary")
+        raw = np.frombuffer(prg.read(context.n), dtype=np.uint8)
+        signed = (raw % np.uint8(3)).astype(np.int64) - 1
+        return cls._from_signed_vector(context, signed)
+
+    @classmethod
+    def sample_noise(cls, context: RingContext, bound: int = 4, prg: Prg | None = None) -> "RingPolynomial":
+        """Small noise element with coefficients uniform in ``[-bound, bound]``."""
+        if bound < 0:
+            raise ParameterError("noise bound must be non-negative")
+        prg = prg or Prg(secure_bytes(32), domain=b"ring-noise")
+        raw = np.frombuffer(prg.read(2 * context.n), dtype=">u2")
+        signed = (raw % np.uint16(2 * bound + 1)).astype(np.int64) - bound
+        return cls._from_signed_vector(context, signed)
+
+    # -- arithmetic ----------------------------------------------------------
+    def _check_same_ring(self, other: "RingPolynomial") -> None:
+        if self.context is not other.context and self.context.primes != other.context.primes:
+            raise ParameterError("ring elements belong to different rings")
+
+    def add(self, other: "RingPolynomial") -> "RingPolynomial":
+        self._check_same_ring(other)
+        residues = np.empty_like(self.residues)
+        for index, prime in enumerate(self.context.primes):
+            residues[index] = (self.residues[index] + other.residues[index]) % prime
+        return RingPolynomial(self.context, residues)
+
+    def subtract(self, other: "RingPolynomial") -> "RingPolynomial":
+        self._check_same_ring(other)
+        residues = np.empty_like(self.residues)
+        for index, prime in enumerate(self.context.primes):
+            residues[index] = (self.residues[index] - other.residues[index]) % prime
+        return RingPolynomial(self.context, residues)
+
+    def negate(self) -> "RingPolynomial":
+        residues = np.empty_like(self.residues)
+        for index, prime in enumerate(self.context.primes):
+            residues[index] = (-self.residues[index]) % prime
+        return RingPolynomial(self.context, residues)
+
+    def scalar_multiply(self, scalar: int) -> "RingPolynomial":
+        """Multiply every coefficient by an integer constant."""
+        residues = np.empty_like(self.residues)
+        for index, prime in enumerate(self.context.primes):
+            residues[index] = (self.residues[index] * (scalar % prime)) % prime
+        return RingPolynomial(self.context, residues)
+
+    def monomial_multiply(self, exponent: int) -> "RingPolynomial":
+        """Multiply by ``x^exponent`` in the negacyclic ring.
+
+        Coefficient ``i`` moves to ``i + exponent``; coefficients that wrap
+        past ``n`` reappear at the bottom negated (because ``x^n = -1``).
+        This is the homomorphic "shift" operation Pretzel's packing uses
+        (§4.2, §4.3).
+        """
+        n = self.context.n
+        exponent %= 2 * n
+        residues = np.empty_like(self.residues)
+        for index, prime in enumerate(self.context.primes):
+            row = self.residues[index]
+            shifted = np.empty_like(row)
+            effective = exponent % n
+            sign_flip = (exponent // n) % 2 == 1
+            if effective == 0:
+                shifted[:] = row
+                wrapped = np.zeros(0, dtype=np.int64)
+            else:
+                shifted[effective:] = row[: n - effective]
+                shifted[:effective] = (-row[n - effective :]) % prime
+                wrapped = shifted[:effective]
+            del wrapped
+            if sign_flip:
+                shifted = (-shifted) % prime
+            residues[index] = shifted % prime
+        return RingPolynomial(self.context, residues)
+
+    def multiply(self, other: "RingPolynomial") -> "RingPolynomial":
+        """Full negacyclic polynomial product via the NTT."""
+        self._check_same_ring(other)
+        residues = np.empty_like(self.residues)
+        for index, ntt in enumerate(self.context.ntt):
+            residues[index] = ntt.multiply(self.residues[index], other.residues[index])
+        return RingPolynomial(self.context, residues)
+
+    # -- conversions ----------------------------------------------------------
+    def to_centered_coefficients(self) -> list[int]:
+        """Full-precision centered coefficients in ``(-q/2, q/2]``."""
+        return self.context.crt_reconstruct(self.residues)
+
+    def copy(self) -> "RingPolynomial":
+        return RingPolynomial(self.context, self.residues.copy())
+
+    def serialized_size_bytes(self) -> int:
+        """Wire size: n coefficients of ceil(log2 q) bits each."""
+        return (self.context.n * self.context.modulus_bits + 7) // 8

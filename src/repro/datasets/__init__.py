@@ -1,0 +1,38 @@
+"""Synthetic corpora standing in for the paper's evaluation datasets.
+
+The paper evaluates on Ling-spam, Enron, and a Gmail inbox for spam filtering
+and on 20 Newsgroups, Reuters-21578 and RCV1 for topic extraction (§6).
+Those corpora cannot be redistributed with this reproduction, so
+:mod:`repro.datasets.corpora` generates synthetic corpora with the same
+*structure*: a shared Zipfian background vocabulary plus per-category topical
+vocabulary, document-length and class-balance parameters modelled on each
+original dataset (scaled down so benches run in seconds).  See DESIGN.md for
+the substitution rationale.
+"""
+
+from repro.datasets.corpora import (
+    LabeledCorpus,
+    SyntheticCorpusSpec,
+    enron_like,
+    generate_corpus,
+    gmail_like,
+    lingspam_like,
+    newsgroups20_like,
+    rcv1_like,
+    reuters_like,
+)
+from repro.datasets.loader import prepare_classification_data, train_test_split
+
+__all__ = [
+    "LabeledCorpus",
+    "SyntheticCorpusSpec",
+    "generate_corpus",
+    "lingspam_like",
+    "enron_like",
+    "gmail_like",
+    "newsgroups20_like",
+    "reuters_like",
+    "rcv1_like",
+    "train_test_split",
+    "prepare_classification_data",
+]

@@ -1,0 +1,65 @@
+"""Train/test splitting and feature-extraction pipelines for the corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classify.features import FeatureExtractor, SparseVector
+from repro.datasets.corpora import LabeledCorpus
+from repro.exceptions import DatasetError
+from repro.utils.rand import DeterministicRandom
+
+
+def train_test_split(
+    corpus: LabeledCorpus, train_fraction: float = 0.7, seed: int = 13
+) -> tuple[LabeledCorpus, LabeledCorpus]:
+    """Random split into train and test subsets."""
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError("train_fraction must be strictly between 0 and 1")
+    rng = DeterministicRandom(seed, label=f"split/{corpus.name}")
+    order = list(range(len(corpus)))
+    rng.shuffle(order)
+    cut = int(round(train_fraction * len(order)))
+    if cut == 0 or cut == len(order):
+        raise DatasetError("split produced an empty train or test set")
+    return corpus.subset(order[:cut]), corpus.subset(order[cut:])
+
+
+@dataclass
+class ClassificationData:
+    """A corpus turned into sparse feature vectors ready for training."""
+
+    extractor: FeatureExtractor
+    train_vectors: list[SparseVector]
+    train_labels: list[int]
+    test_vectors: list[SparseVector]
+    test_labels: list[int]
+    category_names: list[str]
+
+    @property
+    def num_features(self) -> int:
+        return self.extractor.num_features
+
+    @property
+    def num_categories(self) -> int:
+        return len(self.category_names)
+
+
+def prepare_classification_data(
+    corpus: LabeledCorpus,
+    train_fraction: float = 0.7,
+    max_features: int | None = None,
+    boolean: bool = False,
+    seed: int = 13,
+) -> ClassificationData:
+    """Split a corpus, fit a vocabulary on the training half, vectorise both halves."""
+    train, test = train_test_split(corpus, train_fraction=train_fraction, seed=seed)
+    extractor = FeatureExtractor(max_features=max_features).fit(train.documents)
+    return ClassificationData(
+        extractor=extractor,
+        train_vectors=extractor.transform_many(train.documents, boolean=boolean),
+        train_labels=list(train.labels),
+        test_vectors=extractor.transform_many(test.documents, boolean=boolean),
+        test_labels=list(test.labels),
+        category_names=list(corpus.category_names),
+    )

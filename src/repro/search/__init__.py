@@ -1,0 +1,5 @@
+"""Client-side keyword search (§5, Fig. 15)."""
+
+from repro.search.index import KeywordSearchIndex
+
+__all__ = ["KeywordSearchIndex"]

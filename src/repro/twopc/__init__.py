@@ -1,0 +1,28 @@
+"""Two-party protocols: the baseline Yao+GLLM hybrid and Pretzel's refinements.
+
+* :mod:`repro.twopc.channel` — in-process two-party channel with exact byte
+  accounting (the evaluation's "network transfers" columns).
+* :mod:`repro.twopc.gllm` — secure dot products over packed AHE ciphertexts
+  (GLLM [55], Fig. 2 steps 1–3).
+* :mod:`repro.twopc.spam` — spam-filtering protocol: dot products + blinding +
+  a Yao threshold comparison; client learns the 1-bit verdict (§3.3, §4.1–4.2).
+* :mod:`repro.twopc.topics` — decomposed topic extraction: the client prunes
+  to B' candidate topics, extracts and blinds those dot products, and a Yao
+  argmax reveals only the winning topic index to the provider (§4.3, Fig. 5).
+* :mod:`repro.twopc.noprv` — the NoPriv baseline: the provider classifies
+  plaintext directly (the status quo the paper compares against).
+"""
+
+from repro.twopc.channel import TwoPartyChannel
+from repro.twopc.noprv import NoPrivClassifier
+from repro.twopc.spam import SpamFilterProtocol, SpamProtocolResult
+from repro.twopc.topics import TopicExtractionProtocol, TopicProtocolResult
+
+__all__ = [
+    "TwoPartyChannel",
+    "NoPrivClassifier",
+    "SpamFilterProtocol",
+    "SpamProtocolResult",
+    "TopicExtractionProtocol",
+    "TopicProtocolResult",
+]

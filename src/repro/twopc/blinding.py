@@ -1,0 +1,146 @@
+"""Blinding of homomorphic dot-product results (Fig. 2 step 2, Fig. 5 step 3).
+
+Before the client returns any ciphertext to the provider it adds noise so the
+decrypted values reveal nothing beyond what the subsequent Yao step is meant
+to output:
+
+* *output slots* (the ones carrying real dot products the protocol will
+  unblind inside Yao) get additive noise the client remembers;
+* every *other* slot — including the garbage slots produced by the across-row
+  shift-and-add — gets full-range noise the client forgets, so decryption of
+  those slots is statistically meaningless.
+
+If the scheme's slot arithmetic is modular (XPIR-BV: slots are coefficients
+mod ``t = 2^slot_bits``), the output-slot noise is drawn uniformly over the
+whole slot, giving perfect hiding; the Yao circuit removes it with a
+subtraction mod ``2^slot_bits``.  For Paillier the slots are bit fields in one
+big integer and a full-range addition could carry into the neighbouring slot,
+so the noise is limited to ``slot_bits - 1`` bits (value + noise still fits in
+the slot), giving statistical hiding with the guard bits of Fig. 3's ``δ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ahe import AHECiphertext, AHEPublicKey, AHEScheme
+from repro.crypto.packing import DotProductCiphertexts, PackedLinearModel
+from repro.exceptions import ProtocolError
+from repro.utils.rand import secure_randbelow
+
+
+def _noise_bound(scheme: AHEScheme, dot_bits: int) -> int:
+    """Exclusive upper bound for output-slot blinding noise."""
+    if getattr(scheme, "supports_slot_shift", False):
+        # Modular slot arithmetic (XPIR-BV): uniform over the whole slot.
+        return scheme.slot_modulus
+    guard_bound = 1 << (scheme.slot_bits - 1)
+    if dot_bits >= scheme.slot_bits - 1:
+        raise ProtocolError(
+            "dot products leave no guard bits for blinding under this scheme"
+        )
+    return guard_bound
+
+
+@dataclass
+class BlindedResult:
+    """Blinded ciphertexts plus the client-side record of the output noises."""
+
+    ciphertexts: list[AHECiphertext]
+    # column index -> (ciphertext position in `ciphertexts`, slot, noise value)
+    output_noise: dict[int, tuple[int, int, int]]
+
+    def network_bytes(self) -> int:
+        return sum(ct.size_bytes for ct in self.ciphertexts)
+
+
+def blind_dot_products(
+    scheme: AHEScheme,
+    public_key: AHEPublicKey,
+    model: PackedLinearModel,
+    result: DotProductCiphertexts,
+    output_columns: list[int],
+    dot_bits: int,
+) -> BlindedResult:
+    """Blind all result ciphertexts in place (spam filtering and B' = B topics).
+
+    Every slot of every result ciphertext receives noise; the noise added to
+    the slots carrying *output_columns* is recorded so the client can cancel
+    it inside Yao.
+    """
+    slot_map = model.column_slot_map()
+    wanted = set(output_columns)
+    for column in wanted:
+        if column not in slot_map:
+            raise ProtocolError(f"column {column} is not part of the model")
+    ciphertexts = result.all_ciphertexts()
+    bound = _noise_bound(scheme, dot_bits)
+    full_range = scheme.slot_modulus
+    output_noise: dict[int, tuple[int, int, int]] = {}
+    # Group requested columns by the ciphertext that carries them.
+    per_ciphertext: dict[int, dict[int, int]] = {}
+    for column in output_columns:
+        ct_index, slot = slot_map[column]
+        per_ciphertext.setdefault(ct_index, {})[slot] = column
+    blinded = []
+    for ct_index, ciphertext in enumerate(ciphertexts):
+        slots_here = per_ciphertext.get(ct_index, {})
+        noise_vector = []
+        for slot in range(scheme.num_slots):
+            if slot in slots_here:
+                noise = secure_randbelow(bound)
+                output_noise[slots_here[slot]] = (ct_index, slot, noise)
+            else:
+                noise = secure_randbelow(full_range)
+            noise_vector.append(noise)
+        noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
+        blinded.append(scheme.add(ciphertext, noise_ciphertext))
+    return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
+
+
+def blind_extracted_candidates(
+    scheme: AHEScheme,
+    public_key: AHEPublicKey,
+    model: PackedLinearModel,
+    result: DotProductCiphertexts,
+    candidate_columns: list[int],
+    dot_bits: int,
+) -> BlindedResult:
+    """Pretzel's candidate extraction + blinding (Fig. 5 step 3, §4.3).
+
+    For each candidate topic the client copies the packed ciphertext holding
+    that topic's dot product, homomorphically shifts the value to the *top*
+    slot (the fixed extraction slot), and blinds: the extraction slot with
+    recorded noise, everything else with full-range noise.  The provider
+    therefore learns exactly B' blinded values and nothing about which
+    columns they came from.
+    """
+    if not scheme.supports_slot_shift:
+        raise ProtocolError("candidate extraction requires a slot-shifting AHE scheme")
+    slot_map = model.column_slot_map()
+    ciphertexts = result.all_ciphertexts()
+    extraction_slot = scheme.num_slots - 1
+    bound = _noise_bound(scheme, dot_bits)
+    full_range = scheme.slot_modulus
+    blinded = []
+    output_noise: dict[int, tuple[int, int, int]] = {}
+    for position, column in enumerate(candidate_columns):
+        if column not in slot_map:
+            raise ProtocolError(f"candidate column {column} is not part of the model")
+        ct_index, slot = slot_map[column]
+        extracted = ciphertexts[ct_index]
+        shift = extraction_slot - slot
+        if shift:
+            extracted = scheme.shift_up(extracted, shift)
+        noise_vector = [secure_randbelow(full_range) for _ in range(scheme.num_slots)]
+        recorded = secure_randbelow(bound)
+        noise_vector[extraction_slot] = recorded
+        noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
+        blinded.append(scheme.add(extracted, noise_ciphertext))
+        output_noise[column] = (position, extraction_slot, recorded)
+    return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
+
+
+def unblind_reference(blinded_value: int, noise: int, scheme: AHEScheme) -> int:
+    """Plaintext unblinding used by tests: ``(blinded - noise) mod 2^slot_bits``."""
+    return (blinded_value - noise) % scheme.slot_modulus

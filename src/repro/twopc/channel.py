@@ -1,0 +1,111 @@
+"""An in-process two-party channel with exact byte accounting.
+
+The paper's evaluation reports "network transfers" per email (Figs. 3, 6, 11
+and the absolute-cost discussion in §6.3).  Both protocol parties run in the
+same Python process here, but every message still passes through a
+:class:`TwoPartyChannel`, which serializes it canonically (or uses a
+caller-supplied size for large opaque objects such as garbled tables and AHE
+ciphertexts) and tallies the bytes per sending party.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.ahe import AHECiphertext
+from repro.crypto.garbled import GarbledTables
+from repro.exceptions import ProtocolError
+from repro.utils.serialization import canonical_dumps
+
+
+def estimate_message_bytes(message: Any) -> int:
+    """Approximate the wire size of a protocol message.
+
+    Structured values are sized via the canonical serialization; opaque
+    crypto objects report their own serialized size (which is what a real
+    implementation would put on the wire, without Python object overhead).
+    """
+    if isinstance(message, AHECiphertext):
+        return message.size_bytes
+    if isinstance(message, GarbledTables):
+        return message.size_bytes()
+    if isinstance(message, (bytes, bytearray)):
+        return len(message)
+    if isinstance(message, (list, tuple)):
+        return sum(estimate_message_bytes(item) for item in message)
+    if isinstance(message, dict):
+        return sum(
+            len(str(key).encode("utf-8")) + estimate_message_bytes(value)
+            for key, value in message.items()
+        )
+    if isinstance(message, (int, float, str, bool)) or message is None:
+        return len(canonical_dumps(message))
+    # Objects that know their own wire size.
+    size_attr = getattr(message, "size_bytes", None)
+    if isinstance(size_attr, int):
+        return size_attr
+    if callable(size_attr):
+        return int(size_attr())
+    encoded = getattr(message, "encoded_size_bytes", None)
+    if callable(encoded):
+        return int(encoded())
+    # Fall back to a conservative flat estimate for unknown objects.
+    return 64
+
+
+@dataclass
+class _QueuedMessage:
+    sender: str
+    payload: Any
+    size: int
+
+
+class TwoPartyChannel:
+    """FIFO message channel between two in-process parties.
+
+    ``send(sender, payload)`` enqueues a message and accounts its bytes to
+    *sender*; ``receive(receiver)`` pops the oldest message that was **not**
+    sent by *receiver*.  Any pair of role names works, so sub-protocols (the
+    OTs inside Yao) can reuse the same channel with their own role names while
+    the total byte count stays consistent.
+    """
+
+    def __init__(self, name: str = "channel") -> None:
+        self.name = name
+        self._queue: deque[_QueuedMessage] = deque()
+        self.bytes_by_sender: dict[str, int] = {}
+        self.messages_by_sender: dict[str, int] = {}
+
+    def send(self, sender: str, payload: Any) -> int:
+        """Enqueue *payload* from *sender*; returns the accounted byte size."""
+        size = estimate_message_bytes(payload)
+        self._queue.append(_QueuedMessage(sender=sender, payload=payload, size=size))
+        self.bytes_by_sender[sender] = self.bytes_by_sender.get(sender, 0) + size
+        self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
+        return size
+
+    def receive(self, receiver: str) -> Any:
+        """Pop the oldest message destined for *receiver* (i.e. not sent by it)."""
+        for index, message in enumerate(self._queue):
+            if message.sender != receiver:
+                del self._queue[index]
+                return message.payload
+        raise ProtocolError(f"no pending message for {receiver!r} on channel {self.name!r}")
+
+    def total_bytes(self) -> int:
+        """Total bytes sent by every party so far."""
+        return sum(self.bytes_by_sender.values())
+
+    def total_messages(self) -> int:
+        return sum(self.messages_by_sender.values())
+
+    def pending(self) -> int:
+        """Number of queued, not-yet-received messages (should be 0 after a protocol)."""
+        return len(self._queue)
+
+    def reset_accounting(self) -> None:
+        """Zero the byte counters (queue contents are left untouched)."""
+        self.bytes_by_sender.clear()
+        self.messages_by_sender.clear()

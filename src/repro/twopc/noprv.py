@@ -1,0 +1,63 @@
+"""The NoPriv arm: the status quo, where the provider classifies plaintext.
+
+§6's figures compare Pretzel and its baseline against "NoPriv", a system in
+which the provider locally runs classification over the plaintext email.  Its
+per-email provider cost is ``L`` feature extractions, model look-ups and
+float additions (Fig. 3, "Non-private" column); there is no client cost and
+no extra network transfer beyond the email itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.classify.model import LinearModel
+from repro.exceptions import ClassifierError
+
+SparseVector = Mapping[int, int]
+
+
+@dataclass
+class NoPrivResult:
+    """Outcome and provider-side cost of one plaintext classification."""
+
+    predicted_category: int
+    provider_seconds: float
+    features_used: int
+
+
+class NoPrivClassifier:
+    """Provider-side plaintext classifier (spam or topics)."""
+
+    def __init__(self, model: LinearModel) -> None:
+        self.model = model
+        # The provider's in-memory model is a plain float matrix: a lookup is
+        # an array row access, an addition is a float add (Fig. 6 bottom rows).
+        self._weights = np.ascontiguousarray(model.weights)
+        self._biases = np.ascontiguousarray(model.biases)
+
+    def classify(self, features: SparseVector) -> NoPrivResult:
+        """Classify one plaintext email and time the provider-side work."""
+        if not isinstance(features, Mapping):
+            raise ClassifierError("features must be a sparse mapping")
+        start = time.perf_counter()
+        scores = self._biases.copy()
+        for index, count in features.items():
+            if 0 <= index < self._weights.shape[0] and count:
+                scores += count * self._weights[index]
+        predicted = int(np.argmax(scores))
+        elapsed = time.perf_counter() - start
+        return NoPrivResult(
+            predicted_category=predicted,
+            provider_seconds=elapsed,
+            features_used=len(features),
+        )
+
+    def classify_is_spam(self, features: SparseVector, spam_column: int = 0) -> tuple[bool, float]:
+        """Two-category convenience wrapper returning (is_spam, provider_seconds)."""
+        result = self.classify(features)
+        return result.predicted_category == spam_column, result.provider_seconds

@@ -1,0 +1,181 @@
+"""The spam-filtering function module's two-party protocol (§3.3, §4.1–§4.2).
+
+Parties and phases follow Fig. 2 with the spam specialisation of §6.1:
+
+*Setup phase* (once, amortised over many emails): the provider generates the
+AHE key pair — optionally from a jointly derived seed (§3.3 footnote 3) —
+quantizes and encrypts its two-column spam model, and ships the encrypted
+model to the client, who stores it (the "client storage" cost of Fig. 8).
+
+*Per email*: the client computes the two encrypted dot products (spam and
+ham scores) over the decrypted email's features, blinds them, and sends one
+packed ciphertext back.  The provider decrypts.  The two parties then run a
+Yao comparison that removes the blinding and outputs a single bit — learned
+by the client only (guarantee 2 of §4.4): is this email spam?
+
+The same class implements the paper's Baseline (Paillier + legacy packing)
+and Pretzel (XPIR-BV + across-row packing) arms; the benchmark harness just
+instantiates it with different schemes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.classify.model import QuantizedLinearModel
+from repro.crypto.ahe import AHEKeyPair, AHEScheme
+from repro.crypto.circuits import SpamCircuit
+from repro.crypto.dh import DHGroup
+from repro.crypto.packing import PackedLinearModel
+from repro.crypto.yao import run_yao
+from repro.exceptions import ProtocolError
+from repro.twopc.blinding import blind_dot_products
+from repro.twopc.channel import TwoPartyChannel
+
+SparseVector = Mapping[int, int]
+
+SPAM_COLUMN = 0
+HAM_COLUMN = 1
+
+
+@dataclass
+class SpamSetup:
+    """State produced by the setup phase."""
+
+    keypair: AHEKeyPair                 # held by the provider
+    encrypted_model: PackedLinearModel  # held by the client
+    quantized_model: QuantizedLinearModel
+    setup_network_bytes: int
+    provider_setup_seconds: float
+
+    def client_storage_bytes(self) -> int:
+        """Client-side storage for the encrypted model (Fig. 8)."""
+        return self.encrypted_model.storage_bytes()
+
+
+@dataclass
+class SpamProtocolResult:
+    """Outcome and per-email costs of one protocol run."""
+
+    is_spam: bool
+    provider_seconds: float
+    client_seconds: float
+    network_bytes: int
+    yao_and_gates: int
+
+
+class SpamFilterProtocol:
+    """Runs the spam-filtering 2PC between an in-process provider and client."""
+
+    def __init__(
+        self,
+        scheme: AHEScheme,
+        group: DHGroup,
+        across_row_packing: bool = True,
+        ot_mode: str = "iknp",
+    ) -> None:
+        self.scheme = scheme
+        self.group = group
+        self.across_row_packing = across_row_packing
+        self.ot_mode = ot_mode
+        self._circuit_cache: dict[int, SpamCircuit] = {}
+
+    # -- setup phase -----------------------------------------------------------
+    def setup(
+        self,
+        quantized_model: QuantizedLinearModel,
+        joint_seed: bytes | None = None,
+    ) -> SpamSetup:
+        """Provider-side setup: key generation and model encryption."""
+        if quantized_model.num_categories != 2:
+            raise ProtocolError("the spam protocol needs a two-category model")
+        if quantized_model.dot_product_bits >= self.scheme.slot_bits:
+            raise ProtocolError(
+                "dot products would overflow a slot; reduce bin/fin or raise slot_bits"
+            )
+        start = time.perf_counter()
+        keypair = self.scheme.generate_keypair(seed=joint_seed)
+        encrypted_model = PackedLinearModel.encrypt(
+            self.scheme,
+            keypair.public,
+            quantized_model.matrix_rows(),
+            across_rows=self.across_row_packing,
+        )
+        provider_seconds = time.perf_counter() - start
+        setup_bytes = encrypted_model.storage_bytes() + keypair.public.size_bytes
+        return SpamSetup(
+            keypair=keypair,
+            encrypted_model=encrypted_model,
+            quantized_model=quantized_model,
+            setup_network_bytes=setup_bytes,
+            provider_setup_seconds=provider_seconds,
+        )
+
+    # -- per-email computation phase ------------------------------------------------
+    def classify_email(
+        self,
+        setup: SpamSetup,
+        features: SparseVector,
+        channel: TwoPartyChannel | None = None,
+    ) -> SpamProtocolResult:
+        """Run the full per-email protocol and return the client's verdict."""
+        channel = channel or TwoPartyChannel("spam")
+        bytes_before = channel.total_bytes()
+        model = setup.quantized_model
+        dot_bits = model.dot_product_bits
+
+        # --- client: encrypted dot products + blinding (Fig. 2 step 2) ----------
+        client_start = time.perf_counter()
+        sparse = model.sparse_features(features)
+        dot_result = setup.encrypted_model.dot_products(sparse)
+        blinded = blind_dot_products(
+            self.scheme,
+            setup.keypair.public,
+            setup.encrypted_model,
+            dot_result,
+            output_columns=[SPAM_COLUMN, HAM_COLUMN],
+            dot_bits=dot_bits,
+        )
+        client_seconds = time.perf_counter() - client_start
+        channel.send("client", blinded.ciphertexts)
+
+        # --- provider: decrypt the blinded dot products (Fig. 2 step 3) -----------
+        received = channel.receive("provider")
+        provider_start = time.perf_counter()
+        decrypted = [self.scheme.decrypt_slots(setup.keypair, ct) for ct in received]
+        spam_ct, spam_slot, spam_noise = blinded.output_noise[SPAM_COLUMN]
+        ham_ct, ham_slot, ham_noise = blinded.output_noise[HAM_COLUMN]
+        blinded_spam = decrypted[spam_ct][spam_slot]
+        blinded_ham = decrypted[ham_ct][ham_slot]
+        provider_seconds = time.perf_counter() - provider_start
+
+        # --- Yao: unblind and compare; the client learns the bit (Fig. 2 step 4) ----
+        circuit = self._spam_circuit(self.scheme.slot_bits)
+        yao = run_yao(
+            channel,
+            circuit.circuit,
+            garbler_bits=circuit.garbler_bits(blinded_spam, blinded_ham),
+            evaluator_bits=circuit.evaluator_bits(spam_noise, ham_noise),
+            group=self.group,
+            output_to="evaluator",
+            garbler_name="provider",
+            evaluator_name="client",
+            ot_mode=self.ot_mode,
+        )
+        is_spam = SpamCircuit.decode_output(yao.output_bits)
+        return SpamProtocolResult(
+            is_spam=is_spam,
+            provider_seconds=provider_seconds + yao.garbler_seconds,
+            client_seconds=client_seconds + yao.evaluator_seconds,
+            network_bytes=channel.total_bytes() - bytes_before,
+            yao_and_gates=yao.and_gates,
+        )
+
+    def _spam_circuit(self, width: int) -> SpamCircuit:
+        cached = self._circuit_cache.get(width)
+        if cached is None:
+            cached = SpamCircuit.build(width)
+            self._circuit_cache[width] = cached
+        return cached

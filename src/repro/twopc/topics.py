@@ -1,0 +1,213 @@
+"""The topic-extraction function module's two-party protocol (§4.3, Fig. 5).
+
+Topic extraction inverts the spam arrangement: the *provider* learns the
+output (one topic index out of B, e.g. for ad targeting), and the client's
+email is what needs protecting.  Costs are dominated by B, which can be in
+the thousands, so Pretzel decomposes the classification:
+
+1. The client locally maps the email to B' candidate topics using a public,
+   non-proprietary classifier (step (i) of §4.3; implemented by
+   :mod:`repro.core.topic_module`).  This protocol takes the resulting
+   candidate list ``S'`` as an input.
+2. The client computes the encrypted dot products against the provider's full
+   proprietary model, *extracts* the B' candidate scores by homomorphically
+   shifting each one to a fixed slot, blinds them, and sends B' ciphertexts.
+3. The provider decrypts the B' blinded scores; a Yao argmax removes the
+   blinding and hands the provider only ``S'[argmax_j d_j]`` — it never learns
+   which candidates were considered nor any other score (Fig. 5 step 5).
+
+Setting ``candidate_count = None`` (i.e. B' = B) disables decomposition and
+yields the paper's Baseline / "Pretzel (B'=B)" arms of Figs. 10 and 11.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.classify.model import QuantizedLinearModel
+from repro.crypto.ahe import AHEKeyPair, AHEScheme
+from repro.crypto.circuits import TopicCircuit
+from repro.crypto.dh import DHGroup
+from repro.crypto.packing import PackedLinearModel
+from repro.crypto.yao import run_yao
+from repro.exceptions import ProtocolError
+from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
+from repro.twopc.channel import TwoPartyChannel
+
+SparseVector = Mapping[int, int]
+
+
+@dataclass
+class TopicSetup:
+    """State produced by the setup phase (provider keys + encrypted model at client)."""
+
+    keypair: AHEKeyPair
+    encrypted_model: PackedLinearModel
+    quantized_model: QuantizedLinearModel
+    setup_network_bytes: int
+    provider_setup_seconds: float
+
+    def client_storage_bytes(self) -> int:
+        """Client-side storage for the encrypted model (Fig. 12)."""
+        return self.encrypted_model.storage_bytes()
+
+
+@dataclass
+class TopicProtocolResult:
+    """Outcome and per-email costs of one topic-extraction run."""
+
+    extracted_topic: int          # column index in the provider's model
+    provider_seconds: float
+    client_seconds: float
+    network_bytes: int
+    yao_and_gates: int
+    candidates_used: int
+
+
+class TopicExtractionProtocol:
+    """Runs the topic-extraction 2PC between an in-process provider and client."""
+
+    def __init__(self, scheme: AHEScheme, group: DHGroup, ot_mode: str = "iknp") -> None:
+        self.scheme = scheme
+        self.group = group
+        self.ot_mode = ot_mode
+        self._circuit_cache: dict[tuple[int, int, int], TopicCircuit] = {}
+
+    # -- setup phase ----------------------------------------------------------------
+    def setup(
+        self,
+        quantized_model: QuantizedLinearModel,
+        joint_seed: bytes | None = None,
+        across_row_packing: bool = True,
+    ) -> TopicSetup:
+        """Provider-side setup: key generation and encryption of the topic model."""
+        if quantized_model.num_categories < 2:
+            raise ProtocolError("the topic model needs at least two categories")
+        if quantized_model.dot_product_bits >= self.scheme.slot_bits:
+            raise ProtocolError(
+                "dot products would overflow a slot; reduce bin/fin or raise slot_bits"
+            )
+        start = time.perf_counter()
+        keypair = self.scheme.generate_keypair(seed=joint_seed)
+        encrypted_model = PackedLinearModel.encrypt(
+            self.scheme,
+            keypair.public,
+            quantized_model.matrix_rows(),
+            across_rows=across_row_packing,
+        )
+        provider_seconds = time.perf_counter() - start
+        setup_bytes = encrypted_model.storage_bytes() + keypair.public.size_bytes
+        return TopicSetup(
+            keypair=keypair,
+            encrypted_model=encrypted_model,
+            quantized_model=quantized_model,
+            setup_network_bytes=setup_bytes,
+            provider_setup_seconds=provider_seconds,
+        )
+
+    # -- per-email computation phase ----------------------------------------------------
+    def extract_topic(
+        self,
+        setup: TopicSetup,
+        features: SparseVector,
+        candidate_topics: Sequence[int] | None = None,
+        channel: TwoPartyChannel | None = None,
+    ) -> TopicProtocolResult:
+        """Run the per-email protocol; the provider learns only the winning topic.
+
+        *candidate_topics* is the client's candidate set ``S'`` (step (i) of
+        §4.3).  ``None`` means "no decomposition": every one of the B topics
+        is a candidate, which reproduces the Baseline / B' = B arms.
+        """
+        channel = channel or TwoPartyChannel("topics")
+        bytes_before = channel.total_bytes()
+        model = setup.quantized_model
+        dot_bits = model.dot_product_bits
+        num_topics = model.num_categories
+        if candidate_topics is None:
+            candidates = list(range(num_topics))
+            decomposed = False
+        else:
+            candidates = list(dict.fromkeys(int(c) for c in candidate_topics))
+            if not candidates:
+                raise ProtocolError("candidate topic list is empty")
+            for candidate in candidates:
+                if not 0 <= candidate < num_topics:
+                    raise ProtocolError(f"candidate topic {candidate} out of range")
+            decomposed = True
+        if decomposed and not self.scheme.supports_slot_shift:
+            raise ProtocolError(
+                "decomposed candidate extraction needs a slot-shifting scheme (XPIR-BV)"
+            )
+
+        # --- client: dot products, candidate extraction, blinding ------------------
+        client_start = time.perf_counter()
+        sparse = model.sparse_features(features)
+        dot_result = setup.encrypted_model.dot_products(sparse)
+        if decomposed:
+            blinded = blind_extracted_candidates(
+                self.scheme,
+                setup.keypair.public,
+                setup.encrypted_model,
+                dot_result,
+                candidate_columns=candidates,
+                dot_bits=dot_bits,
+            )
+        else:
+            blinded = blind_dot_products(
+                self.scheme,
+                setup.keypair.public,
+                setup.encrypted_model,
+                dot_result,
+                output_columns=candidates,
+                dot_bits=dot_bits,
+            )
+        client_seconds = time.perf_counter() - client_start
+        channel.send("client", blinded.ciphertexts)
+
+        # --- provider: decrypt the blinded candidate scores ------------------------------
+        received = channel.receive("provider")
+        provider_start = time.perf_counter()
+        decrypted = [self.scheme.decrypt_slots(setup.keypair, ct) for ct in received]
+        blinded_scores = []
+        noises = []
+        for column in candidates:
+            ct_index, slot, noise = blinded.output_noise[column]
+            blinded_scores.append(decrypted[ct_index][slot])
+            noises.append(noise)
+        provider_seconds = time.perf_counter() - provider_start
+
+        # --- Yao argmax: provider learns S'[argmax] (Fig. 5 step 5) -----------------------
+        index_bits = max(1, math.ceil(math.log2(max(2, num_topics))))
+        circuit = self._topic_circuit(self.scheme.slot_bits, len(candidates), index_bits)
+        yao = run_yao(
+            channel,
+            circuit.circuit,
+            garbler_bits=circuit.garbler_bits(noises, candidates),
+            evaluator_bits=circuit.evaluator_bits(blinded_scores),
+            group=self.group,
+            output_to="evaluator",
+            garbler_name="client",
+            evaluator_name="provider",
+            ot_mode=self.ot_mode,
+        )
+        winner = TopicCircuit.decode_output(yao.output_bits)
+        return TopicProtocolResult(
+            extracted_topic=winner,
+            provider_seconds=provider_seconds + yao.evaluator_seconds,
+            client_seconds=client_seconds + yao.garbler_seconds,
+            network_bytes=channel.total_bytes() - bytes_before,
+            yao_and_gates=yao.and_gates,
+            candidates_used=len(candidates),
+        )
+
+    def _topic_circuit(self, width: int, candidates: int, index_bits: int) -> TopicCircuit:
+        key = (width, candidates, index_bits)
+        cached = self._circuit_cache.get(key)
+        if cached is None:
+            cached = TopicCircuit.build(width, candidates, index_bits)
+            self._circuit_cache[key] = cached
+        return cached

@@ -1,0 +1,145 @@
+"""Canonical serialization for protocol messages.
+
+Two-party protocol messages must have a well-defined byte size so the
+benchmark harness can account for network transfers exactly as the paper does
+(Figs. 3, 11, and the per-email overheads quoted in §6.1/§6.3).  We use a
+small, self-contained tagged binary format rather than ``pickle`` so that the
+byte counts are stable across Python versions and so that deserialization
+never executes arbitrary code (these messages cross a trust boundary).
+
+Supported value types: ``None``, ``bool``, ``int`` (arbitrary precision),
+``bytes``, ``str``, ``float``, ``list``/``tuple`` and ``dict`` with string
+keys.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.exceptions import ParameterError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_NEGINT = b"J"
+_TAG_BYTES = b"B"
+_TAG_STR = b"S"
+_TAG_FLOAT = b"D"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+
+def _encode_length(length: int) -> bytes:
+    return struct.pack(">Q", length)
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        magnitude = abs(value)
+        payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        out += _TAG_NEGINT if value < 0 else _TAG_INT
+        out += _encode_length(len(payload))
+        out += payload
+    elif isinstance(value, bytes):
+        out += _TAG_BYTES
+        out += _encode_length(len(value))
+        out += value
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out += _TAG_STR
+        out += _encode_length(len(payload))
+        out += payload
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += _encode_length(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        out += _encode_length(len(value))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ParameterError("dict keys must be strings for canonical encoding")
+            _encode(key, out)
+            _encode(value[key], out)
+    else:
+        raise ParameterError(f"unsupported type for canonical encoding: {type(value)!r}")
+
+
+def canonical_dumps(value: Any) -> bytes:
+    """Serialize *value* into canonical bytes."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise ParameterError("truncated canonical encoding")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def take_length(self) -> int:
+        return struct.unpack(">Q", self.take(8))[0]
+
+
+def _decode(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag in (_TAG_INT, _TAG_NEGINT):
+        length = reader.take_length()
+        magnitude = int.from_bytes(reader.take(length), "big")
+        return -magnitude if tag == _TAG_NEGINT else magnitude
+    if tag == _TAG_BYTES:
+        return reader.take(reader.take_length())
+    if tag == _TAG_STR:
+        return reader.take(reader.take_length()).decode("utf-8")
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_LIST:
+        count = reader.take_length()
+        return [_decode(reader) for _ in range(count)]
+    if tag == _TAG_DICT:
+        count = reader.take_length()
+        result = {}
+        for _ in range(count):
+            key = _decode(reader)
+            result[key] = _decode(reader)
+        return result
+    raise ParameterError(f"unknown tag in canonical encoding: {tag!r}")
+
+
+def canonical_loads(data: bytes) -> Any:
+    """Deserialize canonical bytes produced by :func:`canonical_dumps`."""
+    reader = _Reader(data)
+    value = _decode(reader)
+    if reader.offset != len(data):
+        raise ParameterError("trailing bytes after canonical encoding")
+    return value
+
+
+def encoded_size(value: Any) -> int:
+    """Byte size of the canonical encoding (used for network accounting)."""
+    return len(canonical_dumps(value))

@@ -1,0 +1,171 @@
+"""Tests for the two AHE schemes (Paillier and XPIR-BV) behind the common interface."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.bv import BVParameters, BVScheme
+from repro.crypto.paillier import PaillierScheme
+from repro.exceptions import ParameterError
+
+SLOT_VALUES = st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=8)
+
+
+def _schemes(request):
+    return request.getfixturevalue("bv_scheme"), request.getfixturevalue("paillier_scheme")
+
+
+@pytest.fixture(params=["bv", "paillier"])
+def scheme_and_keys(request, bv_scheme, bv_keys, paillier_scheme, paillier_keys):
+    if request.param == "bv":
+        return bv_scheme, bv_keys
+    return paillier_scheme, paillier_keys
+
+
+class TestCommonInterface:
+    def test_encrypt_decrypt_roundtrip(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        values = [1, 2, 3, 4, 2**31, 0]
+        ciphertext = scheme.encrypt_slots(keys.public, values)
+        decrypted = scheme.decrypt_slots(keys, ciphertext)
+        assert decrypted[: len(values)] == values
+        assert all(value == 0 for value in decrypted[len(values):])
+
+    def test_homomorphic_addition(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        a = scheme.encrypt_slots(keys.public, [10, 20, 30])
+        b = scheme.encrypt_slots(keys.public, [1, 2, 3])
+        total = scheme.decrypt_slots(keys, scheme.add(a, b))
+        assert total[:3] == [11, 22, 33]
+
+    def test_scalar_multiplication(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        ciphertext = scheme.encrypt_slots(keys.public, [5, 7])
+        result = scheme.decrypt_slots(keys, scheme.scalar_mul(ciphertext, 6))
+        assert result[:2] == [30, 42]
+
+    def test_scalar_zero_annihilates(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        ciphertext = scheme.encrypt_slots(keys.public, [5, 7])
+        result = scheme.decrypt_slots(keys, scheme.scalar_mul(ciphertext, 0))
+        assert result[:2] == [0, 0]
+
+    def test_slot_value_out_of_range_rejected(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        with pytest.raises(ParameterError):
+            scheme.encrypt_slots(keys.public, [scheme.slot_modulus])
+
+    def test_too_many_slots_rejected(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        with pytest.raises(ParameterError):
+            scheme.encrypt_slots(keys.public, [0] * (scheme.num_slots + 1))
+
+    def test_negative_scalar_rejected(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        ciphertext = scheme.encrypt_slots(keys.public, [1])
+        with pytest.raises(ParameterError):
+            scheme.scalar_mul(ciphertext, -2)
+
+    def test_ciphertext_size_reported(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        ciphertext = scheme.encrypt_slots(keys.public, [1])
+        assert ciphertext.size_bytes == scheme.ciphertext_size_bytes() > 0
+
+    def test_encrypt_single_decrypt_single(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        assert scheme.decrypt_single(keys, scheme.encrypt_single(keys.public, 999)) == 999
+
+    def test_encryption_randomised(self, scheme_and_keys):
+        scheme, keys = scheme_and_keys
+        first = scheme.encrypt_slots(keys.public, [1, 2])
+        second = scheme.encrypt_slots(keys.public, [1, 2])
+        assert first.payload is not second.payload
+        # Both decrypt identically even though the ciphertexts differ.
+        assert scheme.decrypt_slots(keys, first)[:2] == scheme.decrypt_slots(keys, second)[:2]
+
+    @given(values=SLOT_VALUES)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_additive_homomorphism_property(self, scheme_and_keys, values):
+        scheme, keys = scheme_and_keys
+        half = (scheme.slot_modulus // 2) - 1
+        clipped = [value % half for value in values[: scheme.num_slots]]
+        a = scheme.encrypt_slots(keys.public, clipped)
+        b = scheme.encrypt_slots(keys.public, clipped)
+        doubled = scheme.decrypt_slots(keys, scheme.add(a, b))
+        assert doubled[: len(clipped)] == [2 * value for value in clipped]
+
+
+class TestBvSpecific:
+    def test_slot_shift_moves_values_up(self, bv_scheme, bv_keys):
+        ciphertext = bv_scheme.encrypt_slots(bv_keys.public, [9, 8, 7])
+        shifted = bv_scheme.decrypt_slots(bv_keys, bv_scheme.shift_up(ciphertext, 4))
+        assert shifted[4:7] == [9, 8, 7]
+
+    def test_shift_then_add_aligns_rows(self, bv_scheme, bv_keys):
+        # The across-row packing primitive: add row [a, b] (slots 0-1) into the
+        # output region at slots 2-3 of another ciphertext.
+        row = bv_scheme.encrypt_slots(bv_keys.public, [3, 4])
+        accumulator = bv_scheme.encrypt_slots(bv_keys.public, [0, 0, 10, 20])
+        combined = bv_scheme.add(accumulator, bv_scheme.shift_up(row, 2))
+        decrypted = bv_scheme.decrypt_slots(bv_keys, combined)
+        assert decrypted[2:4] == [13, 24]
+
+    def test_slot_arithmetic_wraps_modulo_slot_modulus(self, bv_scheme, bv_keys):
+        top = bv_scheme.slot_modulus - 1
+        a = bv_scheme.encrypt_slots(bv_keys.public, [top])
+        b = bv_scheme.encrypt_slots(bv_keys.public, [2])
+        assert bv_scheme.decrypt_slots(bv_keys, bv_scheme.add(a, b))[0] == 1
+
+    def test_negative_shift_rejected(self, bv_scheme, bv_keys):
+        ciphertext = bv_scheme.encrypt_slots(bv_keys.public, [1])
+        with pytest.raises(ParameterError):
+            bv_scheme.shift_up(ciphertext, -1)
+
+    def test_seeded_keypair_is_reproducible_public_part(self, bv_scheme):
+        keys_1 = bv_scheme.generate_keypair(seed=b"joint-seed")
+        keys_2 = bv_scheme.generate_keypair(seed=b"joint-seed")
+        import numpy as np
+
+        assert np.array_equal(
+            keys_1.public.payload.p1.residues, keys_2.public.payload.p1.residues
+        )
+
+    def test_ciphertext_size_matches_parameters(self):
+        scheme = BVScheme(BVParameters.test_parameters())
+        expected = 2 * ((scheme.parameters.ring_degree * scheme.ring.modulus_bits + 7) // 8)
+        assert scheme.ciphertext_size_bytes() == expected
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            BVParameters(ring_degree=100)
+        with pytest.raises(ParameterError):
+            BVParameters(slot_bits=60, prime_bits=31, prime_count=2)
+
+
+class TestPaillierSpecific:
+    def test_no_slot_shift_support(self, paillier_scheme, paillier_keys):
+        ciphertext = paillier_scheme.encrypt_slots(paillier_keys.public, [1])
+        with pytest.raises(ParameterError):
+            paillier_scheme.shift_up(ciphertext, 1)
+
+    def test_keys_under_different_moduli_cannot_mix(self, paillier_scheme, paillier_keys):
+        other_keys = paillier_scheme.generate_keypair()
+        a = paillier_scheme.encrypt_slots(paillier_keys.public, [1])
+        b = paillier_scheme.encrypt_slots(other_keys.public, [2])
+        with pytest.raises(ParameterError):
+            paillier_scheme.add(a, b)
+
+    def test_seeded_keypair_reproducible(self):
+        scheme = PaillierScheme(modulus_bits=128, slot_bits=16)
+        keys_1 = scheme.generate_keypair(seed=b"seed")
+        keys_2 = scheme.generate_keypair(seed=b"seed")
+        assert keys_1.public.payload.n == keys_2.public.payload.n
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            PaillierScheme(modulus_bits=32)
+        with pytest.raises(ParameterError):
+            PaillierScheme(modulus_bits=256, slot_bits=300)

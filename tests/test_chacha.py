@@ -1,0 +1,72 @@
+"""Tests for the from-scratch ChaCha20 implementation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.chacha import chacha20_block, chacha20_xor
+from repro.exceptions import ParameterError
+
+KEY = bytes(range(32))
+NONCE = bytes(12)
+
+
+class TestBlockFunction:
+    def test_block_length(self):
+        assert len(chacha20_block(KEY, 0, NONCE)) == 64
+
+    def test_block_deterministic(self):
+        assert chacha20_block(KEY, 1, NONCE) == chacha20_block(KEY, 1, NONCE)
+
+    def test_counter_changes_block(self):
+        assert chacha20_block(KEY, 1, NONCE) != chacha20_block(KEY, 2, NONCE)
+
+    def test_nonce_changes_block(self):
+        other_nonce = bytes(11) + b"\x01"
+        assert chacha20_block(KEY, 1, NONCE) != chacha20_block(KEY, 1, other_nonce)
+
+    def test_key_changes_block(self):
+        other_key = bytes(31) + b"\x01"
+        assert chacha20_block(KEY, 1, NONCE) != chacha20_block(other_key, 1, NONCE)
+
+    def test_bad_key_length(self):
+        with pytest.raises(ParameterError):
+            chacha20_block(b"short", 0, NONCE)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ParameterError):
+            chacha20_block(KEY, 0, b"short")
+
+    def test_bad_counter(self):
+        with pytest.raises(ParameterError):
+            chacha20_block(KEY, 2**32, NONCE)
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        plaintext = b"attack at dawn" * 10
+        ciphertext = chacha20_xor(KEY, NONCE, plaintext)
+        assert ciphertext != plaintext
+        assert chacha20_xor(KEY, NONCE, ciphertext) == plaintext
+
+    def test_empty_plaintext(self):
+        assert chacha20_xor(KEY, NONCE, b"") == b""
+
+    def test_ciphertext_length_matches(self):
+        for length in (1, 63, 64, 65, 1000):
+            assert len(chacha20_xor(KEY, NONCE, b"a" * length)) == length
+
+    def test_different_keys_give_different_ciphertexts(self):
+        plaintext = b"x" * 128
+        other_key = bytes(reversed(KEY))
+        assert chacha20_xor(KEY, NONCE, plaintext) != chacha20_xor(other_key, NONCE, plaintext)
+
+    def test_wrong_key_does_not_decrypt(self):
+        plaintext = b"secret message"
+        ciphertext = chacha20_xor(KEY, NONCE, plaintext)
+        other_key = bytes(reversed(KEY))
+        assert chacha20_xor(other_key, NONCE, ciphertext) != plaintext
+
+    @given(st.binary(max_size=300), st.integers(min_value=1, max_value=2**31))
+    def test_roundtrip_property(self, plaintext, counter):
+        ciphertext = chacha20_xor(KEY, NONCE, plaintext, initial_counter=counter)
+        assert chacha20_xor(KEY, NONCE, ciphertext, initial_counter=counter) == plaintext

@@ -1,0 +1,172 @@
+"""Tests for the boolean-circuit builder and the Pretzel-specific circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.circuits import CircuitBuilder, SpamCircuit, TopicCircuit
+from repro.exceptions import CircuitError
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+WIDTH = 12
+WORD = st.integers(min_value=0, max_value=2**WIDTH - 1)
+
+
+def _run_word_op(build_outputs, a, b):
+    builder = CircuitBuilder()
+    a_wires = builder.garbler_input(WIDTH)
+    b_wires = builder.evaluator_input(WIDTH)
+    outputs = build_outputs(builder, a_wires, b_wires)
+    circuit = builder.build(outputs if isinstance(outputs, list) else [outputs])
+    result = circuit.evaluate_plain(int_to_bits(a, WIDTH), int_to_bits(b, WIDTH))
+    return result, circuit
+
+
+class TestGadgets:
+    @given(WORD, WORD)
+    @settings(max_examples=30, deadline=None)
+    def test_adder(self, a, b):
+        bits, _ = _run_word_op(lambda c, x, y: c.add_words(x, y), a, b)
+        assert bits_to_int(bits) == (a + b) % (1 << WIDTH)
+
+    @given(WORD, WORD)
+    @settings(max_examples=30, deadline=None)
+    def test_subtractor(self, a, b):
+        bits, _ = _run_word_op(lambda c, x, y: c.subtract_words(x, y), a, b)
+        assert bits_to_int(bits) == (a - b) % (1 << WIDTH)
+
+    @given(WORD, WORD)
+    @settings(max_examples=30, deadline=None)
+    def test_greater_than(self, a, b):
+        bits, _ = _run_word_op(lambda c, x, y: [c.greater_than(x, y)], a, b)
+        assert bits[0] == int(a > b)
+
+    @given(WORD, WORD)
+    @settings(max_examples=30, deadline=None)
+    def test_greater_or_equal(self, a, b):
+        bits, _ = _run_word_op(lambda c, x, y: [c.greater_or_equal(x, y)], a, b)
+        assert bits[0] == int(a >= b)
+
+    @given(WORD, WORD, st.integers(min_value=0, max_value=1))
+    @settings(max_examples=30, deadline=None)
+    def test_mux_word(self, a, b, select):
+        builder = CircuitBuilder()
+        a_wires = builder.garbler_input(WIDTH)
+        b_wires = builder.garbler_input(WIDTH)
+        select_wire = builder.evaluator_input(1)
+        outputs = builder.mux_word(select_wire[0], a_wires, b_wires)
+        circuit = builder.build(outputs)
+        bits = circuit.evaluate_plain(int_to_bits(a, WIDTH) + int_to_bits(b, WIDTH), [select])
+        assert bits_to_int(bits) == (b if select else a)
+
+    def test_or_gate_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                builder = CircuitBuilder()
+                wa = builder.garbler_input(1)
+                wb = builder.evaluator_input(1)
+                circuit = builder.build([builder.or_(wa[0], wb[0])])
+                assert circuit.evaluate_plain([a], [b]) == [a | b]
+
+    def test_xor_gates_are_free_of_and(self):
+        builder = CircuitBuilder()
+        a = builder.garbler_input(8)
+        b = builder.evaluator_input(8)
+        outputs = [builder.xor(x, y) for x, y in zip(a, b)]
+        circuit = builder.build(outputs)
+        assert circuit.and_count == 0
+        assert circuit.xor_count == 8
+
+
+class TestBuilderValidation:
+    def test_unassigned_wire_rejected(self):
+        builder = CircuitBuilder()
+        builder.garbler_input(1)
+        with pytest.raises(CircuitError):
+            builder.xor(0, 99)
+
+    def test_output_must_be_assigned(self):
+        builder = CircuitBuilder()
+        builder.garbler_input(1)
+        with pytest.raises(CircuitError):
+            builder.build([5])
+
+    def test_evaluate_plain_checks_input_lengths(self):
+        builder = CircuitBuilder()
+        a = builder.garbler_input(2)
+        b = builder.evaluator_input(2)
+        circuit = builder.build([builder.xor(a[0], b[0])])
+        with pytest.raises(CircuitError):
+            circuit.evaluate_plain([1], [0, 0])
+
+    def test_mismatched_adder_widths_rejected(self):
+        builder = CircuitBuilder()
+        a = builder.garbler_input(3)
+        b = builder.evaluator_input(4)
+        with pytest.raises(CircuitError):
+            builder.add_words(a, b)
+
+    def test_argmax_empty_rejected(self):
+        builder = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            builder.argmax([], [])
+
+
+class TestSpamCircuit:
+    @given(
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.integers(min_value=0, max_value=2**24 - 1),
+        st.integers(min_value=0, max_value=2**24 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_plain_comparison(self, spam_score, ham_score, noise_spam, noise_ham):
+        width = 24
+        circuit = SpamCircuit.build(width)
+        blinded_spam = (spam_score + noise_spam) % (1 << width)
+        blinded_ham = (ham_score + noise_ham) % (1 << width)
+        bits = circuit.circuit.evaluate_plain(
+            circuit.garbler_bits(blinded_spam, blinded_ham),
+            circuit.evaluator_bits(noise_spam, noise_ham),
+        )
+        assert SpamCircuit.decode_output(bits) == (spam_score > ham_score)
+
+    def test_single_output_bit(self):
+        circuit = SpamCircuit.build(8)
+        assert len(circuit.circuit.outputs) == 1
+
+
+class TestTopicCircuit:
+    @given(st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=2, max_size=6), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_plain_argmax(self, scores, data):
+        width, index_bits = 24, 8
+        count = len(scores)
+        noises = [data.draw(st.integers(min_value=0, max_value=2**20 - 1)) for _ in range(count)]
+        indices = [data.draw(st.integers(min_value=0, max_value=2**index_bits - 1)) for _ in range(count)]
+        circuit = TopicCircuit.build(width, count, index_bits)
+        blinded = [(score + noise) % (1 << width) for score, noise in zip(scores, noises)]
+        bits = circuit.circuit.evaluate_plain(
+            circuit.garbler_bits(noises, indices),
+            circuit.evaluator_bits(blinded),
+        )
+        expected = indices[max(range(count), key=lambda j: (scores[j], -j))]
+        assert TopicCircuit.decode_output(bits) == expected
+
+    def test_ties_resolve_to_first(self):
+        circuit = TopicCircuit.build(8, 3, 4)
+        bits = circuit.circuit.evaluate_plain(
+            circuit.garbler_bits([0, 0, 0], [5, 6, 7]),
+            circuit.evaluator_bits([9, 9, 9]),
+        )
+        assert TopicCircuit.decode_output(bits) == 5
+
+    def test_wrong_candidate_count_rejected(self):
+        circuit = TopicCircuit.build(8, 3, 4)
+        with pytest.raises(CircuitError):
+            circuit.garbler_bits([1, 2], [3, 4, 5])
+        with pytest.raises(CircuitError):
+            circuit.evaluator_bits([1, 2])
+
+    def test_zero_candidates_rejected(self):
+        with pytest.raises(CircuitError):
+            TopicCircuit.build(8, 0, 4)

@@ -1,0 +1,120 @@
+"""Tests for the analytic cost model (Fig. 3) and its paper-shape predictions."""
+
+import pytest
+
+from repro.costmodel import (
+    CostEstimate,
+    MicrobenchmarkConstants,
+    WorkloadParameters,
+    estimate_baseline,
+    estimate_noprv,
+    estimate_pretzel,
+)
+from repro.costmodel.estimates import estimate_all, format_table
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return MicrobenchmarkConstants.paper_values()
+
+
+class TestWorkloadParameters:
+    def test_dot_product_bits(self):
+        workload = WorkloadParameters(email_features=692, value_bits=10, frequency_bits=4)
+        assert workload.dot_product_bits == 10 + 10 + 4
+
+    def test_effective_values(self):
+        workload = WorkloadParameters(model_features=100, selected_features=25, categories=8, candidate_topics=3)
+        assert workload.effective_features == 25
+        assert workload.effective_candidates == 3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(categories=1)
+        with pytest.raises(ParameterError):
+            WorkloadParameters(model_features=10, selected_features=20)
+        with pytest.raises(ParameterError):
+            WorkloadParameters(categories=4, candidate_topics=9)
+
+
+class TestPaperShapes:
+    """The cost model must reproduce the qualitative claims of §6."""
+
+    def test_spam_storage_ordering(self, constants):
+        workload = WorkloadParameters.spam_default()
+        baseline = estimate_baseline(constants, workload)
+        pretzel = estimate_pretzel(constants, workload)
+        # Fig. 8: Baseline ~1.3 GB vs Pretzel ~183 MB for N = 5M.
+        assert baseline.client_storage_bytes > 1e9
+        assert pretzel.client_storage_bytes < 0.25e9
+        assert baseline.client_storage_bytes / pretzel.client_storage_bytes > 5
+
+    def test_spam_provider_cpu_ordering(self, constants):
+        workload = WorkloadParameters.spam_default()
+        noprv = estimate_noprv(constants, workload)
+        baseline = estimate_baseline(constants, workload)
+        pretzel = estimate_pretzel(constants, workload)
+        # §6.1: Pretzel provider CPU is ~0.17x Baseline's and comparable to NoPriv.
+        assert pretzel.email_provider_seconds < baseline.email_provider_seconds
+        assert pretzel.email_provider_seconds < 3 * noprv.email_provider_seconds
+
+    def test_spam_network_overhead_small_multiple_of_email(self, constants):
+        workload = WorkloadParameters.spam_default()
+        pretzel = estimate_pretzel(constants, workload)
+        overhead = pretzel.email_network_bytes - workload.email_bytes
+        # §6.1: ~19.6 KB of overhead per email.
+        assert 10_000 < overhead < 40_000
+
+    def test_topic_network_matches_figure_11(self, constants):
+        workload = WorkloadParameters.topics_default()
+        baseline = estimate_baseline(constants, workload)
+        pretzel = estimate_pretzel(constants, workload)
+        # Fig. 11: Baseline ~8 MB, Pretzel (B'=20) ~402 KB of protocol bytes.
+        assert baseline.email_network_bytes - workload.email_bytes > 5e6
+        assert pretzel.email_network_bytes - workload.email_bytes < 1e6
+
+    def test_topic_provider_cpu_close_to_noprv_with_decomposition(self, constants):
+        workload = WorkloadParameters.topics_default()
+        noprv = estimate_noprv(constants, workload)
+        pretzel = estimate_pretzel(constants, workload)
+        baseline = estimate_baseline(constants, workload)
+        # Fig. 10: with B' = 20 Pretzel is within ~2x of NoPriv and far below Baseline.
+        assert pretzel.email_provider_seconds < 3 * noprv.email_provider_seconds
+        assert pretzel.email_provider_seconds < baseline.email_provider_seconds / 10
+
+    def test_decomposition_is_what_saves_topics(self, constants):
+        with_decomposition = estimate_pretzel(constants, WorkloadParameters.topics_default())
+        without = estimate_pretzel(
+            constants,
+            WorkloadParameters(model_features=100_000, categories=2048, candidate_topics=None),
+        )
+        assert without.email_network_bytes > 5 * with_decomposition.email_network_bytes
+        assert without.email_provider_seconds > 5 * with_decomposition.email_provider_seconds
+
+    def test_feature_selection_reduces_storage(self, constants):
+        full = estimate_pretzel(constants, WorkloadParameters(model_features=100_000, categories=2048))
+        selected = estimate_pretzel(
+            constants,
+            WorkloadParameters(model_features=100_000, selected_features=25_000, categories=2048),
+        )
+        assert selected.client_storage_bytes < full.client_storage_bytes
+
+
+class TestFormattingAndMeasurement:
+    def test_estimate_all_and_format(self, constants):
+        estimates = estimate_all(constants, WorkloadParameters.spam_default())
+        assert [e.arm for e in estimates] == ["noprv", "baseline", "pretzel"]
+        table = format_table(estimates)
+        assert "pretzel" in table and "baseline" in table
+
+    def test_as_row_keys(self):
+        row = CostEstimate(arm="x").as_row()
+        assert set(row) >= {"arm", "email_provider_ms", "client_storage_MB"}
+
+    def test_measure_local_produces_plausible_constants(self):
+        measured = MicrobenchmarkConstants.measure_local(quick=True)
+        assert measured.xpir_encrypt_seconds > 0
+        assert measured.xpir_decrypt_seconds > 0
+        assert measured.paillier_decrypt_seconds > 0
+        assert measured.xpir_ciphertext_bytes > 1000

@@ -1,0 +1,158 @@
+"""Tests for garbling/evaluation, oblivious transfer, and the Yao driver."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.circuits import CircuitBuilder, SpamCircuit, TopicCircuit
+from repro.crypto.garbled import decode_outputs, evaluate, garble
+from repro.crypto.ot import ObliviousTransfer
+from repro.crypto.yao import run_yao
+from repro.exceptions import OTError, ProtocolAbort
+from repro.twopc.channel import TwoPartyChannel
+from repro.utils.bitops import int_to_bits
+
+
+def _and_xor_circuit():
+    builder = CircuitBuilder()
+    a = builder.garbler_input(4)
+    b = builder.evaluator_input(4)
+    outputs = [builder.and_(a[0], b[0]), builder.xor(a[1], b[1]), builder.not_(a[2]), builder.or_(a[3], b[3])]
+    return builder.build(outputs)
+
+
+class TestGarbledEvaluation:
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+    @settings(max_examples=16, deadline=None)
+    def test_matches_plain_evaluation(self, a, b):
+        circuit = _and_xor_circuit()
+        a_bits, b_bits = int_to_bits(a, 4), int_to_bits(b, 4)
+        expected = circuit.evaluate_plain(a_bits, b_bits)
+        garbling = garble(circuit)
+        labels = evaluate(
+            circuit,
+            garbling.tables,
+            garbling.input_labels(circuit.garbler_inputs, a_bits),
+            garbling.input_labels(circuit.evaluator_inputs, b_bits),
+        )
+        assert decode_outputs(circuit, garbling.tables, labels) == expected
+
+    def test_spam_circuit_garbled(self):
+        circuit = SpamCircuit.build(16)
+        garbling = garble(circuit.circuit)
+        labels = evaluate(
+            circuit.circuit,
+            garbling.tables,
+            garbling.input_labels(circuit.circuit.garbler_inputs, circuit.garbler_bits(900, 500)),
+            garbling.input_labels(circuit.circuit.evaluator_inputs, circuit.evaluator_bits(100, 100)),
+        )
+        assert SpamCircuit.decode_output(decode_outputs(circuit.circuit, garbling.tables, labels)) is True
+
+    def test_deterministic_garbling_with_seed(self):
+        circuit = _and_xor_circuit()
+        g1 = garble(circuit, seed=b"fixed")
+        g2 = garble(circuit, seed=b"fixed")
+        assert g1.free_xor_offset == g2.free_xor_offset
+        assert g1.wire_zero_labels == g2.wire_zero_labels
+
+    def test_forged_output_label_rejected(self):
+        circuit = _and_xor_circuit()
+        garbling = garble(circuit)
+        with pytest.raises(ProtocolAbort):
+            decode_outputs(circuit, garbling.tables, [b"\x00" * 16] * len(circuit.outputs))
+
+    def test_wrong_label_count_rejected(self):
+        circuit = _and_xor_circuit()
+        garbling = garble(circuit)
+        with pytest.raises(ProtocolAbort):
+            evaluate(circuit, garbling.tables, [], [])
+
+    def test_table_size_scales_with_and_gates(self):
+        circuit = _and_xor_circuit()
+        garbling = garble(circuit)
+        # 2 AND-bearing gates (AND + the AND inside OR), 4 rows of 16 bytes each.
+        assert garbling.tables.size_bytes() >= 2 * 4 * 16
+
+
+class TestObliviousTransfer:
+    @pytest.mark.parametrize("mode", ["base", "iknp"])
+    def test_receiver_gets_chosen_messages(self, dh_group, mode):
+        count = 20
+        pairs = [(bytes([i]) * 16, bytes([i + 100]) * 16) for i in range(count)]
+        choices = [i % 2 for i in range(count)]
+        channel = TwoPartyChannel("ot-test")
+        received = ObliviousTransfer(dh_group, mode=mode).run(channel, pairs, choices)
+        assert received == [pair[choice] for pair, choice in zip(pairs, choices)]
+
+    @pytest.mark.parametrize("mode", ["base", "iknp"])
+    def test_receiver_does_not_get_other_message(self, dh_group, mode):
+        pairs = [(b"A" * 16, b"B" * 16)]
+        channel = TwoPartyChannel("ot-test")
+        received = ObliviousTransfer(dh_group, mode=mode).run(channel, pairs, [0])
+        assert received[0] == b"A" * 16 != b"B" * 16
+
+    def test_empty_batch(self, dh_group):
+        channel = TwoPartyChannel("ot-test")
+        assert ObliviousTransfer(dh_group).run(channel, [], []) == []
+
+    def test_length_mismatch_rejected(self, dh_group):
+        channel = TwoPartyChannel("ot-test")
+        with pytest.raises(OTError):
+            ObliviousTransfer(dh_group).run(channel, [(b"a" * 16, b"b" * 16)], [0, 1])
+
+    def test_unknown_mode_rejected(self, dh_group):
+        with pytest.raises(OTError):
+            ObliviousTransfer(dh_group, mode="quantum")
+
+    def test_network_bytes_accounted(self, dh_group):
+        channel = TwoPartyChannel("ot-test")
+        pairs = [(b"x" * 16, b"y" * 16)] * 8
+        ObliviousTransfer(dh_group, mode="iknp").run(channel, pairs, [1] * 8)
+        assert channel.total_bytes() > 0
+
+
+class TestYaoDriver:
+    @pytest.mark.parametrize("output_to", ["evaluator", "garbler"])
+    def test_spam_comparison_both_output_arrangements(self, dh_group, output_to):
+        circuit = SpamCircuit.build(16)
+        channel = TwoPartyChannel("yao-test")
+        result = run_yao(
+            channel,
+            circuit.circuit,
+            garbler_bits=circuit.garbler_bits(1500, 700),
+            evaluator_bits=circuit.evaluator_bits(200, 300),
+            group=dh_group,
+            output_to=output_to,
+        )
+        assert SpamCircuit.decode_output(result.output_bits) is True
+        assert result.network_bytes > 0
+        assert result.and_gates == circuit.circuit.and_count
+        assert channel.pending() == 0
+
+    def test_topic_argmax_through_yao(self, dh_group):
+        circuit = TopicCircuit.build(16, 4, 6)
+        scores = [10, 50, 30, 20]
+        noises = [7, 11, 13, 17]
+        indices = [3, 9, 27, 41]
+        blinded = [(s + n) % 2**16 for s, n in zip(scores, noises)]
+        channel = TwoPartyChannel("yao-topic")
+        result = run_yao(
+            channel,
+            circuit.circuit,
+            garbler_bits=circuit.garbler_bits(noises, indices),
+            evaluator_bits=circuit.evaluator_bits(blinded),
+            group=dh_group,
+            output_to="evaluator",
+        )
+        assert TopicCircuit.decode_output(result.output_bits) == 9
+
+    def test_invalid_output_target_rejected(self, dh_group):
+        circuit = SpamCircuit.build(8)
+        with pytest.raises(ProtocolAbort):
+            run_yao(
+                TwoPartyChannel("bad"),
+                circuit.circuit,
+                garbler_bits=circuit.garbler_bits(1, 2),
+                evaluator_bits=circuit.evaluator_bits(0, 0),
+                group=dh_group,
+                output_to="nobody",
+            )

@@ -1,0 +1,145 @@
+"""Tests for the NTT and the RNS polynomial-ring arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ntt import NttContext, negacyclic_multiply_reference, ntt_friendly_primes
+from repro.crypto.prg import Prg
+from repro.crypto.ringlwe import RingContext, RingPolynomial
+from repro.exceptions import ParameterError
+
+RING_DEGREE = 64
+
+
+@pytest.fixture(scope="module")
+def ntt_context():
+    prime = ntt_friendly_primes(1, 31, RING_DEGREE)[0]
+    return NttContext(RING_DEGREE, prime)
+
+
+@pytest.fixture(scope="module")
+def ring_context():
+    return RingContext.create(ring_degree=RING_DEGREE, prime_bits=31, prime_count=2)
+
+
+class TestNttPrimes:
+    def test_primes_are_distinct_and_congruent(self):
+        primes = ntt_friendly_primes(2, 31, RING_DEGREE)
+        assert len(set(primes)) == 2
+        assert all(p % (2 * RING_DEGREE) == 1 for p in primes)
+
+    def test_too_large_prime_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            ntt_friendly_primes(1, 40, RING_DEGREE)
+
+
+class TestNtt:
+    def test_forward_inverse_roundtrip(self, ntt_context):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, ntt_context.prime, RING_DEGREE)
+        recovered = ntt_context.inverse(ntt_context.forward(values))
+        assert np.array_equal(recovered, values % ntt_context.prime)
+
+    def test_multiply_matches_reference(self, ntt_context):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, ntt_context.prime, RING_DEGREE)
+        b = rng.integers(0, ntt_context.prime, RING_DEGREE)
+        assert np.array_equal(
+            ntt_context.multiply(a, b),
+            negacyclic_multiply_reference(a, b, ntt_context.prime),
+        )
+
+    def test_multiply_by_one_is_identity(self, ntt_context):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, ntt_context.prime, RING_DEGREE)
+        one = np.zeros(RING_DEGREE, dtype=np.int64)
+        one[0] = 1
+        assert np.array_equal(ntt_context.multiply(a, one), a)
+
+    def test_x_to_the_n_is_minus_one(self, ntt_context):
+        # x^(n/2) * x^(n/2) = x^n = -1 in the negacyclic ring.
+        half = np.zeros(RING_DEGREE, dtype=np.int64)
+        half[RING_DEGREE // 2] = 1
+        product = ntt_context.multiply(half, half)
+        expected = np.zeros(RING_DEGREE, dtype=np.int64)
+        expected[0] = ntt_context.prime - 1
+        assert np.array_equal(product, expected)
+
+    def test_wrong_length_rejected(self, ntt_context):
+        with pytest.raises(ParameterError):
+            ntt_context.forward(np.zeros(RING_DEGREE + 1, dtype=np.int64))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 2), st.integers(min_value=0, max_value=RING_DEGREE - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_monomial_times_constant(self, ntt_context, constant, degree):
+        constant %= ntt_context.prime
+        a = np.zeros(RING_DEGREE, dtype=np.int64)
+        a[0] = constant
+        monomial = np.zeros(RING_DEGREE, dtype=np.int64)
+        monomial[degree] = 1
+        product = ntt_context.multiply(a, monomial)
+        assert product[degree] == constant
+        assert product.sum() == constant
+
+
+class TestRingPolynomial:
+    def test_add_subtract_roundtrip(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"a"))
+        b = RingPolynomial.sample_uniform(ring_context, Prg(b"b"))
+        recovered = a.add(b).subtract(b)
+        assert np.array_equal(recovered.residues, a.residues)
+
+    def test_negate_is_additive_inverse(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"c"))
+        zero = a.add(a.negate())
+        assert np.all(zero.residues == 0)
+
+    def test_scalar_multiply_matches_repeated_add(self, ring_context):
+        a = RingPolynomial.from_int_coefficients(ring_context, [1, 2, 3])
+        assert np.array_equal(a.scalar_multiply(3).residues, a.add(a).add(a).residues)
+
+    def test_monomial_multiply_shifts_coefficients(self, ring_context):
+        a = RingPolynomial.from_int_coefficients(ring_context, [5, 7])
+        shifted = a.monomial_multiply(3)
+        coefficients = shifted.to_centered_coefficients()
+        assert coefficients[3] == 5
+        assert coefficients[4] == 7
+        assert coefficients[0] == 0
+
+    def test_monomial_multiply_wraps_with_negation(self, ring_context):
+        a = RingPolynomial.from_int_coefficients(ring_context, [0, 9])
+        shifted = a.monomial_multiply(RING_DEGREE - 1)
+        coefficients = shifted.to_centered_coefficients()
+        assert coefficients[0] == -9
+
+    def test_monomial_multiply_agrees_with_full_multiply(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"d"))
+        monomial = RingPolynomial.from_int_coefficients(ring_context, [0, 0, 0, 1])
+        assert np.array_equal(
+            a.monomial_multiply(3).residues, a.multiply(monomial).residues
+        )
+
+    def test_ternary_sampling_range(self, ring_context):
+        poly = RingPolynomial.sample_ternary(ring_context, Prg(b"t"))
+        coefficients = poly.to_centered_coefficients()
+        assert set(coefficients) <= {-1, 0, 1}
+
+    def test_noise_sampling_range(self, ring_context):
+        poly = RingPolynomial.sample_noise(ring_context, bound=3, prg=Prg(b"n"))
+        coefficients = poly.to_centered_coefficients()
+        assert all(-3 <= value <= 3 for value in coefficients)
+
+    def test_centered_reconstruction_roundtrip(self, ring_context):
+        values = [0, 1, -1, 12345, -54321]
+        poly = RingPolynomial.from_int_coefficients(ring_context, values)
+        assert poly.to_centered_coefficients()[: len(values)] == values
+
+    def test_serialized_size(self, ring_context):
+        poly = RingPolynomial.zero(ring_context)
+        expected_bits = ring_context.n * ring_context.modulus_bits
+        assert poly.serialized_size_bytes() == (expected_bits + 7) // 8
+
+    def test_too_many_coefficients_rejected(self, ring_context):
+        with pytest.raises(ParameterError):
+            RingPolynomial.from_int_coefficients(ring_context, [1] * (RING_DEGREE + 1))

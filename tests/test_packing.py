@@ -1,0 +1,136 @@
+"""Tests for the GLLM / Pretzel packing layouts and packed dot products (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.packing import PackedLinearModel, PackingLayout, decrypt_dot_products
+from repro.exceptions import PackingError, ParameterError
+
+
+def _reference_dot_products(matrix_rows, features):
+    rows = np.array(matrix_rows, dtype=np.int64)
+    scores = rows[-1].copy()
+    for index, frequency in features:
+        scores += frequency * rows[index]
+    return list(scores)
+
+
+class TestPackingLayout:
+    def test_across_row_geometry_small_b(self):
+        layout = PackingLayout(num_columns=2, num_rows=101, slots_per_ciphertext=256, across_rows=True)
+        assert layout.full_segments == 0
+        assert layout.leftover_columns == 2
+        assert layout.rows_per_leftover_ciphertext == 128
+        assert layout.leftover_output_offset == 127 * 2
+        assert layout.ciphertext_count() == 1
+
+    def test_legacy_geometry_small_b(self):
+        layout = PackingLayout(num_columns=2, num_rows=101, slots_per_ciphertext=256, across_rows=False)
+        assert layout.rows_per_leftover_ciphertext == 1
+        assert layout.leftover_output_offset == 0
+        assert layout.ciphertext_count() == 101
+
+    def test_geometry_with_full_segments(self):
+        layout = PackingLayout(num_columns=600, num_rows=11, slots_per_ciphertext=256, across_rows=True)
+        assert layout.full_segments == 2
+        assert layout.leftover_columns == 88
+        assert layout.ciphertext_count() == 2 * 11 + -(-11 // (256 // 88))
+
+    def test_column_location(self):
+        layout = PackingLayout(num_columns=600, num_rows=11, slots_per_ciphertext=256, across_rows=True)
+        assert layout.column_location(10) == ("segment", 0)
+        assert layout.column_location(300) == ("segment", 1)
+        kind, slot = layout.column_location(599)
+        assert kind == "leftover"
+        assert slot == layout.leftover_output_offset + (599 - 512)
+
+    def test_column_location_out_of_range(self):
+        layout = PackingLayout(num_columns=4, num_rows=3, slots_per_ciphertext=8, across_rows=True)
+        with pytest.raises(ParameterError):
+            layout.column_location(4)
+
+    def test_exact_multiple_has_no_leftover(self):
+        layout = PackingLayout(num_columns=512, num_rows=5, slots_per_ciphertext=256, across_rows=True)
+        assert layout.leftover_columns == 0
+        assert layout.ciphertext_count() == 2 * 5
+
+
+class TestPackedDotProducts:
+    @pytest.fixture(scope="class")
+    def small_matrix(self):
+        rng = np.random.default_rng(7)
+        # 40 feature rows + 1 bias row, 2 columns, small non-negative values.
+        return rng.integers(0, 200, size=(41, 2)).tolist()
+
+    def test_across_row_dot_products_match_reference(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        features = [(0, 1), (5, 2), (17, 1), (39, 3)]
+        result = model.dot_products(features)
+        assert decrypt_dot_products(bv_scheme, bv_keys, result) == _reference_dot_products(
+            small_matrix, features
+        )
+
+    def test_legacy_packing_dot_products_match_reference(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=False)
+        features = [(2, 1), (3, 1), (40, 1)]
+        result = model.dot_products(features)
+        assert decrypt_dot_products(bv_scheme, bv_keys, result) == _reference_dot_products(
+            small_matrix, features
+        )
+
+    def test_paillier_dot_products_match_reference(self, paillier_scheme, paillier_keys, small_matrix):
+        model = PackedLinearModel.encrypt(
+            paillier_scheme, paillier_keys.public, small_matrix, across_rows=False
+        )
+        features = [(1, 1), (7, 4), (22, 1)]
+        result = model.dot_products(features)
+        assert decrypt_dot_products(paillier_scheme, paillier_keys, result) == _reference_dot_products(
+            small_matrix, features
+        )
+
+    def test_paillier_falls_back_to_legacy_packing(self, paillier_scheme, paillier_keys, small_matrix):
+        model = PackedLinearModel.encrypt(
+            paillier_scheme, paillier_keys.public, small_matrix, across_rows=True
+        )
+        assert model.layout.across_rows is False
+
+    def test_multi_segment_matrix(self, bv_scheme, bv_keys):
+        # More columns than slots: two full segments plus a leftover segment.
+        num_slots = bv_scheme.num_slots
+        columns = num_slots + 7
+        rng = np.random.default_rng(11)
+        matrix = rng.integers(0, 50, size=(9, columns)).tolist()
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, matrix, across_rows=True)
+        features = [(0, 1), (4, 2)]
+        result = model.dot_products(features)
+        assert decrypt_dot_products(bv_scheme, bv_keys, result) == _reference_dot_products(
+            matrix, features
+        )
+
+    def test_empty_feature_vector_gives_bias_row(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        result = model.dot_products([])
+        assert decrypt_dot_products(bv_scheme, bv_keys, result) == list(small_matrix[-1])
+
+    def test_across_row_storage_is_much_smaller(self, bv_scheme, bv_keys, small_matrix):
+        pretzel = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        legacy = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=False)
+        assert pretzel.storage_bytes() < legacy.storage_bytes() / 10
+
+    def test_out_of_range_feature_rejected(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        with pytest.raises(PackingError):
+            model.dot_products([(41, 1)])  # the bias row is not addressable as a feature
+
+    def test_ragged_matrix_rejected(self, bv_scheme, bv_keys):
+        with pytest.raises(PackingError):
+            PackedLinearModel.encrypt(bv_scheme, bv_keys.public, [[1, 2], [3]], across_rows=True)
+
+    def test_empty_matrix_rejected(self, bv_scheme, bv_keys):
+        with pytest.raises(PackingError):
+            PackedLinearModel.encrypt(bv_scheme, bv_keys.public, [], across_rows=True)
+
+    def test_column_slot_map_covers_all_columns(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        mapping = model.column_slot_map()
+        assert set(mapping) == {0, 1}
