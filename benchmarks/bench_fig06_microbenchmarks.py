@@ -78,6 +78,30 @@ class TestXpirBvRow:
         # The paper quotes ~16 KB XPIR-BV ciphertexts (§4.1).
         assert 12 * 1024 < size < 20 * 1024
 
+    def test_packed_dot_product_per_email(self, benchmark, bv_scheme):
+        """The client's whole homomorphic dot product (§4.2) as one operation.
+
+        This is the unit the evaluation-domain representation and the batched
+        accumulator optimise: an across-row packed spam model evaluated against
+        an L=100 sparse email.
+        """
+        import numpy as np
+
+        from repro.crypto.packing import PackedLinearModel
+
+        keys = bv_scheme.generate_keypair()
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 1000, size=(501, 2)).tolist()
+        model = PackedLinearModel.encrypt(bv_scheme, keys.public, rows, across_rows=True)
+        sparse = [(int(row), 1) for row in rng.choice(500, size=100, replace=False)]
+        model.dot_products(sparse)  # warm the stacked-model cache
+        benchmark(model.dot_products, sparse)
+
+    def test_decrypt_many_batch(self, benchmark, bv_scheme):
+        keys = bv_scheme.generate_keypair()
+        batch = [bv_scheme.encrypt_slots(keys.public, [index]) for index in range(8)]
+        benchmark(bv_scheme.decrypt_slots_many, keys, batch)
+
 
 class TestYaoRow:
     def test_garble_comparison_circuit(self, benchmark):

@@ -17,7 +17,7 @@ from repro.twopc.topics import TopicExtractionProtocol
 
 MODEL_FEATURES = 1_000
 CATEGORY_COUNTS = [16, 64]
-CANDIDATES = [None, 10, 5]   # None = B' = B (no decomposition)
+CANDIDATES = [None, 20, 10, 5]   # None = B' = B (no decomposition); 20/10 match Fig. 10
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +35,8 @@ def setups(bv_scheme_small, dh_group):
 def test_fig10_pretzel_provider_cpu(benchmark, setups, categories, candidates):
     protocol, setup, model = setups[categories]
     features = make_email_features(MODEL_FEATURES, 60, boolean=False)
+    if candidates is not None and candidates > categories:
+        pytest.skip(f"B'={candidates} exceeds B={categories}; covered by the B'=B arm")
     candidate_list = None if candidates is None else list(range(candidates))
     result = benchmark.pedantic(
         protocol.extract_topic, args=(setup, features), kwargs={"candidate_topics": candidate_list},

@@ -1,0 +1,168 @@
+"""Regression benchmark harness for the BV hot path.
+
+Times the operations that dominate Pretzel's per-email costs (Figs. 6, 7 and
+10) and writes the medians to a ``BENCH_*.json`` file, so successive PRs can
+track the performance trajectory instead of re-deriving it from one-off
+pytest-benchmark runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py                 # full-size ring (n=1024)
+    PYTHONPATH=src python benchmarks/regress.py --ring-degree 256 --repeat 3
+    PYTHONPATH=src python benchmarks/regress.py --output BENCH_smoke.json
+
+The JSON schema is flat on purpose: ``{"meta": {...}, "results": {name: ms}}``.
+Compare two files with any JSON diff tool; lower is better everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.crypto.bv import BVParameters, BVScheme
+from repro.crypto.packing import PackedLinearModel, decrypt_dot_products
+from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
+
+SPAM_FEATURE_ROWS = 500
+EMAIL_FEATURES = 100
+TOPIC_CATEGORIES = 64
+TOPIC_CANDIDATES = 10
+
+
+def _median_ms(function, repeat: int) -> float:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        function()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return statistics.median(samples)
+
+
+def run(ring_degree: int, repeat: int) -> dict:
+    parameters = BVParameters(ring_degree=ring_degree)
+    scheme = BVScheme(parameters)
+    keys = scheme.generate_keypair()
+    results: dict[str, float] = {}
+
+    results["bv_keygen_ms"] = _median_ms(scheme.generate_keypair, repeat)
+    ciphertext = scheme.encrypt_slots(keys.public, [1, 2, 3])
+    results["bv_encrypt_ms"] = _median_ms(
+        lambda: scheme.encrypt_slots(keys.public, [1, 2, 3]), repeat
+    )
+    results["bv_decrypt_ms"] = _median_ms(
+        lambda: scheme.decrypt_slots(keys, ciphertext), repeat
+    )
+    batch = [scheme.encrypt_slots(keys.public, [index]) for index in range(8)]
+    results["bv_decrypt_many8_ms"] = _median_ms(
+        lambda: scheme.decrypt_slots_many(keys, batch), repeat
+    )
+    results["bv_add_ms"] = _median_ms(lambda: scheme.add(ciphertext, ciphertext), repeat)
+    results["bv_shift_up_ms"] = _median_ms(lambda: scheme.shift_up(ciphertext, 2), repeat)
+
+    # Spam arm (Fig. 7 client): across-row packed two-column model.
+    rng = np.random.default_rng(0)
+    spam_rows = rng.integers(0, 1000, size=(SPAM_FEATURE_ROWS + 1, 2)).tolist()
+    spam_model = PackedLinearModel.encrypt(scheme, keys.public, spam_rows, across_rows=True)
+    sparse = [
+        (int(row), int(freq))
+        for row, freq in zip(
+            rng.choice(SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False),
+            rng.integers(1, 8, size=EMAIL_FEATURES),
+        )
+    ]
+    spam_dot = spam_model.dot_products(sparse)  # warm the model stacks
+    results["spam_dot_products_ms"] = _median_ms(lambda: spam_model.dot_products(sparse), repeat)
+    results["spam_blinding_ms"] = _median_ms(
+        lambda: blind_dot_products(
+            scheme, keys.public, spam_model, spam_dot, output_columns=[0, 1], dot_bits=20
+        ),
+        repeat,
+    )
+    results["spam_client_total_ms"] = (
+        results["spam_dot_products_ms"] + results["spam_blinding_ms"]
+    )
+    blinded = blind_dot_products(
+        scheme, keys.public, spam_model, spam_dot, output_columns=[0, 1], dot_bits=20
+    )
+    results["spam_provider_decrypt_ms"] = _median_ms(
+        lambda: scheme.decrypt_slots_many(keys, blinded.ciphertexts), repeat
+    )
+
+    # Topic arm (Fig. 10 client): candidate extraction over a wider model.
+    topic_rows = rng.integers(0, 1000, size=(101, TOPIC_CATEGORIES)).tolist()
+    topic_model = PackedLinearModel.encrypt(scheme, keys.public, topic_rows, across_rows=True)
+    topic_sparse = [(int(row), 1) for row in rng.choice(100, size=30, replace=False)]
+    topic_dot = topic_model.dot_products(topic_sparse)
+    candidates = list(range(TOPIC_CANDIDATES))
+    results["topic_dot_products_ms"] = _median_ms(
+        lambda: topic_model.dot_products(topic_sparse), repeat
+    )
+    results["topic_candidate_blinding_ms"] = _median_ms(
+        lambda: blind_extracted_candidates(
+            scheme, keys.public, topic_model, topic_dot, candidate_columns=candidates, dot_bits=20
+        ),
+        repeat,
+    )
+
+    # Sanity pin: the batched path must agree with the plaintext reference.
+    reference = np.array(spam_rows[-1], dtype=np.int64)
+    for row, freq in sparse:
+        reference = reference + freq * np.array(spam_rows[row], dtype=np.int64)
+    decrypted = decrypt_dot_products(scheme, keys, spam_dot)
+    if decrypted != [int(value) % scheme.slot_modulus for value in reference]:
+        raise AssertionError("batched dot products disagree with the plaintext reference")
+
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ring-degree", type=int, default=1024)
+    parser.add_argument("--repeat", type=int, default=9, help="samples per op (median reported)")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output JSON path (default benchmarks/BENCH_bv_hotpath_n<degree>.json)",
+    )
+    args = parser.parse_args()
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
+    output = args.output or Path(__file__).parent / f"BENCH_bv_hotpath_n{args.ring_degree}.json"
+
+    results = run(args.ring_degree, args.repeat)
+    payload = {
+        "meta": {
+            "harness": "benchmarks/regress.py",
+            "ring_degree": args.ring_degree,
+            "repeat": args.repeat,
+            "spam_feature_rows": SPAM_FEATURE_ROWS,
+            "email_features": EMAIL_FEATURES,
+            "topic_categories": TOPIC_CATEGORIES,
+            "topic_candidates": TOPIC_CANDIDATES,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        },
+        "results": {name: round(value, 4) for name, value in results.items()},
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(name) for name in results)
+    print(f"BV hot path (ring degree {args.ring_degree}, median of {args.repeat}):")
+    for name, value in results.items():
+        print(f"  {name.ljust(width)}  {value:8.3f} ms")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 
 
@@ -105,6 +107,12 @@ class AHEScheme(ABC):
     def decrypt_slots(self, keypair: AHEKeyPair, ciphertext: AHECiphertext) -> list[int]:
         """Decrypt and return all :attr:`num_slots` slot values."""
 
+    def decrypt_slots_many(
+        self, keypair: AHEKeyPair, ciphertexts: Sequence[AHECiphertext]
+    ) -> list[list[int]]:
+        """Decrypt a batch of ciphertexts; schemes may override with a vectorised path."""
+        return [self.decrypt_slots(keypair, ciphertext) for ciphertext in ciphertexts]
+
     @abstractmethod
     def add(self, left: AHECiphertext, right: AHECiphertext) -> AHECiphertext:
         """Slot-wise homomorphic addition."""
@@ -116,6 +124,34 @@ class AHEScheme(ABC):
     def shift_up(self, ciphertext: AHECiphertext, positions: int) -> AHECiphertext:
         """Move slot ``i`` to slot ``i + positions`` (low slots become garbage)."""
         raise ParameterError(f"{self.name} does not support slot shifts")
+
+    # -- batched accumulation (optional fast path) -------------------------
+    @property
+    def supports_batched_accumulation(self) -> bool:
+        """Whether the stacked linear-combination fast path below is available.
+
+        Schemes whose ciphertexts are fixed-shape integer arrays (XPIR-BV)
+        can stack an encrypted model once and evaluate every per-email
+        homomorphic dot product as a vectorised sum with lazy modular
+        reduction, instead of a Python-level ``scalar_mul``/``add`` chain.
+        """
+        return False
+
+    def stack_ciphertexts(self, ciphertexts: Sequence[AHECiphertext]) -> Any:
+        """Pack ciphertexts into a scheme-specific dense batch for repeated use."""
+        raise ParameterError(f"{self.name} does not support batched accumulation")
+
+    def combine_stacked(
+        self, stack: Any, rows: Sequence[int], scalars: Sequence[int]
+    ) -> AHECiphertext:
+        """Homomorphically compute ``Σ_i scalars[i] · stack[rows[i]]``."""
+        raise ParameterError(f"{self.name} does not support batched accumulation")
+
+    def combine_stacked_shifted(
+        self, stack: Any, terms: Sequence[tuple[int, int, int]]
+    ) -> AHECiphertext:
+        """Compute ``Σ scalar · x^shift · stack[row]`` over ``(row, scalar, shift)`` terms."""
+        raise ParameterError(f"{self.name} does not support batched accumulation")
 
     # -- sizes -----------------------------------------------------------
     @abstractmethod
@@ -129,15 +165,29 @@ class AHEScheme(ABC):
                 f"{len(values)} slot values exceed capacity {self.num_slots}"
             )
         limit = self.slot_modulus
-        checked = []
-        for index, value in enumerate(values):
+        checked = list(values)
+        if not checked:
+            return checked
+        # Vectorised fast path: slot vectors are often num_slots long (blinding
+        # noise), so a Python-level per-value loop is measurable per email.
+        # The exact-type scan keeps the strict typing of the slow path (bools
+        # and numpy scalars are rejected there); huge ints fall through too.
+        if limit <= 1 << 63 and all(type(value) is int for value in checked):
+            try:
+                array = np.asarray(checked, dtype=np.int64)
+            except OverflowError:
+                array = None
+            if array is not None:
+                if array.min() < 0 or array.max() >= limit:
+                    raise ParameterError(f"slot value outside [0, 2^{self.slot_bits})")
+                return checked
+        for index, value in enumerate(checked):
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ParameterError(f"slot {index} value must be an int, got {type(value)!r}")
             if not 0 <= value < limit:
                 raise ParameterError(
                     f"slot {index} value {value} outside [0, 2^{self.slot_bits})"
                 )
-            checked.append(value)
         return checked
 
     def encrypt_single(self, public_key: AHEPublicKey, value: int) -> AHECiphertext:

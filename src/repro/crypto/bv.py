@@ -16,6 +16,16 @@ scales every slot, and multiplication by the monomial ``x^k`` shifts slots —
 this last operation is what the across-row packing and the candidate-topic
 protocol (Fig. 5) use to realign and extract dot products.
 
+Performance model (the client hot path of Figs. 6–7): ciphertexts are kept
+resident in the **evaluation (NTT) domain**.  Key material is transformed
+once at key generation, encryption batches the four fresh samples through one
+vectorised forward pass per prime and finishes with pointwise products, and
+every homomorphic operation — addition, scalar multiplication, slot shifts,
+and the batched dot-product accumulator behind
+:meth:`BVScheme.combine_stacked` — is pointwise on int64 arrays with lazy
+modular reduction.  Only decryption runs inverse transforms, followed by one
+vectorised CRT reconstruction.
+
 Ciphertext size with the default parameters (n = 1024, two 31-bit RNS primes)
 is ~16 KB, matching the 16 KB XPIR-BV ciphertexts reported in §4.1.
 """
@@ -23,6 +33,8 @@ is ~16 KB, matching the 16 KB XPIR-BV ciphertexts reported in §4.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.crypto.ahe import (
     AHECiphertext,
@@ -82,6 +94,19 @@ class BVCiphertextPayload:
     c1: RingPolynomial
 
 
+@dataclass
+class BVCiphertextStack:
+    """A batch of ciphertexts as dense evaluation-domain int64 arrays.
+
+    ``c0``/``c1`` have shape ``(count, num_primes, n)``; rows are the stacked
+    spectra of the individual ciphertexts, in order.  This is the layout the
+    vectorised dot-product accumulator indexes per email.
+    """
+
+    c0: np.ndarray
+    c1: np.ndarray
+
+
 class BVScheme(AHEScheme):
     """Additive Ring-LWE AHE with coefficient-slot packing."""
 
@@ -95,6 +120,8 @@ class BVScheme(AHEScheme):
             prime_count=self.parameters.prime_count,
         )
         self._plain_modulus = 1 << self.parameters.slot_bits
+        # t reduced per prime, shaped for broadcasting against (primes, n).
+        self._t_column = self.ring.reduce_scalar(self._plain_modulus)
 
     # -- AHEScheme properties ------------------------------------------------
     @property
@@ -107,6 +134,10 @@ class BVScheme(AHEScheme):
 
     @property
     def supports_slot_shift(self) -> bool:
+        return True
+
+    @property
+    def supports_batched_accumulation(self) -> bool:
         return True
 
     # -- key management --------------------------------------------------------
@@ -127,6 +158,11 @@ class BVScheme(AHEScheme):
         s = RingPolynomial.sample_ternary(self.ring)
         noise = RingPolynomial.sample_noise(self.ring, self.parameters.noise_bound)
         p0 = p1.multiply(s).negate().add(noise.scalar_multiply(t))
+        # Pin the evaluation-domain forms now: every later encryption and
+        # decryption reuses these spectra instead of re-running forward NTTs.
+        p0.spectra
+        p1.spectra
+        s.spectra
         public = BVPublic(p0=p0, p1=p1)
         public_size = 2 * p0.serialized_size_bytes()
         return AHEKeyPair(
@@ -138,32 +174,53 @@ class BVScheme(AHEScheme):
     def encrypt_slots(self, public_key: AHEPublicKey, values: Sequence[int]) -> AHECiphertext:
         public: BVPublic = public_key.payload
         checked = self._check_slot_values(values)
-        t = self._plain_modulus
-        message = RingPolynomial.from_int_coefficients(self.ring, checked)
-        u = RingPolynomial.sample_ternary(self.ring)
-        e1 = RingPolynomial.sample_noise(self.ring, self.parameters.noise_bound)
-        e2 = RingPolynomial.sample_noise(self.ring, self.parameters.noise_bound)
-        c0 = public.p0.multiply(u).add(e1.scalar_multiply(t)).add(message)
-        c1 = public.p1.multiply(u).add(e2.scalar_multiply(t))
-        payload = BVCiphertextPayload(c0=c0, c1=c1)
+        ring = self.ring
+        primes_column = ring.primes_column
+        # from_int_coefficients vectorises the per-prime reduction and falls
+        # back to exact Python arithmetic for slot values beyond int64.
+        message = RingPolynomial.from_int_coefficients(ring, checked).residues
+        u = RingPolynomial.sample_ternary(ring)
+        e1 = RingPolynomial.sample_noise(ring, self.parameters.noise_bound)
+        e2 = RingPolynomial.sample_noise(ring, self.parameters.noise_bound)
+        # One batched forward pass per prime over the four fresh polynomials.
+        stacked = np.stack([u.residues, e1.residues, e2.residues, message])
+        u_s, e1_s, e2_s, m_s = ring.forward_transform(stacked)
+        t_column = self._t_column
+        c0 = (public.p0.spectra * u_s % primes_column + t_column * e1_s % primes_column + m_s) % primes_column
+        c1 = (public.p1.spectra * u_s % primes_column + t_column * e2_s % primes_column) % primes_column
+        payload = BVCiphertextPayload(
+            c0=RingPolynomial.from_spectra(ring, c0),
+            c1=RingPolynomial.from_spectra(ring, c1),
+        )
         return AHECiphertext(self.name, payload, self.ciphertext_size_bytes())
+
+    def _phase_slots(self, phase_residues: np.ndarray) -> list:
+        """CRT-reconstruct decryption phases (shape ``(..., primes, n)``) to slots."""
+        t = self._plain_modulus
+        centered = self.ring.crt_reconstruct_array(phase_residues)
+        budget = self.ring.modulus // 2
+        if (np.abs(centered) >= budget).any():
+            raise NoiseBudgetExceeded("BV ciphertext noise exceeded q/2 during decryption")
+        return (centered % t).tolist()
 
     def decrypt_slots(self, keypair: AHEKeyPair, ciphertext: AHECiphertext) -> list[int]:
         secret: BVSecret = keypair.secret.payload
         payload: BVCiphertextPayload = ciphertext.payload
-        t = self._plain_modulus
-        phase = payload.c0.add(payload.c1.multiply(secret.s))
-        centered = phase.to_centered_coefficients()
-        # A correct ciphertext satisfies |t*E + m| < q/2; if accumulated noise
-        # has come close to the modulus the centered coefficients are
-        # meaningless, so flag blatant overflows instead of returning garbage.
-        budget = self.ring.modulus // 2
-        slots = []
-        for coefficient in centered:
-            if abs(coefficient) >= budget:
-                raise NoiseBudgetExceeded("BV ciphertext noise exceeded q/2 during decryption")
-            slots.append(coefficient % t)
-        return slots
+        primes_column = self.ring.primes_column
+        phase = (payload.c0.spectra + payload.c1.spectra * secret.s.spectra % primes_column) % primes_column
+        return self._phase_slots(self.ring.inverse_transform(phase))
+
+    def decrypt_slots_many(
+        self, keypair: AHEKeyPair, ciphertexts: Sequence[AHECiphertext]
+    ) -> list[list[int]]:
+        """Decrypt a batch in one vectorised pass (provider hot path, Figs. 7/10)."""
+        if not ciphertexts:
+            return []
+        secret: BVSecret = keypair.secret.payload
+        stack = self.stack_ciphertexts(ciphertexts)
+        primes_column = self.ring.primes_column
+        phases = (stack.c0 + stack.c1 * secret.s.spectra % primes_column) % primes_column
+        return self._phase_slots(self.ring.inverse_transform(phases))
 
     # -- homomorphic operations ----------------------------------------------------
     def add(self, left: AHECiphertext, right: AHECiphertext) -> AHECiphertext:
@@ -197,6 +254,103 @@ class BVScheme(AHEScheme):
             c1=payload.c1.monomial_multiply(positions),
         )
         return AHECiphertext(self.name, result, self.ciphertext_size_bytes())
+
+    # -- batched accumulation (the client dot-product hot path, §4.2) ------------
+    def stack_ciphertexts(self, ciphertexts: Sequence[AHECiphertext]) -> BVCiphertextStack:
+        """Stack ciphertext spectra into ``(count, primes, n)`` arrays."""
+        c0 = np.stack([ct.payload.c0.spectra for ct in ciphertexts])
+        c1 = np.stack([ct.payload.c1.spectra for ct in ciphertexts])
+        return BVCiphertextStack(c0=c0, c1=c1)
+
+    def _wrap_spectra(self, c0: np.ndarray, c1: np.ndarray) -> AHECiphertext:
+        payload = BVCiphertextPayload(
+            c0=RingPolynomial.from_spectra(self.ring, c0),
+            c1=RingPolynomial.from_spectra(self.ring, c1),
+        )
+        return AHECiphertext(self.name, payload, self.ciphertext_size_bytes())
+
+    def combine_stacked(
+        self, stack: BVCiphertextStack, rows: Sequence[int], scalars: Sequence[int]
+    ) -> AHECiphertext:
+        """Compute ``Σ_i scalars[i] · stack[rows[i]]`` in one vectorised pass.
+
+        Scalars are reduced per prime once; the accumulation then runs in raw
+        int64 with *lazy* modular reduction — partial sums are reduced only
+        when another chunk could overflow 63 bits, which for the small
+        frequencies of Fig. 3's quantisation means exactly once, at the end.
+        """
+        if len(rows) != len(scalars):
+            raise ParameterError("rows and scalars must have equal length")
+        primes_column = self.ring.primes_column
+        num_primes, n = len(self.ring.primes), self.ring.n
+        if not rows:
+            zeros = np.zeros((num_primes, n), dtype=np.int64)
+            return self._wrap_spectra(zeros, zeros.copy())
+        row_index = np.asarray(rows, dtype=np.intp)
+        # (terms, primes): each scalar reduced modulo each prime.
+        reduced = np.asarray(
+            [[scalar % prime for prime in self.ring.primes] for scalar in scalars],
+            dtype=np.int64,
+        )
+        # Largest unreduced per-term product; spectra values are < 2^31.
+        per_term = int(reduced.max(initial=0)) * ((1 << 31) - 1)
+        chunk = max(1, ((1 << 62) - 1) // max(1, per_term))
+        acc0 = np.zeros((num_primes, n), dtype=np.int64)
+        acc1 = np.zeros((num_primes, n), dtype=np.int64)
+        for start in range(0, len(rows), chunk):
+            idx = row_index[start : start + chunk]
+            weights = reduced[start : start + chunk]
+            acc0 = (acc0 + np.einsum("mkn,mk->kn", stack.c0[idx], weights)) % primes_column
+            acc1 = (acc1 + np.einsum("mkn,mk->kn", stack.c1[idx], weights)) % primes_column
+        return self._wrap_spectra(acc0, acc1)
+
+    def combine_stacked_shifted(
+        self, stack: BVCiphertextStack, terms: Sequence[tuple[int, int, int]]
+    ) -> AHECiphertext:
+        """Compute ``Σ scalar · x^shift · stack[row]`` for ``(row, scalar, shift)`` terms.
+
+        All terms hitting the same stacked ciphertext ``C`` are folded into a
+        single combining polynomial ``P(x) = Σ scalar · x^shift``, so the whole
+        shift-and-add chain of §4.2 collapses to one spectrum-domain product
+        ``C · P`` per distinct ciphertext: one forward NTT of ``P`` (or a cached
+        monomial spectrum when ``P`` is a lone monomial) replaces one shift and
+        one addition *per feature*.
+        """
+        primes_column = self.ring.primes_column
+        num_primes, n = len(self.ring.primes), self.ring.n
+        combining: dict[int, dict[int, int]] = {}
+        for row, scalar, shift in terms:
+            if not 0 <= shift < n:
+                raise ParameterError("combining shifts must lie in [0, ring degree)")
+            poly = combining.setdefault(row, {})
+            poly[shift] = poly.get(shift, 0) + scalar
+        acc0 = np.zeros((num_primes, n), dtype=np.int64)
+        acc1 = np.zeros((num_primes, n), dtype=np.int64)
+        pending = 0
+        for row, poly in combining.items():
+            if len(poly) == 1:
+                ((shift, scalar),) = poly.items()
+                mono = self.ring.monomial_spectra(shift)
+                spectrum = mono * self.ring.reduce_scalar(scalar) % primes_column
+            else:
+                coefficients = np.zeros((num_primes, n), dtype=np.int64)
+                for shift, scalar in poly.items():
+                    coefficients[:, shift] = (
+                        np.array([scalar % prime for prime in self.ring.primes], dtype=np.int64)
+                    )
+                spectrum = self.ring.forward_transform(coefficients)
+            # Each product is reduced below 2^31, so up to 2^32 terms can
+            # accumulate lazily before a reduction is needed.
+            acc0 += stack.c0[row] * spectrum % primes_column
+            acc1 += stack.c1[row] * spectrum % primes_column
+            pending += 1
+            if pending >= (1 << 31):
+                acc0 %= primes_column
+                acc1 %= primes_column
+                pending = 0
+        acc0 %= primes_column
+        acc1 %= primes_column
+        return self._wrap_spectra(acc0, acc1)
 
     # -- sizes -------------------------------------------------------------------------
     def ciphertext_size_bytes(self) -> int:

@@ -10,6 +10,12 @@ never overflow 64 bits.
 A negacyclic (negative-wrapped) convolution of length ``n`` is computed by
 pre-multiplying inputs by powers of a primitive ``2n``-th root of unity ψ,
 running a cyclic NTT with ω = ψ², and post-multiplying by powers of ψ⁻¹.
+
+Everything that depends only on ``(ring_degree, prime)`` — bit-reversal
+permutations, twiddle tables, the contexts themselves, and the spectra of
+monomials ``x^k`` used for evaluation-domain slot shifts — is cached at
+module level, so repeated scheme instantiations (tests, benchmarks, one
+``BVScheme`` per protocol arm) never redo the setup work.
 """
 
 from __future__ import annotations
@@ -17,19 +23,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.crypto.numtheory import (
-    find_ntt_prime,
     find_primitive_root_of_unity,
     invmod,
+    is_probable_prime,
 )
 from repro.exceptions import ParameterError
 
-# Cache of discovered NTT-friendly primes keyed by (bits, order) so repeated
-# scheme instantiations (tests, benchmarks) don't redo the prime search.
+# Cache of discovered NTT-friendly primes keyed by (bits, order).  The search
+# below is a deterministic descending walk, so for a fixed key the cache always
+# extends the same sequence and repeated calls agree across schemes.
 _PRIME_CACHE: dict[tuple[int, int], list[int]] = {}
+
+# Bit-reversal permutations keyed by transform length.
+_BITREV_CACHE: dict[int, np.ndarray] = {}
+
+# Fully initialised transform contexts keyed by (ring_degree, prime).
+_CONTEXT_CACHE: dict[tuple[int, int], "NttContext"] = {}
 
 
 def ntt_friendly_primes(count: int, bits: int, ring_degree: int) -> list[int]:
-    """Return *count* distinct primes ``q ≡ 1 (mod 2*ring_degree)`` of ~*bits* bits."""
+    """Return *count* distinct primes ``q ≡ 1 (mod 2*ring_degree)`` of ~*bits* bits.
+
+    The search walks candidates ``c ≡ 1 (mod 2n)`` downward from ``2**bits``,
+    so it is deterministic, never revisits a candidate (every prime found is
+    distinct by construction), and every returned prime is strictly below
+    ``2**bits`` — the bound the int64 butterflies rely on.
+    """
     if ring_degree <= 0 or ring_degree & (ring_degree - 1):
         raise ParameterError("ring_degree must be a power of two")
     if bits > 31:
@@ -37,20 +56,25 @@ def ntt_friendly_primes(count: int, bits: int, ring_degree: int) -> list[int]:
     order = 2 * ring_degree
     key = (bits, order)
     cached = _PRIME_CACHE.setdefault(key, [])
-    candidate_bits = bits
-    while len(cached) < count:
-        prime = find_ntt_prime(candidate_bits, order)
-        if prime not in cached:
-            cached.append(prime)
+    if len(cached) < count:
+        if cached:
+            candidate = cached[-1] - order
         else:
-            # Walk to a nearby size to find a distinct prime.
-            candidate_bits -= 1
-            if candidate_bits < 20:
+            candidate = ((1 << bits) - 1) // order * order + 1
+        floor = max(order, 1 << (bits - 2))
+        while len(cached) < count:
+            if candidate <= floor:
                 raise ParameterError("could not find enough distinct NTT primes")
+            if is_probable_prime(candidate):
+                cached.append(candidate)
+            candidate -= order
     return cached[:count]
 
 
 def _bit_reverse_permutation(n: int) -> np.ndarray:
+    cached = _BITREV_CACHE.get(n)
+    if cached is not None:
+        return cached
     bits = n.bit_length() - 1
     perm = np.zeros(n, dtype=np.int64)
     for i in range(n):
@@ -60,11 +84,29 @@ def _bit_reverse_permutation(n: int) -> np.ndarray:
             reversed_index = (reversed_index << 1) | (value & 1)
             value >>= 1
         perm[i] = reversed_index
+    perm.setflags(write=False)
+    _BITREV_CACHE[n] = perm
     return perm
 
 
+def get_ntt_context(ring_degree: int, prime: int) -> "NttContext":
+    """Shared, cached :class:`NttContext` for ``(ring_degree, prime)``."""
+    key = (ring_degree, prime)
+    cached = _CONTEXT_CACHE.get(key)
+    if cached is None:
+        cached = NttContext(ring_degree, prime)
+        _CONTEXT_CACHE[key] = cached
+    return cached
+
+
 class NttContext:
-    """Forward/inverse negacyclic NTT modulo a single prime."""
+    """Forward/inverse negacyclic NTT modulo a single prime.
+
+    Transforms accept arrays of shape ``(..., n)`` and operate along the last
+    axis, so a batch of polynomials (the four fresh samples of one encryption,
+    the rows of a packed model) costs one vectorised pass instead of one
+    Python-level call per polynomial.
+    """
 
     def __init__(self, ring_degree: int, prime: int) -> None:
         if ring_degree <= 1 or ring_degree & (ring_degree - 1):
@@ -81,6 +123,8 @@ class NttContext:
         self._omega_inv_powers = self._power_table(invmod(omega, prime), ring_degree // 2, prime)
         self._n_inverse = invmod(ring_degree, prime)
         self._bitrev = _bit_reverse_permutation(ring_degree)
+        # Spectra of the monomials x^k, filled on demand by monomial_spectrum.
+        self._monomial_cache: dict[int, np.ndarray] = {}
 
     @staticmethod
     def _power_table(base: int, count: int, prime: int) -> np.ndarray:
@@ -92,36 +136,58 @@ class NttContext:
         return table
 
     def _cyclic_transform(self, values: np.ndarray, twiddles: np.ndarray) -> np.ndarray:
+        """Iterative cyclic NTT along the last axis of ``values`` (shape (..., n)).
+
+        Butterfly sums are reduced *lazily*: only the multiplication operand is
+        reduced per stage (products must stay below 2^63), while the add/sub
+        results are left to grow.  Magnitudes after stage ``k`` are bounded by
+        ``(k + 1) * prime`` < 2^35 for the ≤ 2^31 primes and ≤ 2^10 stages used
+        here, so nothing overflows before the single final reduction.
+        """
         prime = self.prime
-        data = values[self._bitrev].astype(np.int64)
+        data = values[..., self._bitrev].astype(np.int64)
+        batch_shape = data.shape[:-1]
+        data = data.reshape(-1, self.n)
         length = 2
         while length <= self.n:
             half = length // 2
             stride = self.n // length
             stage_twiddles = twiddles[: half * stride : stride]
-            reshaped = data.reshape(-1, length)
-            left = reshaped[:, :half]
-            right = (reshaped[:, half:] * stage_twiddles) % prime
-            upper = (left + right) % prime
-            lower = (left - right) % prime
-            reshaped[:, :half] = upper
-            reshaped[:, half:] = lower
-            data = reshaped.reshape(-1)
+            reshaped = data.reshape(data.shape[0], -1, length)
+            left = reshaped[:, :, :half]
+            right = reshaped[:, :, half:] % prime * stage_twiddles % prime
+            upper = left + right
+            lower = left - right
+            reshaped[:, :, :half] = upper
+            reshaped[:, :, half:] = lower
+            data = reshaped.reshape(data.shape[0], self.n)
             length *= 2
-        return data
+        return (data % prime).reshape(*batch_shape, self.n)
 
     def forward(self, coefficients: np.ndarray) -> np.ndarray:
         """Negacyclic forward transform of a coefficient vector (length n)."""
         if coefficients.shape != (self.n,):
             raise ParameterError("coefficient vector has the wrong length")
-        weighted = (coefficients.astype(np.int64) % self.prime * self._psi_powers) % self.prime
-        return self._cyclic_transform(weighted, self._omega_powers)
+        return self.forward_many(coefficients)
 
     def inverse(self, spectrum: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`forward`."""
         if spectrum.shape != (self.n,):
             raise ParameterError("spectrum vector has the wrong length")
-        data = self._cyclic_transform(spectrum.astype(np.int64), self._omega_inv_powers)
+        return self.inverse_many(spectrum)
+
+    def forward_many(self, coefficients: np.ndarray) -> np.ndarray:
+        """Forward transform along the last axis of an ``(..., n)`` array."""
+        if coefficients.shape[-1] != self.n:
+            raise ParameterError("coefficient vectors have the wrong length")
+        weighted = (coefficients.astype(np.int64) % self.prime * self._psi_powers) % self.prime
+        return self._cyclic_transform(weighted, self._omega_powers)
+
+    def inverse_many(self, spectra: np.ndarray) -> np.ndarray:
+        """Inverse transform along the last axis of an ``(..., n)`` array."""
+        if spectra.shape[-1] != self.n:
+            raise ParameterError("spectrum vectors have the wrong length")
+        data = self._cyclic_transform(spectra.astype(np.int64), self._omega_inv_powers)
         data = (data * self._n_inverse) % self.prime
         return (data * self._psi_inv_powers) % self.prime
 
@@ -131,6 +197,25 @@ class NttContext:
         right_spectrum = self.forward(right)
         product = (left_spectrum * right_spectrum) % self.prime
         return self.inverse(product)
+
+    def monomial_spectrum(self, exponent: int) -> np.ndarray:
+        """Spectrum of ``x^exponent`` (exponent taken mod 2n; ``x^n = -1``).
+
+        Pointwise multiplication by this vector shifts slots entirely in the
+        evaluation domain — the homomorphic "left shift" of §4.2 without any
+        transform.  Results are cached (and marked read-only) per exponent.
+        """
+        exponent %= 2 * self.n
+        cached = self._monomial_cache.get(exponent)
+        if cached is None:
+            one_hot = np.zeros(self.n, dtype=np.int64)
+            one_hot[exponent % self.n] = 1
+            cached = self.forward(one_hot)
+            if exponent >= self.n:
+                cached = (-cached) % self.prime
+            cached.setflags(write=False)
+            self._monomial_cache[exponent] = cached
+        return cached
 
 
 def negacyclic_multiply_reference(left: np.ndarray, right: np.ndarray, prime: int) -> np.ndarray:

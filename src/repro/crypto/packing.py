@@ -152,6 +152,11 @@ class PackedLinearModel:
         self.layout = layout
         self.segments = segments
         self.leftover = leftover
+        # Scheme-specific dense batches of the encrypted model (one per full
+        # segment plus one for the leftover), built lazily on the first
+        # dot-product evaluation when the scheme supports batched accumulation.
+        self._segment_stacks: list | None = None
+        self._leftover_stack = None
 
     # -- construction (provider side, setup phase) -------------------------
     @classmethod
@@ -238,17 +243,29 @@ class PackedLinearModel:
         non-zero entries of the email's feature vector; the prior/bias row
         (the last row of the matrix) is always added with frequency 1, as in
         expressions (1) and (2) of the paper.
+
+        When the scheme supports batched accumulation (XPIR-BV), the whole
+        evaluation is a handful of vectorised array operations over the
+        stacked encrypted model; otherwise it falls back to the generic
+        ``scalar_mul``/``shift_up``/``add`` chain (Paillier).
         """
-        features = list(sparse_features)
-        bias_row = self.layout.num_rows - 1
-        features.append((bias_row, 1))
-        segment_accumulators: list[AHECiphertext | None] = [None] * self.layout.full_segments
-        leftover_accumulator: AHECiphertext | None = None
-        for row_index, frequency in features:
+        features = []
+        for row_index, frequency in sparse_features:
             if not 0 <= row_index < self.layout.num_rows:
                 raise PackingError(f"feature row {row_index} outside the model")
             if frequency <= 0:
                 continue
+            features.append((row_index, int(frequency)))
+        features.append((self.layout.num_rows - 1, 1))  # prior/bias row
+        if self.scheme.supports_batched_accumulation:
+            return self._dot_products_batched(features)
+        return self._dot_products_generic(features)
+
+    def _dot_products_generic(self, features: list[tuple[int, int]]) -> DotProductCiphertexts:
+        """Reference per-feature accumulation chain (also the Paillier path)."""
+        segment_accumulators: list[AHECiphertext | None] = [None] * self.layout.full_segments
+        leftover_accumulator: AHECiphertext | None = None
+        for row_index, frequency in features:
             for segment in self.segments:
                 term = segment.row_ciphertexts[row_index]
                 if frequency != 1:
@@ -271,6 +288,49 @@ class PackedLinearModel:
             layout=self.layout,
             segment_results=segment_results,
             leftover_result=leftover_accumulator,
+        )
+
+    def _ensure_stacks(self) -> None:
+        if self._segment_stacks is None:
+            self._segment_stacks = [
+                self.scheme.stack_ciphertexts(segment.row_ciphertexts)
+                for segment in self.segments
+            ]
+            if self.leftover is not None:
+                self._leftover_stack = self.scheme.stack_ciphertexts(self.leftover.ciphertexts)
+
+    def _dot_products_batched(self, features: list[tuple[int, int]]) -> DotProductCiphertexts:
+        """Vectorised evaluation over the stacked encrypted model."""
+        self._ensure_stacks()
+        rows = [row for row, _ in features]
+        scalars = [frequency for _, frequency in features]
+        segment_results = [
+            self.scheme.combine_stacked(stack, rows, scalars)
+            for stack in self._segment_stacks
+        ]
+        leftover_result = None
+        if self.leftover is not None:
+            if self.layout.across_rows:
+                rows_per_ct = self.layout.rows_per_leftover_ciphertext
+                k = self.layout.leftover_columns
+                # Fold every row's realignment shift (§4.2) into one combining
+                # polynomial per leftover ciphertext; the scheme evaluates each
+                # as a single spectrum-domain product.
+                terms = [
+                    (
+                        row // rows_per_ct,
+                        frequency,
+                        (rows_per_ct - 1 - row % rows_per_ct) * k,
+                    )
+                    for row, frequency in features
+                ]
+                leftover_result = self.scheme.combine_stacked_shifted(self._leftover_stack, terms)
+            else:
+                leftover_result = self.scheme.combine_stacked(self._leftover_stack, rows, scalars)
+        return DotProductCiphertexts(
+            layout=self.layout,
+            segment_results=segment_results,
+            leftover_result=leftover_result,
         )
 
     def _leftover_term(self, row_index: int, frequency: int) -> AHECiphertext:
@@ -325,7 +385,7 @@ def decrypt_dot_products(
     """
     layout = result.layout
     ciphertexts = result.all_ciphertexts()
-    decrypted = [scheme.decrypt_slots(keypair, ct) for ct in ciphertexts]
+    decrypted = scheme.decrypt_slots_many(keypair, ciphertexts)
     values = []
     p = layout.slots_per_ciphertext
     for column in range(layout.num_columns):

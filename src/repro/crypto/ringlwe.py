@@ -1,21 +1,26 @@
 """Polynomial-ring arithmetic for the Ring-LWE cryptosystem of §4.1.
 
 Elements of ``R_q = Z_q[x]/(x^n + 1)`` are stored in a residue-number-system
-(RNS / "double-CRT") representation: one NumPy int64 vector of coefficients
-per 31-bit prime factor of ``q``.  All ring operations (addition, negation,
-scalar multiplication, monomial multiplication — the "left shift" of §4.2 —
-and full polynomial multiplication via the NTT) act prime-wise and stay
-inside int64 arithmetic.  Only decryption reconstructs full-width integers
-via the CRT.
+(RNS / "double-CRT") representation: one NumPy int64 vector per 31-bit prime
+factor of ``q``.  Each element carries *two* interchangeable forms:
+
+* **coefficient domain** (``residues``) — the polynomial's coefficients mod
+  each prime; and
+* **evaluation domain** (``spectra``) — its negacyclic NTT per prime, where
+  ring multiplication is a pointwise product.
+
+Either form is materialised lazily from the other and cached, so key material
+is transformed once at key generation and ciphertexts stay resident in the
+evaluation domain across encryption, homomorphic accumulation and slot
+shifts; only decryption pays an inverse transform and a (vectorised) CRT
+reconstruction of full-width integers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.crypto.ntt import NttContext, ntt_friendly_primes
+from repro.crypto.ntt import get_ntt_context, ntt_friendly_primes
 from repro.crypto.numtheory import invmod
 from repro.crypto.prg import Prg
 from repro.exceptions import ParameterError
@@ -33,13 +38,18 @@ class RingContext:
         self.modulus = 1
         for prime in primes:
             self.modulus *= prime
-        self.ntt = [NttContext(ring_degree, prime) for prime in primes]
+        self.ntt = [get_ntt_context(ring_degree, prime) for prime in primes]
+        # Broadcast helper: shape (num_primes, 1) so (primes, n) arrays reduce
+        # prime-wise with a single vectorised `%`.
+        self.primes_column = np.array(self.primes, dtype=np.int64)[:, None]
+        self.primes_column.setflags(write=False)
         # Precompute CRT reconstruction coefficients: for residues r_i,
         # value = sum_i r_i * M_i * (M_i^{-1} mod p_i) mod q, where M_i = q / p_i.
         self._crt_terms = []
         for prime in primes:
             partial = self.modulus // prime
             self._crt_terms.append(partial * invmod(partial % prime, prime))
+        self._monomial_cache: dict[int, np.ndarray] = {}
 
     @classmethod
     def create(cls, ring_degree: int = 1024, prime_bits: int = 31, prime_count: int = 2) -> "RingContext":
@@ -51,31 +61,104 @@ class RingContext:
     def modulus_bits(self) -> int:
         return self.modulus.bit_length()
 
+    # -- transforms ----------------------------------------------------------
+    def forward_transform(self, residues: np.ndarray) -> np.ndarray:
+        """Per-prime forward NTT of a ``(..., num_primes, n)`` residue array."""
+        spectra = np.empty_like(residues)
+        for index, ntt in enumerate(self.ntt):
+            spectra[..., index, :] = ntt.forward_many(residues[..., index, :])
+        return spectra
+
+    def inverse_transform(self, spectra: np.ndarray) -> np.ndarray:
+        """Per-prime inverse NTT of a ``(..., num_primes, n)`` spectrum array."""
+        residues = np.empty_like(spectra)
+        for index, ntt in enumerate(self.ntt):
+            residues[..., index, :] = ntt.inverse_many(spectra[..., index, :])
+        return residues
+
+    def monomial_spectra(self, exponent: int) -> np.ndarray:
+        """Stacked per-prime spectra of ``x^exponent``, shape ``(num_primes, n)``."""
+        exponent %= 2 * self.n
+        cached = self._monomial_cache.get(exponent)
+        if cached is None:
+            cached = np.stack([ntt.monomial_spectrum(exponent) for ntt in self.ntt])
+            cached.setflags(write=False)
+            self._monomial_cache[exponent] = cached
+        return cached
+
+    def reduce_scalar(self, scalar: int) -> np.ndarray:
+        """Reduce an integer modulo every prime; shape ``(num_primes, 1)``."""
+        return np.array([scalar % prime for prime in self.primes], dtype=np.int64)[:, None]
+
+    # -- CRT reconstruction ---------------------------------------------------
+    def crt_reconstruct_array(self, residues: np.ndarray) -> np.ndarray:
+        """Combine RNS residues (shape ``(..., num_primes, n)``) into centered integers.
+
+        Returns an object-dtype array of Python integers in ``(-q/2, q/2]``
+        with shape ``(..., n)``.  The accumulation runs as whole-array
+        object-dtype operations — a handful of vectorised passes instead of
+        the O(n · num_primes) Python loop this replaces.
+        """
+        q = self.modulus
+        half = q // 2
+        stacked = residues.astype(object)
+        total = stacked[..., 0, :] * self._crt_terms[0]
+        for index in range(1, len(self.primes)):
+            total = total + stacked[..., index, :] * self._crt_terms[index]
+        total = total % q
+        return np.where(total > half, total - q, total)
+
     def crt_reconstruct(self, residues: np.ndarray) -> list[int]:
         """Combine RNS residues (shape ``(num_primes, n)``) into centered integers.
 
         Returns coefficients in ``(-q/2, q/2]`` as Python integers.
         """
-        q = self.modulus
-        half = q // 2
-        coefficients = []
-        for column in range(self.n):
-            value = 0
-            for prime_index in range(len(self.primes)):
-                value += int(residues[prime_index, column]) * self._crt_terms[prime_index]
-            value %= q
-            if value > half:
-                value -= q
-            coefficients.append(value)
-        return coefficients
+        return self.crt_reconstruct_array(residues).tolist()
 
 
-@dataclass
 class RingPolynomial:
-    """A ring element in RNS coefficient representation."""
+    """A ring element in RNS representation with lazily cached dual domains.
 
-    context: RingContext
-    residues: np.ndarray  # shape (num_primes, n), dtype int64, each row mod primes[i]
+    At least one of ``residues`` (coefficient domain) and ``spectra``
+    (evaluation domain) is always present; accessing the missing one runs the
+    per-prime (inverse) NTT once and caches the result.  Arithmetic operates
+    in whichever domain both operands already inhabit, so chains of
+    homomorphic operations on evaluation-domain ciphertexts never transform.
+    """
+
+    __slots__ = ("context", "_residues", "_spectra")
+
+    def __init__(
+        self,
+        context: RingContext,
+        residues: np.ndarray | None = None,
+        spectra: np.ndarray | None = None,
+    ) -> None:
+        if residues is None and spectra is None:
+            raise ParameterError("a ring element needs residues or spectra")
+        self.context = context
+        self._residues = residues
+        self._spectra = spectra
+
+    # -- domain access -----------------------------------------------------
+    @property
+    def residues(self) -> np.ndarray:
+        """Coefficient-domain form, shape ``(num_primes, n)`` (lazily materialised)."""
+        if self._residues is None:
+            self._residues = self.context.inverse_transform(self._spectra)
+        return self._residues
+
+    @property
+    def spectra(self) -> np.ndarray:
+        """Evaluation-domain form, shape ``(num_primes, n)`` (lazily materialised)."""
+        if self._spectra is None:
+            self._spectra = self.context.forward_transform(self._residues)
+        return self._spectra
+
+    @property
+    def in_evaluation_domain(self) -> bool:
+        """Whether the evaluation-domain form is currently materialised."""
+        return self._spectra is not None
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -88,10 +171,21 @@ class RingPolynomial:
         if len(coefficients) > context.n:
             raise ParameterError("too many coefficients for the ring degree")
         residues = np.zeros((len(context.primes), context.n), dtype=np.int64)
-        for prime_index, prime in enumerate(context.primes):
-            row = [coefficient % prime for coefficient in coefficients]
-            residues[prime_index, : len(row)] = row
+        if coefficients:
+            try:
+                signed = np.asarray(coefficients, dtype=np.int64)
+            except OverflowError:
+                for prime_index, prime in enumerate(context.primes):
+                    row = [coefficient % prime for coefficient in coefficients]
+                    residues[prime_index, : len(row)] = row
+                return cls(context, residues)
+            residues[:, : len(coefficients)] = signed[None, :] % context.primes_column
         return cls(context, residues)
+
+    @classmethod
+    def from_spectra(cls, context: RingContext, spectra: np.ndarray) -> "RingPolynomial":
+        """Wrap an already-reduced evaluation-domain array (no copy)."""
+        return cls(context, spectra=spectra)
 
     @classmethod
     def sample_uniform(cls, context: RingContext, prg: Prg | None = None) -> "RingPolynomial":
@@ -109,10 +203,7 @@ class RingPolynomial:
 
     @classmethod
     def _from_signed_vector(cls, context: RingContext, signed: np.ndarray) -> "RingPolynomial":
-        residues = np.zeros((len(context.primes), context.n), dtype=np.int64)
-        for prime_index, prime in enumerate(context.primes):
-            residues[prime_index] = signed % prime
-        return cls(context, residues)
+        return cls(context, signed[None, :] % context.primes_column)
 
     @classmethod
     def sample_ternary(cls, context: RingContext, prg: Prg | None = None) -> "RingPolynomial":
@@ -137,32 +228,45 @@ class RingPolynomial:
         if self.context is not other.context and self.context.primes != other.context.primes:
             raise ParameterError("ring elements belong to different rings")
 
+    def _pair_arrays(self, other: "RingPolynomial") -> tuple[np.ndarray, np.ndarray, bool]:
+        """Pick the domain for a linear operation: ``(left, right, in_spectra)``.
+
+        Linear maps commute with the NTT, so addition and negation are valid
+        pointwise in either domain; prefer the one both operands already have
+        (evaluation domain wins ties — that is where ciphertexts live).
+        """
+        if self._spectra is not None and other._spectra is not None:
+            return self._spectra, other._spectra, True
+        if self._residues is not None and other._residues is not None:
+            return self._residues, other._residues, False
+        return self.spectra, other.spectra, True
+
+    def _wrap(self, array: np.ndarray, in_spectra: bool) -> "RingPolynomial":
+        if in_spectra:
+            return RingPolynomial(self.context, spectra=array)
+        return RingPolynomial(self.context, residues=array)
+
     def add(self, other: "RingPolynomial") -> "RingPolynomial":
         self._check_same_ring(other)
-        residues = np.empty_like(self.residues)
-        for index, prime in enumerate(self.context.primes):
-            residues[index] = (self.residues[index] + other.residues[index]) % prime
-        return RingPolynomial(self.context, residues)
+        left, right, in_spectra = self._pair_arrays(other)
+        return self._wrap((left + right) % self.context.primes_column, in_spectra)
 
     def subtract(self, other: "RingPolynomial") -> "RingPolynomial":
         self._check_same_ring(other)
-        residues = np.empty_like(self.residues)
-        for index, prime in enumerate(self.context.primes):
-            residues[index] = (self.residues[index] - other.residues[index]) % prime
-        return RingPolynomial(self.context, residues)
+        left, right, in_spectra = self._pair_arrays(other)
+        return self._wrap((left - right) % self.context.primes_column, in_spectra)
 
     def negate(self) -> "RingPolynomial":
-        residues = np.empty_like(self.residues)
-        for index, prime in enumerate(self.context.primes):
-            residues[index] = (-self.residues[index]) % prime
-        return RingPolynomial(self.context, residues)
+        in_spectra = self._spectra is not None
+        array = self._spectra if in_spectra else self._residues
+        return self._wrap((-array) % self.context.primes_column, in_spectra)
 
     def scalar_multiply(self, scalar: int) -> "RingPolynomial":
         """Multiply every coefficient by an integer constant."""
-        residues = np.empty_like(self.residues)
-        for index, prime in enumerate(self.context.primes):
-            residues[index] = (self.residues[index] * (scalar % prime)) % prime
-        return RingPolynomial(self.context, residues)
+        in_spectra = self._spectra is not None
+        array = self._spectra if in_spectra else self._residues
+        reduced = self.context.reduce_scalar(scalar)
+        return self._wrap(array * reduced % self.context.primes_column, in_spectra)
 
     def monomial_multiply(self, exponent: int) -> "RingPolynomial":
         """Multiply by ``x^exponent`` in the negacyclic ring.
@@ -170,36 +274,36 @@ class RingPolynomial:
         Coefficient ``i`` moves to ``i + exponent``; coefficients that wrap
         past ``n`` reappear at the bottom negated (because ``x^n = -1``).
         This is the homomorphic "shift" operation Pretzel's packing uses
-        (§4.2, §4.3).
+        (§4.2, §4.3).  Evaluation-domain elements shift via a pointwise
+        product with the cached spectrum of ``x^exponent`` — no transform.
         """
         n = self.context.n
         exponent %= 2 * n
-        residues = np.empty_like(self.residues)
+        if self._spectra is not None:
+            mono = self.context.monomial_spectra(exponent)
+            spectra = self._spectra * mono % self.context.primes_column
+            return RingPolynomial(self.context, spectra=spectra)
+        effective = exponent % n
+        sign_flip = (exponent // n) % 2 == 1
+        residues = np.empty_like(self._residues)
         for index, prime in enumerate(self.context.primes):
-            row = self.residues[index]
-            shifted = np.empty_like(row)
-            effective = exponent % n
-            sign_flip = (exponent // n) % 2 == 1
+            row = self._residues[index]
             if effective == 0:
-                shifted[:] = row
-                wrapped = np.zeros(0, dtype=np.int64)
+                shifted = row.copy()
             else:
+                shifted = np.empty_like(row)
                 shifted[effective:] = row[: n - effective]
                 shifted[:effective] = (-row[n - effective :]) % prime
-                wrapped = shifted[:effective]
-            del wrapped
             if sign_flip:
                 shifted = (-shifted) % prime
-            residues[index] = shifted % prime
+            residues[index] = shifted
         return RingPolynomial(self.context, residues)
 
     def multiply(self, other: "RingPolynomial") -> "RingPolynomial":
-        """Full negacyclic polynomial product via the NTT."""
+        """Full negacyclic polynomial product — pointwise in the evaluation domain."""
         self._check_same_ring(other)
-        residues = np.empty_like(self.residues)
-        for index, ntt in enumerate(self.context.ntt):
-            residues[index] = ntt.multiply(self.residues[index], other.residues[index])
-        return RingPolynomial(self.context, residues)
+        spectra = self.spectra * other.spectra % self.context.primes_column
+        return RingPolynomial(self.context, spectra=spectra)
 
     # -- conversions ----------------------------------------------------------
     def to_centered_coefficients(self) -> list[int]:
@@ -207,7 +311,11 @@ class RingPolynomial:
         return self.context.crt_reconstruct(self.residues)
 
     def copy(self) -> "RingPolynomial":
-        return RingPolynomial(self.context, self.residues.copy())
+        return RingPolynomial(
+            self.context,
+            residues=None if self._residues is None else self._residues.copy(),
+            spectra=None if self._spectra is None else self._spectra.copy(),
+        )
 
     def serialized_size_bytes(self) -> int:
         """Wire size: n coefficients of ceil(log2 q) bits each."""

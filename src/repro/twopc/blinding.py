@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.crypto.ahe import AHECiphertext, AHEPublicKey, AHEScheme
 from repro.crypto.packing import DotProductCiphertexts, PackedLinearModel
 from repro.exceptions import ProtocolError
-from repro.utils.rand import secure_randbelow
+from repro.utils.rand import secure_randbelow, secure_uniform_ints
 
 
 def _noise_bound(scheme: AHEScheme, dot_bits: int) -> int:
@@ -85,14 +85,13 @@ def blind_dot_products(
     blinded = []
     for ct_index, ciphertext in enumerate(ciphertexts):
         slots_here = per_ciphertext.get(ct_index, {})
-        noise_vector = []
-        for slot in range(scheme.num_slots):
-            if slot in slots_here:
-                noise = secure_randbelow(bound)
-                output_noise[slots_here[slot]] = (ct_index, slot, noise)
-            else:
-                noise = secure_randbelow(full_range)
-            noise_vector.append(noise)
+        # Full-range noise for every slot in one vectorised draw; the few
+        # output slots are re-drawn from [0, bound) and recorded.
+        noise_vector = secure_uniform_ints(full_range, scheme.num_slots)
+        for slot, column in slots_here.items():
+            noise = secure_randbelow(bound)
+            noise_vector[slot] = noise
+            output_noise[column] = (ct_index, slot, noise)
         noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
         blinded.append(scheme.add(ciphertext, noise_ciphertext))
     return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
@@ -132,7 +131,7 @@ def blind_extracted_candidates(
         shift = extraction_slot - slot
         if shift:
             extracted = scheme.shift_up(extracted, shift)
-        noise_vector = [secure_randbelow(full_range) for _ in range(scheme.num_slots)]
+        noise_vector = secure_uniform_ints(full_range, scheme.num_slots)
         recorded = secure_randbelow(bound)
         noise_vector[extraction_slot] = recorded
         noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)

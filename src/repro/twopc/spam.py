@@ -144,7 +144,7 @@ class SpamFilterProtocol:
         # --- provider: decrypt the blinded dot products (Fig. 2 step 3) -----------
         received = channel.receive("provider")
         provider_start = time.perf_counter()
-        decrypted = [self.scheme.decrypt_slots(setup.keypair, ct) for ct in received]
+        decrypted = self.scheme.decrypt_slots_many(setup.keypair, received)
         spam_ct, spam_slot, spam_noise = blinded.output_noise[SPAM_COLUMN]
         ham_ct, ham_slot, ham_noise = blinded.output_noise[HAM_COLUMN]
         blinded_spam = decrypted[spam_ct][spam_slot]

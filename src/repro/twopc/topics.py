@@ -171,7 +171,7 @@ class TopicExtractionProtocol:
         # --- provider: decrypt the blinded candidate scores ------------------------------
         received = channel.receive("provider")
         provider_start = time.perf_counter()
-        decrypted = [self.scheme.decrypt_slots(setup.keypair, ct) for ct in received]
+        decrypted = self.scheme.decrypt_slots_many(setup.keypair, received)
         blinded_scores = []
         noises = []
         for column in candidates:

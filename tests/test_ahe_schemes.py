@@ -124,6 +124,66 @@ class TestBvSpecific:
         with pytest.raises(ParameterError):
             bv_scheme.shift_up(ciphertext, -1)
 
+    def test_shift_past_top_wraps_negated(self, bv_scheme, bv_keys):
+        # x^n = -1: slots pushed past the top reappear at the bottom negated
+        # (mod t).  Callers must treat them as garbage, but the algebra is
+        # load-bearing for the across-row packing and must stay exact.
+        n = bv_scheme.num_slots
+        t = bv_scheme.slot_modulus
+        values = [0] * n
+        values[n - 1] = 9
+        values[n - 2] = 5
+        ciphertext = bv_scheme.encrypt_slots(bv_keys.public, values)
+        shifted = bv_scheme.decrypt_slots(bv_keys, bv_scheme.shift_up(ciphertext, 2))
+        assert shifted[0] == (t - 5) % t
+        assert shifted[1] == (t - 9) % t
+        assert all(value == 0 for value in shifted[2:])
+
+    def test_decrypt_slots_many_matches_single(self, bv_scheme, bv_keys):
+        ciphertexts = [
+            bv_scheme.encrypt_slots(bv_keys.public, [index, 2 * index + 1])
+            for index in range(5)
+        ]
+        batched = bv_scheme.decrypt_slots_many(bv_keys, ciphertexts)
+        assert batched == [bv_scheme.decrypt_slots(bv_keys, ct) for ct in ciphertexts]
+        assert bv_scheme.decrypt_slots_many(bv_keys, []) == []
+
+    def test_combine_stacked_matches_operation_chain(self, bv_scheme, bv_keys):
+        ciphertexts = [
+            bv_scheme.encrypt_slots(bv_keys.public, [1 + index, 100 + index])
+            for index in range(4)
+        ]
+        stack = bv_scheme.stack_ciphertexts(ciphertexts)
+        rows, scalars = [0, 2, 3], [3, 1, 7]
+        batched = bv_scheme.combine_stacked(stack, rows, scalars)
+        reference = None
+        for row, scalar in zip(rows, scalars):
+            term = bv_scheme.scalar_mul(ciphertexts[row], scalar)
+            reference = term if reference is None else bv_scheme.add(reference, term)
+        assert bv_scheme.decrypt_slots(bv_keys, batched) == bv_scheme.decrypt_slots(
+            bv_keys, reference
+        )
+
+    def test_combine_stacked_shifted_matches_operation_chain(self, bv_scheme, bv_keys):
+        ciphertexts = [
+            bv_scheme.encrypt_slots(bv_keys.public, [2 + index, 30 + index])
+            for index in range(3)
+        ]
+        stack = bv_scheme.stack_ciphertexts(ciphertexts)
+        # Repeated rows with different shifts exercise the combining-polynomial
+        # fold (one spectrum-domain product per distinct ciphertext).
+        terms = [(0, 2, 0), (0, 1, 4), (1, 3, 2), (2, 1, 0), (0, 5, 4)]
+        batched = bv_scheme.combine_stacked_shifted(stack, terms)
+        reference = None
+        for row, scalar, shift in terms:
+            term = bv_scheme.scalar_mul(ciphertexts[row], scalar)
+            if shift:
+                term = bv_scheme.shift_up(term, shift)
+            reference = term if reference is None else bv_scheme.add(reference, term)
+        assert bv_scheme.decrypt_slots(bv_keys, batched) == bv_scheme.decrypt_slots(
+            bv_keys, reference
+        )
+
     def test_seeded_keypair_is_reproducible_public_part(self, bv_scheme):
         keys_1 = bv_scheme.generate_keypair(seed=b"joint-seed")
         keys_2 = bv_scheme.generate_keypair(seed=b"joint-seed")
@@ -137,6 +197,21 @@ class TestBvSpecific:
         scheme = BVScheme(BVParameters.test_parameters())
         expected = 2 * ((scheme.parameters.ring_degree * scheme.ring.modulus_bits + 7) // 8)
         assert scheme.ciphertext_size_bytes() == expected
+
+    def test_wide_slots_roundtrip_beyond_int64(self):
+        # slot_bits >= 64 is a valid parameterization (three 31-bit primes);
+        # slot values above 2^63 must take the exact big-int reduction path.
+        scheme = BVScheme(
+            BVParameters(ring_degree=64, prime_bits=31, prime_count=3, slot_bits=70)
+        )
+        keys = scheme.generate_keypair()
+        values = [2**65 + 12345, 5, 2**69]
+        decrypted = scheme.decrypt_slots(keys, scheme.encrypt_slots(keys.public, values))
+        assert decrypted[: len(values)] == values
+
+    def test_bool_slot_values_rejected(self, bv_scheme, bv_keys):
+        with pytest.raises(ParameterError):
+            bv_scheme.encrypt_slots(bv_keys.public, [True, 5])
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ParameterError):

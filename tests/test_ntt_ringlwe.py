@@ -29,6 +29,22 @@ class TestNttPrimes:
         assert len(set(primes)) == 2
         assert all(p % (2 * RING_DEGREE) == 1 for p in primes)
 
+    def test_many_distinct_primes(self):
+        # The old search decremented the bit size on a duplicate hit and could
+        # re-find the same prime forever; asking for several primes exercises
+        # the deterministic descending walk.
+        for count in (3, 4, 5):
+            primes = ntt_friendly_primes(count, 31, RING_DEGREE)
+            assert len(primes) == count
+            assert len(set(primes)) == count
+            assert all(p % (2 * RING_DEGREE) == 1 for p in primes)
+            assert all(p < 2**31 for p in primes)
+
+    def test_search_is_deterministic_and_prefix_stable(self):
+        five = ntt_friendly_primes(5, 31, RING_DEGREE)
+        assert ntt_friendly_primes(3, 31, RING_DEGREE) == five[:3]
+        assert ntt_friendly_primes(5, 31, RING_DEGREE) == five
+
     def test_too_large_prime_bits_rejected(self):
         with pytest.raises(ParameterError):
             ntt_friendly_primes(1, 40, RING_DEGREE)
@@ -81,6 +97,49 @@ class TestNtt:
         product = ntt_context.multiply(a, monomial)
         assert product[degree] == constant
         assert product.sum() == constant
+
+    @given(
+        degree=st.sampled_from([4, 16, 64, 256]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_multiply_matches_reference_across_degrees(self, degree, seed):
+        prime = ntt_friendly_primes(1, 31, degree)[0]
+        context = NttContext(degree, prime)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, prime, degree)
+        b = rng.integers(0, prime, degree)
+        assert np.array_equal(
+            context.multiply(a, b), negacyclic_multiply_reference(a, b, prime)
+        )
+
+    @given(
+        degree=st.sampled_from([4, 16, 64, 256]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_batched_forward_matches_single(self, degree, seed):
+        prime = ntt_friendly_primes(1, 31, degree)[0]
+        context = NttContext(degree, prime)
+        rng = np.random.default_rng(seed)
+        batch = rng.integers(0, prime, size=(3, degree))
+        stacked = context.forward_many(batch)
+        for row in range(3):
+            assert np.array_equal(stacked[row], context.forward(batch[row]))
+        assert np.array_equal(context.inverse_many(stacked), batch)
+
+    def test_monomial_spectrum_matches_forward_of_one_hot(self, ntt_context):
+        for exponent in (0, 1, 7, RING_DEGREE - 1):
+            one_hot = np.zeros(RING_DEGREE, dtype=np.int64)
+            one_hot[exponent] = 1
+            assert np.array_equal(
+                ntt_context.monomial_spectrum(exponent), ntt_context.forward(one_hot)
+            )
+        # x^(n + k) = -x^k in the negacyclic ring.
+        assert np.array_equal(
+            ntt_context.monomial_spectrum(RING_DEGREE + 3),
+            (-ntt_context.monomial_spectrum(3)) % ntt_context.prime,
+        )
 
 
 class TestRingPolynomial:
@@ -143,3 +202,67 @@ class TestRingPolynomial:
     def test_too_many_coefficients_rejected(self, ring_context):
         with pytest.raises(ParameterError):
             RingPolynomial.from_int_coefficients(ring_context, [1] * (RING_DEGREE + 1))
+
+
+class TestEvaluationDomain:
+    """The dual coefficient/NTT-domain representation must be transparent."""
+
+    def test_spectra_roundtrip(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-a"))
+        spectra_only = RingPolynomial(ring_context, spectra=a.spectra.copy())
+        assert np.array_equal(spectra_only.residues, a.residues)
+
+    def test_needs_at_least_one_domain(self, ring_context):
+        with pytest.raises(ParameterError):
+            RingPolynomial(ring_context)
+
+    def test_linear_ops_agree_across_domains(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-b"))
+        b = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-c"))
+        a_spec = RingPolynomial(ring_context, spectra=a.spectra.copy())
+        b_spec = RingPolynomial(ring_context, spectra=b.spectra.copy())
+        assert np.array_equal(a_spec.add(b_spec).residues, a.add(b).residues)
+        assert np.array_equal(a_spec.subtract(b_spec).residues, a.subtract(b).residues)
+        assert np.array_equal(a_spec.negate().residues, a.negate().residues)
+        assert np.array_equal(
+            a_spec.scalar_multiply(12345).residues, a.scalar_multiply(12345).residues
+        )
+
+    def test_monomial_multiply_agrees_across_domains(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-d"))
+        a_spec = RingPolynomial(ring_context, spectra=a.spectra.copy())
+        # Cover non-wrapping shifts, the x^n = -1 wrap, and the full period.
+        for exponent in (0, 1, 5, RING_DEGREE - 1, RING_DEGREE, RING_DEGREE + 3, 2 * RING_DEGREE):
+            assert np.array_equal(
+                a_spec.monomial_multiply(exponent).residues,
+                a.monomial_multiply(exponent).residues,
+            ), f"exponent {exponent}"
+
+    def test_multiply_stays_in_evaluation_domain(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-e"))
+        b = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-f"))
+        product = a.multiply(b)
+        assert product.in_evaluation_domain
+        # Spectra were cached on the operands by the multiply.
+        assert a.in_evaluation_domain and b.in_evaluation_domain
+
+    def test_copy_preserves_cached_domains(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-g"))
+        a.spectra
+        duplicate = a.copy()
+        assert np.array_equal(duplicate.residues, a.residues)
+        assert np.array_equal(duplicate.spectra, a.spectra)
+        assert duplicate.residues is not a.residues
+
+    def test_vectorised_crt_matches_scalar_reference(self, ring_context):
+        a = RingPolynomial.sample_uniform(ring_context, Prg(b"ev-h"))
+        q = ring_context.modulus
+        half = q // 2
+        expected = []
+        for column in range(ring_context.n):
+            value = 0
+            for prime_index in range(len(ring_context.primes)):
+                value += int(a.residues[prime_index, column]) * ring_context._crt_terms[prime_index]
+            value %= q
+            expected.append(value - q if value > half else value)
+        assert a.to_centered_coefficients() == expected

@@ -134,3 +134,67 @@ class TestPackedDotProducts:
         model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
         mapping = model.column_slot_map()
         assert set(mapping) == {0, 1}
+
+
+class TestBatchedAccumulation:
+    """The vectorised dot-product path must be bit-identical to the generic chain."""
+
+    @pytest.fixture(scope="class")
+    def small_matrix(self):
+        rng = np.random.default_rng(7)
+        return rng.integers(0, 200, size=(41, 2)).tolist()
+
+    @pytest.fixture(scope="class")
+    def wide_matrix(self, bv_scheme):
+        rng = np.random.default_rng(23)
+        columns = bv_scheme.num_slots + 19  # one full segment plus a leftover
+        return rng.integers(0, 300, size=(25, columns)).tolist()
+
+    def _assert_paths_agree(self, scheme, keys, model, features):
+        batched = model.dot_products(features)
+        bias = (model.layout.num_rows - 1, 1)
+        generic = model._dot_products_generic(
+            [(row, int(freq)) for row, freq in features if freq > 0] + [bias]
+        )
+        decrypted_batched = decrypt_dot_products(scheme, keys, batched)
+        decrypted_generic = decrypt_dot_products(scheme, keys, generic)
+        assert decrypted_batched == decrypted_generic
+        return decrypted_batched
+
+    def test_across_row_batched_matches_generic(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        features = [(0, 3), (5, 2), (17, 1), (39, 7), (12, 1)]
+        values = self._assert_paths_agree(bv_scheme, bv_keys, model, features)
+        assert values == _reference_dot_products(small_matrix, features)
+
+    def test_multi_segment_batched_matches_generic(self, bv_scheme, bv_keys, wide_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, wide_matrix, across_rows=True)
+        features = [(0, 1), (3, 4), (11, 2), (24, 1)]
+        values = self._assert_paths_agree(bv_scheme, bv_keys, model, features)
+        assert values == _reference_dot_products(wide_matrix, features)
+
+    def test_legacy_layout_batched_matches_generic(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=False)
+        features = [(2, 1), (3, 6), (40, 2)]
+        values = self._assert_paths_agree(bv_scheme, bv_keys, model, features)
+        assert values == _reference_dot_products(small_matrix, features)
+
+    def test_duplicate_feature_rows_accumulate(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        features = [(4, 1), (4, 2), (9, 3)]
+        values = self._assert_paths_agree(bv_scheme, bv_keys, model, features)
+        assert values == _reference_dot_products(small_matrix, features)
+
+    def test_zero_frequency_features_are_skipped(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        result = model.dot_products([(1, 0), (2, -1), (6, 2)])
+        assert decrypt_dot_products(bv_scheme, bv_keys, result) == _reference_dot_products(
+            small_matrix, [(6, 2)]
+        )
+
+    def test_stacks_are_cached_across_emails(self, bv_scheme, bv_keys, small_matrix):
+        model = PackedLinearModel.encrypt(bv_scheme, bv_keys.public, small_matrix, across_rows=True)
+        model.dot_products([(0, 1)])
+        first_stack = model._leftover_stack
+        model.dot_products([(1, 1)])
+        assert model._leftover_stack is first_stack
