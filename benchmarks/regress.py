@@ -1,18 +1,24 @@
-"""Regression benchmark harness for the BV hot path.
+"""Regression benchmark harness: the BV hot path and the serving runtime.
 
-Times the operations that dominate Pretzel's per-email costs (Figs. 6, 7 and
-10) and writes the medians to a ``BENCH_*.json`` file, so successive PRs can
-track the performance trajectory instead of re-deriving it from one-off
+``--suite hotpath`` (default) times the operations that dominate Pretzel's
+per-email costs (Figs. 6, 7 and 10).  ``--suite runtime`` measures multi-user
+serving-loop throughput: 8 emails classified one-shot sequentially versus as
+8 concurrent sessions through :class:`repro.core.runtime.ProviderRuntime`
+(cross-session batched decrypts + the per-pair persistent OT extension).
+Each suite writes its medians to a ``BENCH_*.json`` file, so successive PRs
+can track the performance trajectory instead of re-deriving it from one-off
 pytest-benchmark runs.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full-size ring (n=1024)
     PYTHONPATH=src python benchmarks/regress.py --ring-degree 256 --repeat 3
+    PYTHONPATH=src python benchmarks/regress.py --suite runtime
     PYTHONPATH=src python benchmarks/regress.py --output BENCH_smoke.json
 
-The JSON schema is flat on purpose: ``{"meta": {...}, "results": {name: ms}}``.
-Compare two files with any JSON diff tool; lower is better everywhere.
+The JSON schema is flat on purpose: ``{"meta": {...}, "results": {name: ...}}``.
+Compare two files with any JSON diff tool; lower is better for ``*_ms`` rows,
+higher for ``*_emails_per_s`` rows.
 """
 
 from __future__ import annotations
@@ -27,14 +33,20 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.classify.model import LinearModel, QuantizedLinearModel
+from repro.core.runtime import ProviderRuntime, run_spam_batch
 from repro.crypto.bv import BVParameters, BVScheme
+from repro.crypto.dh import generate_group
 from repro.crypto.packing import PackedLinearModel, decrypt_dot_products
 from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
+from repro.twopc.spam import SpamFilterProtocol
 
 SPAM_FEATURE_ROWS = 500
 EMAIL_FEATURES = 100
 TOPIC_CATEGORIES = 64
 TOPIC_CANDIDATES = 10
+RUNTIME_SESSIONS = 8
+RUNTIME_DH_BITS = 256
 
 
 def _median_ms(function, repeat: int) -> float:
@@ -123,25 +135,102 @@ def run(ring_degree: int, repeat: int) -> dict:
     return results
 
 
+def run_runtime(ring_degree: int, repeat: int) -> dict:
+    """Multi-user serving-loop throughput: sequential one-shots vs 8 concurrent.
+
+    The sequential arm is the one-shot baseline (fresh sessions, fresh base
+    OTs per email); the concurrent arm drives the same 8 emails through the
+    serving loop, which batches the provider decrypts across sessions and
+    amortises one per-pair OT-extension handshake over the whole burst.
+    """
+    parameters = BVParameters(ring_degree=ring_degree)
+    scheme = BVScheme(parameters)
+    group = generate_group(RUNTIME_DH_BITS)
+    rng = np.random.default_rng(7)
+    linear = LinearModel(
+        weights=rng.normal(size=(SPAM_FEATURE_ROWS, 2)),
+        biases=np.array([0.25, -0.25]),
+        category_names=["spam", "ham"],
+    )
+    quantized = QuantizedLinearModel.from_linear_model(
+        linear, value_bits=10, frequency_bits=4, max_features_per_email=4096
+    )
+    protocol = SpamFilterProtocol(scheme, group)
+    setup = protocol.setup(quantized)
+    emails = [
+        {int(row): 1 for row in rng.choice(SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False)}
+        for _ in range(RUNTIME_SESSIONS)
+    ]
+    # Warm the one-time caches both arms share (model stacks, circuits).
+    expected = [protocol.classify_email(setup, features).is_spam for features in emails]
+
+    sequential_rates = []
+    concurrent_rates = []
+    batch_counts = []
+    largest_batches = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        sequential = [protocol.classify_email(setup, features) for features in emails]
+        sequential_rates.append(RUNTIME_SESSIONS / (time.perf_counter() - start))
+        runtime = ProviderRuntime()
+        start = time.perf_counter()
+        concurrent = run_spam_batch(protocol, setup, emails, runtime=runtime)
+        concurrent_rates.append(RUNTIME_SESSIONS / (time.perf_counter() - start))
+        # The batch *count* (and largest batch) are what detect a batching
+        # regression: total ciphertexts is invariant under batching.
+        batch_counts.append(len(runtime.decrypt_batch_sizes))
+        largest_batches.append(max(runtime.decrypt_batch_sizes))
+        if [r.is_spam for r in sequential] != expected or [r.is_spam for r in concurrent] != expected:
+            raise AssertionError("concurrent and sequential verdicts disagree")
+
+    sequential_rate = statistics.median(sequential_rates)
+    concurrent_rate = statistics.median(concurrent_rates)
+    # The suite's reason to exist: the serving loop must never be slower than
+    # one-shot sequential sessions.  Fail loudly (CI-visible) if it regresses.
+    if concurrent_rate < sequential_rate:
+        raise AssertionError(
+            f"serving-loop throughput regressed: {concurrent_rate:.2f} emails/s "
+            f"concurrent < {sequential_rate:.2f} emails/s sequential"
+        )
+    return {
+        "runtime_sequential_emails_per_s": sequential_rate,
+        "runtime_concurrent8_emails_per_s": concurrent_rate,
+        "runtime_concurrent_speedup": concurrent_rate / sequential_rate,
+        "runtime_decrypt_batches_per_burst": statistics.median(batch_counts),
+        "runtime_largest_decrypt_batch": statistics.median(largest_batches),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ring-degree", type=int, default=1024)
     parser.add_argument("--repeat", type=int, default=9, help="samples per op (median reported)")
     parser.add_argument(
+        "--suite",
+        choices=("hotpath", "runtime"),
+        default="hotpath",
+        help="hotpath = BV micro/protocol ops; runtime = serving-loop throughput",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="output JSON path (default benchmarks/BENCH_bv_hotpath_n<degree>.json)",
+        help="output JSON path (default benchmarks/BENCH_<suite>_n<degree>.json)",
     )
     args = parser.parse_args()
     if args.repeat < 1:
         parser.error("--repeat must be at least 1")
-    output = args.output or Path(__file__).parent / f"BENCH_bv_hotpath_n{args.ring_degree}.json"
+    stem = "bv_hotpath" if args.suite == "hotpath" else "runtime"
+    output = args.output or Path(__file__).parent / f"BENCH_{stem}_n{args.ring_degree}.json"
 
-    results = run(args.ring_degree, args.repeat)
+    if args.suite == "hotpath":
+        results = run(args.ring_degree, args.repeat)
+    else:
+        results = run_runtime(args.ring_degree, args.repeat)
     payload = {
         "meta": {
             "harness": "benchmarks/regress.py",
+            "suite": args.suite,
             "ring_degree": args.ring_degree,
             "repeat": args.repeat,
             "spam_feature_rows": SPAM_FEATURE_ROWS,
@@ -158,9 +247,10 @@ def main() -> None:
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
     width = max(len(name) for name in results)
-    print(f"BV hot path (ring degree {args.ring_degree}, median of {args.repeat}):")
+    print(f"{args.suite} suite (ring degree {args.ring_degree}, median of {args.repeat}):")
     for name, value in results.items():
-        print(f"  {name.ljust(width)}  {value:8.3f} ms")
+        unit = "" if args.suite == "runtime" else " ms"
+        print(f"  {name.ljust(width)}  {value:10.3f}{unit}")
     print(f"wrote {output}")
 
 

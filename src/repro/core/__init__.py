@@ -14,6 +14,15 @@ This package glues the substrates together into the system of Fig. 1:
 """
 
 from repro.core.config import PretzelConfig
+from repro.core.runtime import (
+    MailboxDirectory,
+    ProviderRuntime,
+    SessionJob,
+    run_spam_batch,
+    run_topic_batch,
+    spam_job,
+    topic_job,
+)
 from repro.core.spam_module import SpamFunctionModule
 from repro.core.topic_module import TopicFunctionModule
 from repro.core.search_module import SearchFunctionModule
@@ -28,4 +37,11 @@ __all__ = [
     "PretzelClient",
     "PretzelSystem",
     "EmailProcessingReport",
+    "ProviderRuntime",
+    "MailboxDirectory",
+    "SessionJob",
+    "run_spam_batch",
+    "run_topic_batch",
+    "spam_job",
+    "topic_job",
 ]

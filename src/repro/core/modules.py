@@ -13,20 +13,29 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.mail.message import EmailMessage
 
 
 @dataclass
 class ModuleRunResult:
-    """Outcome of running one function module over one email."""
+    """Outcome of running one function module over one email.
+
+    ``network_bytes`` is the exact sum of the serialized frame lengths the
+    protocol session put on its transport; ``network_messages`` and
+    ``network_rounds`` are the frame count and the number of communication
+    rounds (direction changes) of the same session — the paper reports rounds
+    alongside bytes in Figs. 3, 6 and 11.
+    """
 
     module_name: str
     output: Any
     provider_seconds: float = 0.0
     client_seconds: float = 0.0
     network_bytes: int = 0
+    network_messages: int = 0
+    network_rounds: int = 0
     details: dict[str, Any] = field(default_factory=dict)
 
 
@@ -38,6 +47,16 @@ class FunctionModule(ABC):
     @abstractmethod
     def process_email(self, message: EmailMessage) -> ModuleRunResult:
         """Run the module's protocol over one decrypted email."""
+
+    def process_emails(self, messages: Sequence[EmailMessage]) -> list[ModuleRunResult]:
+        """Run the module over a batch of decrypted emails.
+
+        The default runs the per-email protocol sequentially.  Modules whose
+        provider half supports the multi-user serving loop
+        (:mod:`repro.core.runtime`) override this to run the batch as
+        concurrent sessions with cross-session batched decrypts.
+        """
+        return [self.process_email(message) for message in messages]
 
     def client_storage_bytes(self) -> int:
         """Client-side storage this module requires (encrypted models, indexes)."""

@@ -1,0 +1,266 @@
+"""Multi-user provider serving loop (§6.3's deployment story as running code).
+
+A deployed Pretzel provider serves millions of mailboxes; per-email protocol
+work arrives concurrently, not one session at a time.  This module supplies
+the runtime layer that makes the provider half scale:
+
+* :class:`SessionJob` — one in-flight email: a client/provider session pair
+  over its own framed channel (sessions are reentrant state machines, so a
+  job carries *all* of its protocol state).
+* :class:`ProviderRuntime` — the serving loop.  It multiplexes any number of
+  jobs, delivering frames round-robin, and *parks* provider sessions at
+  their decrypt step: all parked decryption requests that share a key pair
+  are folded into one ``decrypt_slots_many`` call, so the provider-side BV
+  inverse transforms amortise across sessions (the batching behind
+  Figs. 7/10) instead of running once per email.  Batch CPU time is
+  attributed back to sessions proportionally to their ciphertext counts.
+* :class:`MailboxDirectory` — per-user protocol state kept warm between
+  emails: the setup objects (key pairs, encrypted models) and, through
+  :meth:`~repro.crypto.packing.PackedLinearModel.ensure_stacks`, the dense
+  stacked encrypted-model rows, so no email in a burst pays the one-time
+  stacking cost.
+
+:func:`run_spam_batch` / :func:`run_topic_batch` are the convenience drivers
+used by the benchmarks, tests and function modules: N feature vectors in,
+N protocol results out, with every frame serialized and every byte counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.crypto.ot import OtExtensionPool
+from repro.exceptions import ProtocolError
+from repro.twopc.session import SessionJob, SessionLoop
+from repro.twopc.spam import SpamFilterProtocol, SpamProtocolResult, SpamSetup
+from repro.twopc.topics import TopicExtractionProtocol, TopicProtocolResult, TopicSetup
+
+SparseVector = Mapping[int, int]
+
+
+class ProviderRuntime(SessionLoop):
+    """The multi-user provider serving loop.
+
+    A thin domain name over :class:`~repro.twopc.session.SessionLoop` — the
+    shared frame pump with cross-session batched decryption — so the same
+    loop that drives one in-process session also drains a provider's burst
+    of concurrent email jobs.  See :class:`MailboxDirectory` for the
+    per-mailbox state the provider keeps warm between bursts.
+    """
+
+
+
+
+# ---------------------------------------------------------------------------
+# Job builders and batch drivers
+# ---------------------------------------------------------------------------
+def spam_job(
+    protocol: SpamFilterProtocol,
+    setup: SpamSetup,
+    features: SparseVector,
+    label: Any = None,
+    ot_pool: OtExtensionPool | None = None,
+) -> SessionJob:
+    """One spam-classification email session, ready for a serving loop."""
+    return SessionJob(
+        channel=protocol.make_channel(setup, name=f"spam[{label}]"),
+        client=protocol.client_session(setup, features, ot_pool=ot_pool),
+        provider=protocol.provider_session(setup, ot_pool=ot_pool),
+        label=label,
+    )
+
+
+def topic_job(
+    protocol: TopicExtractionProtocol,
+    setup: TopicSetup,
+    features: SparseVector,
+    candidate_topics: Sequence[int] | None = None,
+    label: Any = None,
+    ot_pool: OtExtensionPool | None = None,
+) -> SessionJob:
+    """One topic-extraction email session, ready for a serving loop."""
+    return SessionJob(
+        channel=protocol.make_channel(setup, name=f"topics[{label}]"),
+        client=protocol.client_session(setup, features, candidate_topics, ot_pool=ot_pool),
+        provider=protocol.provider_session(setup, ot_pool=ot_pool),
+        label=label,
+    )
+
+
+def _spam_result(job: SessionJob) -> SpamProtocolResult:
+    client = job.client
+    assert client.is_spam is not None
+    return SpamProtocolResult(
+        is_spam=client.is_spam,
+        provider_seconds=job.provider.seconds,
+        client_seconds=client.seconds,
+        network_bytes=job.channel.total_bytes(),
+        yao_and_gates=client.yao_and_gates,
+        network_messages=job.channel.total_messages(),
+        network_rounds=job.channel.rounds(),
+    )
+
+
+def _topic_result(job: SessionJob) -> TopicProtocolResult:
+    provider = job.provider
+    assert provider.extracted_topic is not None
+    return TopicProtocolResult(
+        extracted_topic=provider.extracted_topic,
+        provider_seconds=provider.seconds,
+        client_seconds=job.client.seconds,
+        network_bytes=job.channel.total_bytes(),
+        yao_and_gates=job.client.yao_and_gates,
+        candidates_used=len(job.client.candidates),
+        network_messages=job.channel.total_messages(),
+        network_rounds=job.channel.rounds(),
+    )
+
+
+def run_spam_batch(
+    protocol: SpamFilterProtocol,
+    setup: SpamSetup,
+    feature_sets: Sequence[SparseVector],
+    runtime: ProviderRuntime | None = None,
+    ot_pool: OtExtensionPool | None = None,
+    use_ot_pool: bool = True,
+) -> list[SpamProtocolResult]:
+    """Classify N emails as N concurrent sessions with cross-session amortisation.
+
+    Provider decrypts batch across sessions, and (unless *use_ot_pool* is
+    off) the Yao OTs of every session extend one per-pair base-OT handshake
+    instead of each paying :data:`~repro.crypto.ot.SECURITY_PARAMETER` fresh
+    public-key operations.
+    """
+    if not feature_sets:
+        return []
+    runtime = runtime or ProviderRuntime()
+    setup.encrypted_model.ensure_stacks()
+    if ot_pool is None and use_ot_pool and protocol.ot_mode == "iknp":
+        ot_pool = protocol.make_ot_pool(setup)
+    jobs = [
+        spam_job(protocol, setup, features, label=index, ot_pool=ot_pool)
+        for index, features in enumerate(feature_sets)
+    ]
+    runtime.run(jobs)
+    return [_spam_result(job) for job in jobs]
+
+
+def run_topic_batch(
+    protocol: TopicExtractionProtocol,
+    setup: TopicSetup,
+    feature_sets: Sequence[SparseVector],
+    candidate_lists: Sequence[Sequence[int] | None] | None = None,
+    runtime: ProviderRuntime | None = None,
+    ot_pool: OtExtensionPool | None = None,
+    use_ot_pool: bool = True,
+) -> list[TopicProtocolResult]:
+    """Extract topics for N emails as N concurrent sessions with batched decrypts."""
+    if not feature_sets:
+        return []
+    runtime = runtime or ProviderRuntime()
+    setup.encrypted_model.ensure_stacks()
+    if candidate_lists is None:
+        candidate_lists = [None] * len(feature_sets)
+    if len(candidate_lists) != len(feature_sets):
+        raise ProtocolError("one candidate list (or None) is required per email")
+    if ot_pool is None and use_ot_pool and protocol.ot_mode == "iknp":
+        ot_pool = protocol.make_ot_pool(setup)
+    jobs = [
+        topic_job(protocol, setup, features, candidates, label=index, ot_pool=ot_pool)
+        for index, (features, candidates) in enumerate(zip(feature_sets, candidate_lists))
+    ]
+    runtime.run(jobs)
+    return [_topic_result(job) for job in jobs]
+
+
+# ---------------------------------------------------------------------------
+# Per-mailbox state kept warm between emails
+# ---------------------------------------------------------------------------
+@dataclass
+class MailboxProtocols:
+    """The protocol state a provider keeps per registered mailbox."""
+
+    address: str
+    spam: tuple[SpamFilterProtocol, SpamSetup] | None = None
+    topics: tuple[TopicExtractionProtocol, TopicSetup] | None = None
+    spam_ot_pool: OtExtensionPool | None = None
+    topic_ot_pool: OtExtensionPool | None = None
+
+
+class MailboxDirectory:
+    """Per-user protocol state the serving loop reuses across emails.
+
+    Registering a mailbox stores its setup (key pair + encrypted model) and
+    pre-builds the dense stacked model rows, so the per-email hot path never
+    pays setup or stacking costs — the "per-sender encrypted model rows"
+    cache of the deployment sketch in §6.3.
+    """
+
+    def __init__(self) -> None:
+        self._mailboxes: dict[str, MailboxProtocols] = {}
+
+    def _entry(self, address: str) -> MailboxProtocols:
+        entry = self._mailboxes.get(address)
+        if entry is None:
+            entry = MailboxProtocols(address=address)
+            self._mailboxes[address] = entry
+        return entry
+
+    def register_spam(
+        self, address: str, protocol: SpamFilterProtocol, setup: SpamSetup
+    ) -> None:
+        entry = self._entry(address)
+        setup.encrypted_model.ensure_stacks()
+        entry.spam = (protocol, setup)
+        if protocol.ot_mode == "iknp":
+            entry.spam_ot_pool = protocol.make_ot_pool(setup)
+
+    def register_topics(
+        self, address: str, protocol: TopicExtractionProtocol, setup: TopicSetup
+    ) -> None:
+        entry = self._entry(address)
+        setup.encrypted_model.ensure_stacks()
+        entry.topics = (protocol, setup)
+        if protocol.ot_mode == "iknp":
+            entry.topic_ot_pool = protocol.make_ot_pool(setup)
+
+    def spam_of(self, address: str) -> tuple[SpamFilterProtocol, SpamSetup]:
+        entry = self._mailboxes.get(address)
+        if entry is None or entry.spam is None:
+            raise ProtocolError(f"no spam mailbox registered for {address!r}")
+        return entry.spam
+
+    def topics_of(self, address: str) -> tuple[TopicExtractionProtocol, TopicSetup]:
+        entry = self._mailboxes.get(address)
+        if entry is None or entry.topics is None:
+            raise ProtocolError(f"no topic mailbox registered for {address!r}")
+        return entry.topics
+
+    def mailbox_count(self) -> int:
+        return len(self._mailboxes)
+
+    def spam_jobs(
+        self, address: str, feature_sets: Sequence[SparseVector]
+    ) -> list[SessionJob]:
+        protocol, setup = self.spam_of(address)
+        pool = self._mailboxes[address].spam_ot_pool
+        return [
+            spam_job(protocol, setup, features, label=(address, index), ot_pool=pool)
+            for index, features in enumerate(feature_sets)
+        ]
+
+    def topic_jobs(
+        self,
+        address: str,
+        feature_sets: Sequence[SparseVector],
+        candidate_lists: Sequence[Sequence[int] | None] | None = None,
+    ) -> list[SessionJob]:
+        protocol, setup = self.topics_of(address)
+        pool = self._mailboxes[address].topic_ot_pool
+        if candidate_lists is None:
+            candidate_lists = [None] * len(feature_sets)
+        return [
+            topic_job(protocol, setup, features, candidates, label=(address, index), ot_pool=pool)
+            for index, (features, candidates) in enumerate(zip(feature_sets, candidate_lists))
+        ]

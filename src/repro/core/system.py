@@ -95,6 +95,23 @@ class PretzelClient:
             report.module_results[name] = module.process_email(message)
         return report
 
+    def process_messages(self, messages: list[EmailMessage]) -> list[EmailProcessingReport]:
+        """Run every attached module over a *batch* of decrypted emails.
+
+        Each module sees the whole batch at once (its
+        :meth:`~repro.core.modules.FunctionModule.process_emails`), so modules
+        backed by the serving loop run the emails as concurrent protocol
+        sessions with cross-session batched provider decrypts.
+        """
+        reports = [
+            EmailProcessingReport(message=message, encrypted_size_bytes=message.size_bytes())
+            for message in messages
+        ]
+        for name, module in self.modules.items():
+            for report, result in zip(reports, module.process_emails(messages)):
+                report.module_results[name] = result
+        return reports
+
 
 class PretzelSystem:
     """Factory/driver for a small Pretzel deployment (one provider, many users)."""
@@ -139,6 +156,33 @@ class PretzelSystem:
         reports = []
         for message in messages:
             reports.append(receiving_client.process_message(message, message.size_bytes()))
+        return reports
+
+    def fetch_and_process_batched(self, recipient: str) -> list[EmailProcessingReport]:
+        """Like :meth:`fetch_and_process`, but the mailbox is drained as one batch.
+
+        All fetched emails run as concurrent protocol sessions through the
+        multi-user serving loop (:mod:`repro.core.runtime`), so the provider's
+        per-email decrypts are batched — how a deployed provider would drain a
+        mailbox burst.
+        """
+        receiving_client = self.client(recipient)
+        messages = receiving_client.mail.fetch_and_decrypt()
+        return receiving_client.process_messages(messages)
+
+    def drain_all_mailboxes(self) -> dict[str, list[EmailProcessingReport]]:
+        """One provider-wide serving pass: drain every mailbox with pending mail.
+
+        Each user's pending burst is processed batched; users with nothing
+        pending beyond their fetch cursor are skipped.  Returns the reports
+        keyed by recipient address.
+        """
+        reports: dict[str, list[EmailProcessingReport]] = {}
+        for address in self.provider.mail.mailboxes_with_mail():
+            client = self.clients.get(address)
+            if client is None or client.mail.pending_email_count() == 0:
+                continue
+            reports[address] = self.fetch_and_process_batched(address)
         return reports
 
     def roundtrip(self, sender: str, recipient: str, subject: str, body: str) -> EmailProcessingReport:

@@ -153,6 +153,30 @@ class AHEScheme(ABC):
         """Compute ``Σ scalar · x^shift · stack[row]`` over ``(row, scalar, shift)`` terms."""
         raise ParameterError(f"{self.name} does not support batched accumulation")
 
+    # -- wire codecs -------------------------------------------------------
+    @abstractmethod
+    def serialize_ciphertext(self, ciphertext: AHECiphertext) -> bytes:
+        """Encode a ciphertext into its exact wire bytes.
+
+        The protocol frames of :mod:`repro.twopc.wire` call this for every
+        ciphertext that crosses parties, so ``len(serialize_ciphertext(ct))``
+        — not an estimate — is what network accounting charges.  The encoding
+        must round-trip bit-identically through :meth:`deserialize_ciphertext`
+        and must have length :meth:`ciphertext_size_bytes` for every
+        ciphertext under a fixed parameter set.
+        """
+
+    @abstractmethod
+    def deserialize_ciphertext(
+        self, data: bytes, public_key: AHEPublicKey | None = None
+    ) -> AHECiphertext:
+        """Decode wire bytes produced by :meth:`serialize_ciphertext`.
+
+        Schemes whose ciphertext payloads carry key material (Paillier) need
+        *public_key* to reattach it; schemes with self-contained ciphertexts
+        (XPIR-BV) ignore it.
+        """
+
     # -- sizes -----------------------------------------------------------
     @abstractmethod
     def ciphertext_size_bytes(self) -> int:

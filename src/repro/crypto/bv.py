@@ -32,6 +32,7 @@ is ~16 KB, matching the 16 KB XPIR-BV ciphertexts reported in §4.1.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,7 +46,7 @@ from repro.crypto.ahe import (
 )
 from repro.crypto.prg import Prg
 from repro.crypto.ringlwe import RingContext, RingPolynomial
-from repro.exceptions import NoiseBudgetExceeded, ParameterError
+from repro.exceptions import NoiseBudgetExceeded, ParameterError, WireFormatError
 from repro.utils.rand import secure_bytes
 from typing import Sequence
 
@@ -352,10 +353,56 @@ class BVScheme(AHEScheme):
         acc1 %= primes_column
         return self._wrap_spectra(acc0, acc1)
 
+    # -- wire codec ---------------------------------------------------------------------
+    _WIRE_HEADER = ">IB"  # ring degree (u32), RNS prime count (u8)
+
+    def serialize_ciphertext(self, ciphertext: AHECiphertext) -> bytes:
+        """Exact wire bytes: header + the (c0, c1) evaluation-domain residues.
+
+        Ciphertexts are NTT-resident (see the module docstring), and the NTT
+        for a fixed parameter set is a bijection both parties share, so the
+        spectra *are* the canonical wire form — serialization never pays a
+        transform.  Each residue is a u32 (< 2^31 prime), so the encoding is
+        ``5 + 8·primes·n`` bytes and round-trips bit-identically.
+        """
+        if ciphertext.scheme_name != self.name:
+            raise ParameterError(f"cannot serialize a {ciphertext.scheme_name!r} ciphertext")
+        payload: BVCiphertextPayload = ciphertext.payload
+        header = struct.pack(self._WIRE_HEADER, self.ring.n, len(self.ring.primes))
+        return (
+            header
+            + payload.c0.spectra.astype(">u4").tobytes()
+            + payload.c1.spectra.astype(">u4").tobytes()
+        )
+
+    def deserialize_ciphertext(
+        self, data: bytes, public_key: AHEPublicKey | None = None
+    ) -> AHECiphertext:
+        if len(data) != self.ciphertext_size_bytes():
+            raise WireFormatError(
+                f"BV ciphertext frame is {len(data)} bytes, expected "
+                f"{self.ciphertext_size_bytes()}"
+            )
+        n, num_primes = struct.unpack_from(self._WIRE_HEADER, data)
+        if n != self.ring.n or num_primes != len(self.ring.primes):
+            raise WireFormatError(
+                f"BV ciphertext parameters (n={n}, primes={num_primes}) do not match "
+                f"the scheme (n={self.ring.n}, primes={len(self.ring.primes)})"
+            )
+        body = np.frombuffer(data, dtype=">u4", offset=struct.calcsize(self._WIRE_HEADER))
+        halves = body.astype(np.int64).reshape(2, num_primes, n)
+        if (halves >= self.ring.primes_column).any():
+            raise WireFormatError("BV ciphertext residue exceeds its RNS prime")
+        payload = BVCiphertextPayload(
+            c0=RingPolynomial.from_spectra(self.ring, halves[0]),
+            c1=RingPolynomial.from_spectra(self.ring, halves[1]),
+        )
+        return AHECiphertext(self.name, payload, self.ciphertext_size_bytes())
+
     # -- sizes -------------------------------------------------------------------------
     def ciphertext_size_bytes(self) -> int:
-        coefficient_bits = self.ring.modulus_bits
-        return 2 * ((self.parameters.ring_degree * coefficient_bits + 7) // 8)
+        """Exact serialized size: the wire-codec header plus 2·primes·n u32 residues."""
+        return struct.calcsize(self._WIRE_HEADER) + 8 * len(self.ring.primes) * self.ring.n
 
     # -- misc ---------------------------------------------------------------------------
     def encrypt_zero(self, public_key: AHEPublicKey) -> AHECiphertext:

@@ -25,9 +25,10 @@ from dataclasses import dataclass
 
 from repro.crypto.hashes import sha256
 from repro.crypto.circuits import Circuit, GateKind
-from repro.exceptions import CircuitError, ProtocolAbort
+from repro.exceptions import CircuitError, ProtocolAbort, WireFormatError
 from repro.utils.bitops import xor_bytes
 from repro.utils.rand import secure_bytes
+from repro.utils.serialization import ByteReader, ByteWriter
 
 LABEL_BYTES = 16
 
@@ -60,6 +61,42 @@ class GarbledTables:
         table_bytes = sum(4 * LABEL_BYTES for _ in self.and_gates)
         decode_bytes = len(self.output_decode) * 2 * LABEL_BYTES
         return table_bytes + decode_bytes
+
+    # -- wire codec (the garbled-tables message of Yao's protocol) ------------
+    def to_bytes(self) -> bytes:
+        """Exact wire encoding: gate positions + rows, then the decode digests."""
+        writer = ByteWriter()
+        writer.u32(len(self.and_gates))
+        for position in sorted(self.and_gates):
+            gate = self.and_gates[position]
+            if len(gate.rows) != 4 or any(len(row) != LABEL_BYTES for row in gate.rows):
+                raise CircuitError("garbled AND gate must carry four label-sized rows")
+            writer.u32(position)
+            for row in gate.rows:
+                writer.raw(row)
+        writer.u32(len(self.output_decode))
+        for digest0, digest1 in self.output_decode:
+            if len(digest0) != LABEL_BYTES or len(digest1) != LABEL_BYTES:
+                raise CircuitError("output decode digests must be label-sized")
+            writer.raw(digest0)
+            writer.raw(digest1)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GarbledTables":
+        reader = ByteReader(data)
+        and_gates: dict[int, GarbledGate] = {}
+        for _ in range(reader.u32()):
+            position = reader.u32()
+            if position in and_gates:
+                raise WireFormatError(f"duplicate garbled gate at position {position}")
+            rows = [reader.raw(LABEL_BYTES) for _ in range(4)]
+            and_gates[position] = GarbledGate(gate_index=position, rows=rows)
+        output_decode = [
+            (reader.raw(LABEL_BYTES), reader.raw(LABEL_BYTES)) for _ in range(reader.u32())
+        ]
+        reader.expect_end()
+        return cls(and_gates=and_gates, output_decode=output_decode)
 
 
 @dataclass

@@ -5,18 +5,23 @@ its own private input bits without the garbler learning those bits and
 without the evaluator learning the other labels — exactly a 1-out-of-2
 oblivious transfer per input bit.
 
-* :class:`BaseOT` is a Chou–Orlandi style DH-based OT ("simplest OT") over a
+* The *base* OT is a Chou–Orlandi style DH-based OT ("simplest OT") over a
   safe-prime group.  Each transfer costs a few modular exponentiations.
-* :class:`OTExtension` implements the IKNP extension [71 in the paper,
-  "Extending oblivious transfers efficiently"]: a small constant number of
-  base OTs (128) in the reverse direction is stretched, with only symmetric
-  operations, into as many OTs as the circuit needs.  This is what makes the
-  per-email Yao step affordable, and is the mechanism the paper's cost model
-  charges as ``y_per-in`` / ``sz_per-in`` (Fig. 3).
+* The *IKNP extension* [71 in the paper, "Extending oblivious transfers
+  efficiently"] stretches a small constant number of base OTs (128) run in
+  the reverse direction, with only symmetric operations, into as many OTs as
+  the circuit needs.  This is what makes the per-email Yao step affordable,
+  and is the mechanism the paper's cost model charges as ``y_per-in`` /
+  ``sz_per-in`` (Fig. 3).
 
-Both are expressed as message-passing state machines over a
-:class:`repro.twopc.channel.TwoPartyChannel`-compatible duplex pair so the
-protocol drivers can account for network bytes.
+Each party of each variant is an explicit frame-driven state machine
+(:class:`BaseOtSenderMachine`, :class:`IknpReceiverMachine`, ...): it reacts
+to typed wire frames (:mod:`repro.twopc.wire`) with response frames and never
+blocks, so the machines compose into the larger Yao sessions of
+:mod:`repro.crypto.yao` and multiplex across concurrent email sessions.
+:class:`ObliviousTransfer` remains the in-process driver: it pumps a
+sender/receiver machine pair over a framed channel, which is also how the
+byte costs of an OT batch are measured.
 """
 
 from __future__ import annotations
@@ -27,6 +32,16 @@ from repro.crypto.dh import DHGroup
 from repro.crypto.hashes import hash_to_group_element, sha256
 from repro.crypto.prg import Prg, prf
 from repro.exceptions import OTError
+from repro.twopc.session import ProtocolSession, run_session_pair
+from repro.twopc.transport import FramedChannel
+from repro.twopc.wire import (
+    Frame,
+    OtCipherPairsFrame,
+    OtExtColumnsFrame,
+    OtExtPairsFrame,
+    OtPublicsFrame,
+    OtResponsesFrame,
+)
 from repro.utils.bitops import bits_to_bytes, bytes_to_bits, xor_bytes
 from repro.utils.rand import secure_bytes
 
@@ -101,16 +116,474 @@ def base_ot_batch_send(
 
 
 # ---------------------------------------------------------------------------
-# Whole-protocol helpers (run both parties in-process over a channel object)
+# Frame-driven party state machines
+# ---------------------------------------------------------------------------
+def _row_bits(columns: list[bytes] | tuple[bytes, ...], row: int, kappa: int) -> list[int]:
+    return [(columns[j][row // 8] >> (row % 8)) & 1 for j in range(kappa)]
+
+
+class OtMachine(ProtocolSession):
+    """Common base: an OT party as a reentrant frame handler.
+
+    ``result`` is the receiver's list of chosen messages (``None`` for a
+    sender, and until the receiver finishes).  An empty batch finishes
+    immediately without emitting any frames.
+    """
+
+    def __init__(self, group: DHGroup) -> None:
+        super().__init__()
+        self.group = group
+        self.result: list[bytes] | None = None
+
+
+class BaseOtSenderMachine(OtMachine):
+    """Chou–Orlandi sender: publics -> (responses) -> encrypted pairs."""
+
+    def __init__(self, group: DHGroup, message_pairs: list[tuple[bytes, bytes]]) -> None:
+        super().__init__(group)
+        self.message_pairs = list(message_pairs)
+        self._setups: list[BaseOTSenderSetup] = []
+
+    def _start(self) -> list[Frame]:
+        if not self.message_pairs:
+            self.finished = True
+            return []
+        self._setups = [base_ot_sender_setup(self.group) for _ in self.message_pairs]
+        return [OtPublicsFrame(tuple(setup.public for setup in self._setups))]
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if not isinstance(frame, OtResponsesFrame):
+            return self._unexpected(frame)
+        if len(frame.elements) != len(self.message_pairs):
+            raise OTError("base OT response count does not match the transfer batch")
+        encrypted = base_ot_batch_send(
+            self.group, self.message_pairs, list(frame.elements), self._setups
+        )
+        self.finished = True
+        return [OtCipherPairsFrame(tuple(encrypted))]
+
+
+class BaseOtReceiverMachine(OtMachine):
+    """Chou–Orlandi receiver: (publics) -> responses -> (pairs) -> messages."""
+
+    def __init__(self, group: DHGroup, choices: list[int]) -> None:
+        super().__init__(group)
+        self.choices = list(choices)
+        self._keys: list[bytes] = []
+
+    def _start(self) -> list[Frame]:
+        if not self.choices:
+            self.result = []
+            self.finished = True
+        return []
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if isinstance(frame, OtPublicsFrame):
+            if len(frame.elements) != len(self.choices):
+                raise OTError("base OT public count does not match the transfer batch")
+            responses = []
+            for public, choice in zip(frame.elements, self.choices):
+                response, key = base_ot_receiver_respond(self.group, public, choice)
+                responses.append(response)
+                self._keys.append(key)
+            return [OtResponsesFrame(tuple(responses))]
+        if isinstance(frame, OtCipherPairsFrame):
+            if not self._keys:
+                raise OTError("base OT pairs arrived before the sender's publics")
+            if len(frame.pairs) != len(self.choices):
+                raise OTError("base OT pair count does not match the transfer batch")
+            self.result = [
+                _ot_encrypt(key, pair[choice], index)
+                for index, (pair, choice, key) in enumerate(
+                    zip(frame.pairs, self.choices, self._keys)
+                )
+            ]
+            self.finished = True
+            return []
+        return self._unexpected(frame)
+
+
+class IknpSenderMachine(OtMachine):
+    """IKNP extension sender.
+
+    Acts as base-OT *receiver* (choice vector ``s``) for the seed transfer,
+    then turns the receiver's U-columns into its Q matrix and encrypts every
+    message pair under row-derived pads (step 5 of the construction).
+    """
+
+    def __init__(self, group: DHGroup, message_pairs: list[tuple[bytes, bytes]]) -> None:
+        super().__init__(group)
+        self.message_pairs = list(message_pairs)
+        if self.message_pairs:
+            self.message_length = len(self.message_pairs[0][0])
+            for m0, m1 in self.message_pairs:
+                if len(m0) != self.message_length or len(m1) != self.message_length:
+                    raise OTError("IKNP requires equal-length messages")
+        self._kappa = SECURITY_PARAMETER
+        self._s_bits = bytes_to_bits(secure_bytes(self._kappa // 8), self._kappa)
+        self._base = BaseOtReceiverMachine(group, self._s_bits)
+        self._seeds: list[bytes] | None = None
+
+    def _start(self) -> list[Frame]:
+        if not self.message_pairs:
+            self.finished = True
+            return []
+        return self._base.start()
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if isinstance(frame, (OtPublicsFrame, OtCipherPairsFrame)):
+            frames = self._base.handle(frame)
+            if self._base.finished:
+                self._seeds = self._base.result
+            return frames
+        if isinstance(frame, OtExtColumnsFrame):
+            if self._seeds is None:
+                raise OTError("IKNP columns arrived before the seed base OTs completed")
+            if len(frame.columns) != self._kappa:
+                raise OTError("IKNP column count does not match the security parameter")
+            count = len(self.message_pairs)
+            column_bytes = (count + 7) // 8
+            # Q_j = PRG(seed_j) XOR (s_j * U_j).
+            q_columns = []
+            for j in range(self._kappa):
+                column = Prg(self._seeds[j], domain=b"iknp-column").read(column_bytes)
+                if len(frame.columns[j]) != column_bytes:
+                    raise OTError("IKNP column length does not match the transfer batch")
+                if self._s_bits[j]:
+                    column = xor_bytes(column, frame.columns[j])
+                q_columns.append(column)
+            # Row i satisfies q_i = t_i XOR (r_i * s): derive both pads, encrypt.
+            s_bytes = bits_to_bytes(self._s_bits)
+            encrypted_pairs = []
+            for i in range(count):
+                q_row = bits_to_bytes(_row_bits(q_columns, i, self._kappa))
+                pad0 = prf(
+                    sha256(b"iknp-pad", i.to_bytes(4, "big"), q_row), b"0", self.message_length
+                )
+                pad1 = prf(
+                    sha256(b"iknp-pad", i.to_bytes(4, "big"), xor_bytes(q_row, s_bytes)),
+                    b"1",
+                    self.message_length,
+                )
+                m0, m1 = self.message_pairs[i]
+                encrypted_pairs.append((xor_bytes(pad0, m0), xor_bytes(pad1, m1)))
+            self.finished = True
+            return [OtExtPairsFrame(tuple(encrypted_pairs))]
+        return self._unexpected(frame)
+
+
+class IknpReceiverMachine(OtMachine):
+    """IKNP extension receiver.
+
+    Initiates the reverse-direction seed base OTs (it is the base *sender*
+    with :data:`SECURITY_PARAMETER` fresh seed pairs), publishes its
+    U-columns, and finally decrypts the chosen message of every pair with
+    pads derived from its T-matrix rows.
+    """
+
+    def __init__(self, group: DHGroup, choices: list[int]) -> None:
+        super().__init__(group)
+        self.choices = list(choices)
+        self._kappa = SECURITY_PARAMETER
+        self._seed_pairs = [
+            (secure_bytes(16), secure_bytes(16)) for _ in range(self._kappa)
+        ]
+        self._base = BaseOtSenderMachine(group, self._seed_pairs)
+        self._t_columns: list[bytes] = []
+
+    def _start(self) -> list[Frame]:
+        if not self.choices:
+            self.result = []
+            self.finished = True
+            return []
+        return self._base.start()
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if isinstance(frame, OtResponsesFrame):
+            frames = self._base.handle(frame)
+            # The seed transfer is done from this party's side; stretch both
+            # seeds per column and publish U = T XOR PRG(seed1) XOR r.
+            column_bytes = (len(self.choices) + 7) // 8
+            choice_vector = bits_to_bytes(self.choices)
+            u_columns = []
+            for seed0, seed1 in self._seed_pairs:
+                t_col = Prg(seed0, domain=b"iknp-column").read(column_bytes)
+                g1 = Prg(seed1, domain=b"iknp-column").read(column_bytes)
+                self._t_columns.append(t_col)
+                u_columns.append(xor_bytes(xor_bytes(t_col, g1), choice_vector))
+            return frames + [OtExtColumnsFrame(tuple(u_columns))]
+        if isinstance(frame, OtExtPairsFrame):
+            if not self._t_columns:
+                raise OTError("IKNP pairs arrived before the seed base OTs completed")
+            if len(frame.pairs) != len(self.choices):
+                raise OTError("IKNP pair count does not match the transfer batch")
+            results = []
+            for i, choice in enumerate(self.choices):
+                t_row = bits_to_bytes(_row_bits(self._t_columns, i, self._kappa))
+                chosen = frame.pairs[i][choice]
+                pad = prf(
+                    sha256(b"iknp-pad", i.to_bytes(4, "big"), t_row),
+                    bytes([48 + choice]),
+                    len(chosen),
+                )
+                results.append(xor_bytes(pad, chosen))
+            self.result = results
+            self.finished = True
+            return []
+        return self._unexpected(frame)
+
+
+# ---------------------------------------------------------------------------
+# Persistent OT extension (the amortised IKNP usage)
+#
+# IKNP's whole point is that the expensive base OTs run *once* per party pair
+# and are then stretched, with symmetric operations only, for as many
+# transfers as all later executions need.  The pool below is that pair-level
+# state: the extension sender keeps its secret column-choice vector ``s`` and
+# the kappa received seeds; the receiver keeps the kappa seed pairs and a
+# global transfer counter.  Each batch derives its T/U column chunk from a
+# per-batch domain-separated PRG (keyed by the batch's global start index),
+# so concurrent sessions of the same pair can extend in any arrival order,
+# and every pad is bound to a globally unique transfer index.
+#
+# Reusing ``s`` across extensions is the standard amortised IKNP deployment
+# (passively secure, like the rest of this prototype).
+# ---------------------------------------------------------------------------
+@dataclass
+class OtExtensionSenderState:
+    """The extension sender's half of the pair state (holds ``s`` + seeds).
+
+    ``next_index`` is a high-water mark mirroring the receiver's allocation
+    counter (observability/tests only): concurrent batches may legitimately
+    arrive out of allocation order, so it is not an ordering check.
+    """
+
+    s_bits: list[int]
+    seed_keys: list[bytes]
+    next_index: int = 0
+
+
+@dataclass
+class OtExtensionReceiverState:
+    """The extension receiver's half of the pair state (holds the seed pairs)."""
+
+    seed_pairs: list[tuple[bytes, bytes]]
+    next_index: int = 0
+
+    def allocate(self, count: int) -> int:
+        """Reserve *count* globally unique transfer indices for one batch."""
+        start = self.next_index
+        self.next_index += count
+        return start
+
+
+@dataclass
+class OtExtensionPool:
+    """Both halves of one directional pair's persistent extension state.
+
+    In a deployment each party holds only its own half; keeping the two
+    halves in one object mirrors the in-process arrangement of the rest of
+    the repository.  ``ready`` becomes true after :func:`initialize_ot_pool`
+    has run the one-time base OTs.
+    """
+
+    sender_state: OtExtensionSenderState | None = None
+    receiver_state: OtExtensionReceiverState | None = None
+
+    @property
+    def ready(self) -> bool:
+        return self.sender_state is not None and self.receiver_state is not None
+
+
+def _pool_column(seed: bytes, start_index: int, column_bytes: int) -> bytes:
+    """The T/U column chunk for the batch starting at *start_index*."""
+    domain = b"iknp-pool-column" + start_index.to_bytes(8, "big")
+    return Prg(seed, domain=domain).read(column_bytes)
+
+
+def _pool_pad(global_index: int, row: bytes, tag: bytes, length: int) -> bytes:
+    return prf(
+        sha256(b"iknp-pool-pad", global_index.to_bytes(8, "big"), row), tag, length
+    )
+
+
+def initialize_ot_pool(
+    group: DHGroup,
+    channel: FramedChannel | None = None,
+    sender_name: str = "sender",
+    receiver_name: str = "receiver",
+) -> OtExtensionPool:
+    """Run the one-time seed base OTs for a party pair and return the pool.
+
+    *sender_name* / *receiver_name* are the channel parties acting as
+    extension sender (the Yao garbler side) and receiver.  The handshake
+    costs :data:`SECURITY_PARAMETER` base OTs — a pair-setup expense on the
+    order of shipping the encrypted model, amortised over every later email.
+    """
+    channel = channel or FramedChannel.loopback(
+        "ot-pool", parties=(sender_name, receiver_name)
+    )
+    kappa = SECURITY_PARAMETER
+    s_bits = bytes_to_bits(secure_bytes(kappa // 8), kappa)
+    seed_pairs = [(secure_bytes(16), secure_bytes(16)) for _ in range(kappa)]
+    # The extension *sender* is the base-OT receiver of the seeds (and vice
+    # versa), exactly as inside a one-shot IKNP run.
+    seed_receiver = BaseOtReceiverMachine(group, s_bits)
+    seed_sender = BaseOtSenderMachine(group, seed_pairs)
+    run_session_pair(channel, {sender_name: seed_receiver, receiver_name: seed_sender})
+    assert seed_receiver.result is not None
+    return OtExtensionPool(
+        sender_state=OtExtensionSenderState(s_bits=s_bits, seed_keys=seed_receiver.result),
+        receiver_state=OtExtensionReceiverState(seed_pairs=seed_pairs),
+    )
+
+
+class PooledIknpSenderMachine(OtMachine):
+    """IKNP sender against persistent pair state: no base OTs, columns in."""
+
+    def __init__(
+        self,
+        group: DHGroup,
+        message_pairs: list[tuple[bytes, bytes]],
+        state: OtExtensionSenderState,
+    ) -> None:
+        super().__init__(group)
+        self.message_pairs = list(message_pairs)
+        self.state = state
+        if self.message_pairs:
+            self.message_length = len(self.message_pairs[0][0])
+            for m0, m1 in self.message_pairs:
+                if len(m0) != self.message_length or len(m1) != self.message_length:
+                    raise OTError("IKNP requires equal-length messages")
+
+    def _start(self) -> list[Frame]:
+        if not self.message_pairs:
+            self.finished = True
+        return []
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if not isinstance(frame, OtExtColumnsFrame):
+            return self._unexpected(frame)
+        kappa = SECURITY_PARAMETER
+        if len(frame.columns) != kappa:
+            raise OTError("IKNP column count does not match the security parameter")
+        count = len(self.message_pairs)
+        column_bytes = (count + 7) // 8
+        start = frame.start_index
+        self.state.next_index = max(self.state.next_index, start + count)
+        q_columns = []
+        for j in range(kappa):
+            column = _pool_column(self.state.seed_keys[j], start, column_bytes)
+            if len(frame.columns[j]) != column_bytes:
+                raise OTError("IKNP column length does not match the transfer batch")
+            if self.state.s_bits[j]:
+                column = xor_bytes(column, frame.columns[j])
+            q_columns.append(column)
+        s_bytes = bits_to_bytes(self.state.s_bits)
+        encrypted_pairs = []
+        for i in range(count):
+            q_row = bits_to_bytes(_row_bits(q_columns, i, kappa))
+            pad0 = _pool_pad(start + i, q_row, b"0", self.message_length)
+            pad1 = _pool_pad(start + i, xor_bytes(q_row, s_bytes), b"1", self.message_length)
+            m0, m1 = self.message_pairs[i]
+            encrypted_pairs.append((xor_bytes(pad0, m0), xor_bytes(pad1, m1)))
+        self.finished = True
+        return [OtExtPairsFrame(tuple(encrypted_pairs))]
+
+
+class PooledIknpReceiverMachine(OtMachine):
+    """IKNP receiver against persistent pair state: allocate, extend, decrypt."""
+
+    def __init__(
+        self, group: DHGroup, choices: list[int], state: OtExtensionReceiverState
+    ) -> None:
+        super().__init__(group)
+        self.choices = list(choices)
+        self.state = state
+        self._start_index = 0
+        self._t_columns: list[bytes] = []
+
+    def _start(self) -> list[Frame]:
+        if not self.choices:
+            self.result = []
+            self.finished = True
+            return []
+        count = len(self.choices)
+        self._start_index = self.state.allocate(count)
+        column_bytes = (count + 7) // 8
+        choice_vector = bits_to_bytes(self.choices)
+        u_columns = []
+        for seed0, seed1 in self.state.seed_pairs:
+            t_col = _pool_column(seed0, self._start_index, column_bytes)
+            g1 = _pool_column(seed1, self._start_index, column_bytes)
+            self._t_columns.append(t_col)
+            u_columns.append(xor_bytes(xor_bytes(t_col, g1), choice_vector))
+        return [OtExtColumnsFrame(tuple(u_columns), start_index=self._start_index)]
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if not isinstance(frame, OtExtPairsFrame):
+            return self._unexpected(frame)
+        if len(frame.pairs) != len(self.choices):
+            raise OTError("IKNP pair count does not match the transfer batch")
+        kappa = SECURITY_PARAMETER
+        results = []
+        for i, choice in enumerate(self.choices):
+            t_row = bits_to_bytes(_row_bits(self._t_columns, i, kappa))
+            chosen = frame.pairs[i][choice]
+            pad = _pool_pad(self._start_index + i, t_row, bytes([48 + choice]), len(chosen))
+            results.append(xor_bytes(pad, chosen))
+        self.result = results
+        self.finished = True
+        return []
+
+
+def make_ot_sender(
+    group: DHGroup,
+    message_pairs: list[tuple[bytes, bytes]],
+    mode: str = "iknp",
+    pool: OtExtensionPool | None = None,
+) -> OtMachine:
+    """Build the sender-side machine for the given OT flavour.
+
+    A ready *pool* (``mode="iknp"`` only) selects the persistent-extension
+    machine: no base OTs, one round of symmetric work per batch.
+    """
+    if mode == "base":
+        return BaseOtSenderMachine(group, message_pairs)
+    if mode == "iknp":
+        if pool is not None and pool.ready:
+            return PooledIknpSenderMachine(group, message_pairs, pool.sender_state)
+        return IknpSenderMachine(group, message_pairs)
+    raise OTError(f"unknown OT mode {mode!r}")
+
+
+def make_ot_receiver(
+    group: DHGroup,
+    choices: list[int],
+    mode: str = "iknp",
+    pool: OtExtensionPool | None = None,
+) -> OtMachine:
+    """Build the receiver-side machine for the given OT flavour."""
+    if mode == "base":
+        return BaseOtReceiverMachine(group, choices)
+    if mode == "iknp":
+        if pool is not None and pool.ready:
+            return PooledIknpReceiverMachine(group, choices, pool.receiver_state)
+        return IknpReceiverMachine(group, choices)
+    raise OTError(f"unknown OT mode {mode!r}")
+
+
+# ---------------------------------------------------------------------------
+# Whole-protocol driver (pumps both machines in-process over a framed channel)
 # ---------------------------------------------------------------------------
 class ObliviousTransfer:
     """Batch 1-out-of-2 OT of fixed-length messages.
 
     ``mode="base"`` runs one DH-based OT per transfer; ``mode="iknp"`` runs
-    :data:`SECURITY_PARAMETER` base OTs and extends.  The interface is
-    synchronous and in-process (both parties are objects in the same Python
-    process), but every byte that would cross the network goes through the
-    *channel*, so transfer accounting matches a real deployment.
+    :data:`SECURITY_PARAMETER` base OTs and extends.  :meth:`run` drives a
+    sender and a receiver machine over a framed *channel*, so every byte that
+    would cross the network is serialized and accounted exactly as in a real
+    deployment.
     """
 
     def __init__(self, group: DHGroup, mode: str = "iknp") -> None:
@@ -119,112 +592,23 @@ class ObliviousTransfer:
         self.group = group
         self.mode = mode
 
-    # The channel interface used below is intentionally tiny: .send(party, obj)
-    # returns the serialized byte count and .receive(party) returns the object.
     def run(
         self,
-        channel,
+        channel: FramedChannel | None,
         sender_pairs: list[tuple[bytes, bytes]],
         receiver_choices: list[int],
+        sender_name: str = "sender",
+        receiver_name: str = "receiver",
     ) -> list[bytes]:
         if len(sender_pairs) != len(receiver_choices):
             raise OTError("sender and receiver disagree on the number of transfers")
         if not sender_pairs:
             return []
-        if self.mode == "base":
-            return self._run_base(channel, sender_pairs, receiver_choices)
-        return self._run_iknp(channel, sender_pairs, receiver_choices)
-
-    # -- direct base OTs ------------------------------------------------------
-    def _run_base(self, channel, sender_pairs, receiver_choices) -> list[bytes]:
-        setups = [base_ot_sender_setup(self.group) for _ in sender_pairs]
-        channel.send("sender", [setup.public for setup in setups])
-        sender_publics = channel.receive("receiver")
-        responses = []
-        receiver_keys = []
-        for public, choice in zip(sender_publics, receiver_choices):
-            response, key = base_ot_receiver_respond(self.group, public, choice)
-            responses.append(response)
-            receiver_keys.append(key)
-        channel.send("receiver", responses)
-        responses_at_sender = channel.receive("sender")
-        encrypted = base_ot_batch_send(self.group, sender_pairs, responses_at_sender, setups)
-        channel.send("sender", encrypted)
-        encrypted_at_receiver = channel.receive("receiver")
-        results = []
-        for index, (pair, choice, key) in enumerate(
-            zip(encrypted_at_receiver, receiver_choices, receiver_keys)
-        ):
-            results.append(_ot_encrypt(key, pair[choice], index))
-        return results
-
-    # -- IKNP extension ----------------------------------------------------------
-    def _run_iknp(self, channel, sender_pairs, receiver_choices) -> list[bytes]:
-        kappa = SECURITY_PARAMETER
-        count = len(sender_pairs)
-        message_length = len(sender_pairs[0][0])
-        for m0, m1 in sender_pairs:
-            if len(m0) != message_length or len(m1) != message_length:
-                raise OTError("IKNP requires equal-length messages")
-
-        # Step 1: the *sender* of the extension acts as base-OT *receiver*
-        # with a random choice vector s of length kappa.
-        s_bits = bytes_to_bits(secure_bytes(kappa // 8), kappa)
-
-        # Step 2: the extension receiver picks kappa seed pairs and runs the
-        # base OTs in the reverse direction.
-        seed_pairs = [(secure_bytes(16), secure_bytes(16)) for _ in range(kappa)]
-        base = ObliviousTransfer(self.group, mode="base")
-        received_seeds = base._run_base(channel, seed_pairs, s_bits)
-
-        # Step 3: the receiver stretches both seeds per column; T is the matrix
-        # of PRG(seed0) columns, and it sends U = PRG(seed0) XOR PRG(seed1) XOR r,
-        # where r is its choice vector.
-        column_bytes = (count + 7) // 8
-        choice_vector = bits_to_bytes(receiver_choices)
-        t_columns = []
-        u_columns = []
-        for seed0, seed1 in seed_pairs:
-            t_col = Prg(seed0, domain=b"iknp-column").read(column_bytes)
-            g1 = Prg(seed1, domain=b"iknp-column").read(column_bytes)
-            t_columns.append(t_col)
-            u_columns.append(xor_bytes(xor_bytes(t_col, g1), choice_vector))
-        channel.send("receiver", u_columns)
-        u_at_sender = channel.receive("sender")
-
-        # Step 4: the sender reconstructs its matrix Q column by column:
-        # Q_j = PRG(received_seed_j) XOR (s_j * U_j).
-        q_columns = []
-        for j in range(kappa):
-            column = Prg(received_seeds[j], domain=b"iknp-column").read(column_bytes)
-            if s_bits[j]:
-                column = xor_bytes(column, u_at_sender[j])
-            q_columns.append(column)
-
-        # Step 5: per transfer i, the sender's row q_i satisfies
-        # q_i = t_i XOR (r_i * s).  It derives pads H(i, q_i) and H(i, q_i XOR s)
-        # and encrypts (m0, m1); the receiver can recompute only H(i, t_i).
-        def row_bits(columns: list[bytes], row: int) -> list[int]:
-            return [(columns[j][row // 8] >> (row % 8)) & 1 for j in range(kappa)]
-
-        s_bytes = bits_to_bytes(s_bits)
-        encrypted_pairs = []
-        for i in range(count):
-            q_row = bits_to_bytes(row_bits(q_columns, i))
-            pad0 = prf(sha256(b"iknp-pad", i.to_bytes(4, "big"), q_row), b"0", message_length)
-            pad1 = prf(
-                sha256(b"iknp-pad", i.to_bytes(4, "big"), xor_bytes(q_row, s_bytes)),
-                b"1",
-                message_length,
-            )
-            m0, m1 = sender_pairs[i]
-            encrypted_pairs.append((xor_bytes(pad0, m0), xor_bytes(pad1, m1)))
-        channel.send("sender", encrypted_pairs)
-        pairs_at_receiver = channel.receive("receiver")
-
-        results = []
-        for i in range(count):
-            t_row = bits_to_bytes(row_bits(t_columns, i))
-            pad = prf(sha256(b"iknp-pad", i.to_bytes(4, "big"), t_row), bytes([48 + receiver_choices[i]]), message_length)
-            results.append(xor_bytes(pad, pairs_at_receiver[i][receiver_choices[i]]))
-        return results
+        channel = channel or FramedChannel.loopback(
+            "ot", parties=(sender_name, receiver_name)
+        )
+        sender = make_ot_sender(self.group, sender_pairs, self.mode)
+        receiver = make_ot_receiver(self.group, receiver_choices, self.mode)
+        run_session_pair(channel, {sender_name: sender, receiver_name: receiver})
+        assert receiver.result is not None
+        return receiver.result

@@ -157,6 +157,7 @@ class PackedLinearModel:
         # dot-product evaluation when the scheme supports batched accumulation.
         self._segment_stacks: list | None = None
         self._leftover_stack = None
+        self._column_slot_map: dict[int, tuple[int, int]] | None = None
 
     # -- construction (provider side, setup phase) -------------------------
     @classmethod
@@ -290,6 +291,17 @@ class PackedLinearModel:
             leftover_result=leftover_accumulator,
         )
 
+    def ensure_stacks(self) -> None:
+        """Pre-build the dense model stacks (the per-sender row cache).
+
+        The first dot-product evaluation normally pays this; a serving loop
+        can call it when a mailbox is registered so that no email in a burst
+        is charged the one-time stacking cost.  No-op for schemes without
+        batched accumulation.
+        """
+        if self.scheme.supports_batched_accumulation:
+            self._ensure_stacks()
+
     def _ensure_stacks(self) -> None:
         if self._segment_stacks is None:
             self._segment_stacks = [
@@ -355,21 +367,29 @@ class PackedLinearModel:
         return term
 
     # -- result interpretation (provider side, after decryption) ---------------
+    def result_ciphertext_count(self) -> int:
+        """How many ciphertexts one dot-product result carries on the wire."""
+        return self.layout.full_segments + (1 if self.layout.leftover_columns else 0)
+
     def column_slot_map(self) -> dict[int, tuple[int, int]]:
         """Map column j -> (result ciphertext index, slot index).
 
         Result ciphertext indices follow :meth:`DotProductCiphertexts.all_ciphertexts`
-        ordering: full segments first, leftover last.
+        ordering: full segments first, leftover last.  The map depends only on
+        the layout, so it is computed once and cached (the provider consults
+        it per email).
         """
-        mapping = {}
-        p = self.layout.slots_per_ciphertext
-        for column in range(self.layout.num_columns):
-            kind, where = self.layout.column_location(column)
-            if kind == "segment":
-                mapping[column] = (where, column % p)
-            else:
-                mapping[column] = (self.layout.full_segments, where)
-        return mapping
+        if self._column_slot_map is None:
+            mapping = {}
+            p = self.layout.slots_per_ciphertext
+            for column in range(self.layout.num_columns):
+                kind, where = self.layout.column_location(column)
+                if kind == "segment":
+                    mapping[column] = (where, column % p)
+                else:
+                    mapping[column] = (self.layout.full_segments, where)
+            self._column_slot_map = mapping
+        return self._column_slot_map
 
 
 def decrypt_dot_products(

@@ -30,7 +30,7 @@ from repro.crypto.ahe import (
 )
 from repro.crypto.numtheory import crt_pair, generate_distinct_primes, invmod
 from repro.crypto.prg import Prg
-from repro.exceptions import DecryptionError, ParameterError
+from repro.exceptions import DecryptionError, ParameterError, WireFormatError
 from repro.utils.bitops import pack_fields, unpack_fields
 from repro.utils.rand import secure_randbelow
 
@@ -189,7 +189,34 @@ class PaillierScheme(AHEScheme):
         result = pow(value, scalar, public.n_squared)
         return AHECiphertext(self.name, (result, public), self.ciphertext_size_bytes())
 
+    # -- wire codec ----------------------------------------------------------
+    def serialize_ciphertext(self, ciphertext: AHECiphertext) -> bytes:
+        """Exact wire bytes: the Z_{N^2} element, fixed-width big-endian."""
+        if ciphertext.scheme_name != self.name:
+            raise ParameterError(f"cannot serialize a {ciphertext.scheme_name!r} ciphertext")
+        value, _ = ciphertext.payload
+        return value.to_bytes(self._element_bytes(), "big")
+
+    def deserialize_ciphertext(
+        self, data: bytes, public_key: AHEPublicKey | None = None
+    ) -> AHECiphertext:
+        if public_key is None:
+            raise WireFormatError("Paillier ciphertext decoding needs the public key")
+        if len(data) != self._element_bytes():
+            raise WireFormatError(
+                f"Paillier ciphertext frame is {len(data)} bytes, expected "
+                f"{self._element_bytes()}"
+            )
+        public: PaillierPublic = public_key.payload
+        value = int.from_bytes(data, "big")
+        if value >= public.n_squared:
+            raise WireFormatError("Paillier ciphertext exceeds N^2")
+        return AHECiphertext(self.name, (value, public), self.ciphertext_size_bytes())
+
     # -- sizes ---------------------------------------------------------------
+    def _element_bytes(self) -> int:
+        # A Paillier ciphertext is an element of Z_{N^2}: 2·modulus_bits wide.
+        return (2 * self._modulus_bits + 7) // 8
+
     def ciphertext_size_bytes(self) -> int:
-        # A Paillier ciphertext is an element of Z_{N^2}.
-        return 2 * ((self._modulus_bits + 7) // 8)
+        return self._element_bytes()

@@ -1,28 +1,35 @@
-"""Driver for Yao's two-party protocol over a byte-accounted channel.
+"""Yao's two-party protocol as a pair of frame-driven sessions (§3.2).
 
 This stitches together the pieces of §3.2: the garbler builds the garbled
-tables for an agreed-upon circuit, sends them together with the labels of its
-own inputs, runs oblivious transfer so the evaluator obtains the labels of
-*its* inputs, and the evaluator evaluates.  Depending on the arrangement the
-cleartext output is learned by the evaluator (spam filtering: the client) or
-sent back — as an output *label*, so the evaluator learns nothing extra — and
-decoded by the garbler (topic extraction: the provider, Fig. 5 step 5).
+tables for an agreed-upon circuit, obtains the evaluator's input labels via
+oblivious transfer, and sends the tables together with the labels of its own
+inputs; the evaluator evaluates.  Depending on the arrangement the cleartext
+output is learned by the evaluator (spam filtering: the client) or sent back
+— as output *labels*, so the evaluator learns nothing extra — and decoded by
+the garbler (topic extraction: the provider, Fig. 5 step 5).
 
-Both parties run in-process; every protocol message flows through the channel
-so the benchmark harness sees the same byte counts a networked deployment
-would (Yao network cost per input value is Fig. 6's ``sz_per-in``).
+Each party is a reentrant :class:`~repro.twopc.session.ProtocolSession`
+(:class:`YaoGarblerSession`, :class:`YaoEvaluatorSession`) that owns its OT
+machine and reacts to typed wire frames, so the protocol halves embed
+directly into the spam/topics sessions and the multi-user serving loop.
+:func:`run_yao` is the in-process driver: it pumps the two sessions over a
+framed channel, which serializes every message, so the byte counts match a
+networked deployment exactly (Yao network cost per input value is Fig. 6's
+``sz_per-in``).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.crypto.circuits import Circuit
 from repro.crypto.dh import DHGroup
-from repro.crypto.garbled import decode_outputs, evaluate, garble
-from repro.crypto.ot import ObliviousTransfer
+from repro.crypto.garbled import GarblingResult, decode_outputs, evaluate, garble
+from repro.crypto.ot import OtExtensionPool, make_ot_receiver, make_ot_sender
 from repro.exceptions import ProtocolAbort
+from repro.twopc.session import ProtocolSession, run_session_pair
+from repro.twopc.transport import FramedChannel
+from repro.twopc.wire import Frame, GarbledCircuitFrame, OutputLabelsFrame
 from repro.utils.timing import Stopwatch
 
 
@@ -37,8 +44,122 @@ class YaoRunResult:
     and_gates: int
 
 
+def _check_output_to(output_to: str) -> None:
+    if output_to not in ("garbler", "evaluator"):
+        raise ProtocolAbort("output_to must be 'garbler' or 'evaluator'")
+
+
+class YaoGarblerSession(ProtocolSession):
+    """The garbler half: garble, serve the OT, ship tables, maybe decode."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        garbler_bits: list[int],
+        group: DHGroup,
+        output_to: str = "evaluator",
+        ot_mode: str = "iknp",
+        ot_pool: OtExtensionPool | None = None,
+    ) -> None:
+        super().__init__()
+        _check_output_to(output_to)
+        self.circuit = circuit
+        self.garbler_bits = list(garbler_bits)
+        self.group = group
+        self.output_to = output_to
+        self.ot_mode = ot_mode
+        self.ot_pool = ot_pool
+        self.output_bits: list[int] | None = None
+        self._garbling: GarblingResult | None = None
+        self._ot = None
+        self._sent_tables = False
+
+    def _start(self) -> list[Frame]:
+        self._garbling = garble(self.circuit)
+        label_pairs = self._garbling.label_pairs(self.circuit.evaluator_inputs)
+        self._ot = make_ot_sender(self.group, label_pairs, self.ot_mode, pool=self.ot_pool)
+        frames = self._ot.start()
+        return frames + self._tables_if_ot_done()
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if isinstance(frame, OutputLabelsFrame):
+            if self.output_to != "garbler" or not self._sent_tables:
+                return self._unexpected(frame)
+            assert self._garbling is not None
+            self.output_bits = decode_outputs(
+                self.circuit, self._garbling.tables, list(frame.labels)
+            )
+            self.finished = True
+            return []
+        frames = self._ot.handle(frame)
+        return frames + self._tables_if_ot_done()
+
+    def _tables_if_ot_done(self) -> list[Frame]:
+        """Once the OT completes, the tables + own input labels follow immediately."""
+        if self._sent_tables or not self._ot.finished:
+            return []
+        assert self._garbling is not None
+        self._sent_tables = True
+        decode_at_evaluator = self.output_to == "evaluator"
+        if decode_at_evaluator:
+            self.finished = True
+        garbler_labels = self._garbling.input_labels(
+            self.circuit.garbler_inputs, self.garbler_bits
+        )
+        return [
+            GarbledCircuitFrame(
+                tables=self._garbling.tables,
+                garbler_labels=tuple(garbler_labels),
+                decode_at_evaluator=decode_at_evaluator,
+            )
+        ]
+
+
+class YaoEvaluatorSession(ProtocolSession):
+    """The evaluator half: run the OT for its input labels, evaluate, output."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        evaluator_bits: list[int],
+        group: DHGroup,
+        output_to: str = "evaluator",
+        ot_mode: str = "iknp",
+        ot_pool: OtExtensionPool | None = None,
+    ) -> None:
+        super().__init__()
+        _check_output_to(output_to)
+        self.circuit = circuit
+        self.group = group
+        self.output_to = output_to
+        self.output_bits: list[int] | None = None
+        self._ot = make_ot_receiver(group, list(evaluator_bits), ot_mode, pool=ot_pool)
+
+    def _start(self) -> list[Frame]:
+        return self._ot.start()
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if isinstance(frame, GarbledCircuitFrame):
+            if not self._ot.finished:
+                raise ProtocolAbort("garbled tables arrived before the OT completed")
+            if frame.decode_at_evaluator != (self.output_to == "evaluator"):
+                raise ProtocolAbort("the parties disagree on who learns the Yao output")
+            output_labels = evaluate(
+                self.circuit,
+                frame.tables,
+                list(frame.garbler_labels),
+                self._ot.result or [],
+            )
+            self.finished = True
+            if frame.decode_at_evaluator:
+                self.output_bits = decode_outputs(self.circuit, frame.tables, output_labels)
+                return []
+            return [OutputLabelsFrame(tuple(output_labels))]
+        return self._ot.handle(frame)
+
+
 def run_yao(
-    channel,
+    channel: FramedChannel | None,
     circuit: Circuit,
     garbler_bits: list[int],
     evaluator_bits: list[int],
@@ -49,68 +170,30 @@ def run_yao(
     ot_mode: str = "iknp",
     stopwatch: Stopwatch | None = None,
 ) -> YaoRunResult:
-    """Execute Yao's protocol once and return the decoded output bits.
+    """Execute Yao's protocol once in-process and return the decoded output bits.
 
     ``output_to`` selects which party learns the cleartext result: the other
-    party only ever sees labels or garbled material.
+    party only ever sees labels or garbled material.  The *channel*'s two
+    parties must be *garbler_name* and *evaluator_name* (a loopback channel is
+    created when ``channel`` is ``None``).
     """
-    if output_to not in ("garbler", "evaluator"):
-        raise ProtocolAbort("output_to must be 'garbler' or 'evaluator'")
+    _check_output_to(output_to)
     stopwatch = stopwatch or Stopwatch()
-    bytes_before = channel.total_bytes()
-
-    # --- garbler: garble and send tables + own input labels -------------------
-    garbler_start = time.perf_counter()
-    garbling = garble(circuit)
-    garbler_input_labels = garbling.input_labels(circuit.garbler_inputs, garbler_bits)
-    evaluator_label_pairs = garbling.label_pairs(circuit.evaluator_inputs)
-    garbler_elapsed = time.perf_counter() - garbler_start
-
-    # --- oblivious transfers for the evaluator's input labels -----------------
-    # The OTs run first so their request/response messages do not interleave
-    # with the garbled-tables message on the shared two-party channel.
-    ot = ObliviousTransfer(group, mode=ot_mode)
-    ot_start = time.perf_counter()
-    evaluator_labels = ot.run(channel, evaluator_label_pairs, evaluator_bits)
-    ot_elapsed = time.perf_counter() - ot_start
-
-    # --- garbler sends tables + its own input labels; evaluator evaluates --------
-    channel.send(garbler_name, {
-        "tables": garbling.tables,
-        "garbler_labels": garbler_input_labels,
-        "decode_at_evaluator": output_to == "evaluator",
-    })
-    message = channel.receive(evaluator_name)
-    evaluator_start = time.perf_counter()
-    output_labels = evaluate(
-        circuit,
-        message["tables"],
-        message["garbler_labels"],
-        evaluator_labels,
+    channel = channel or FramedChannel.loopback(
+        "yao", parties=(garbler_name, evaluator_name)
     )
-    evaluator_elapsed = time.perf_counter() - evaluator_start
-
-    # --- output decoding ------------------------------------------------------------
-    if output_to == "evaluator":
-        output_bits = decode_outputs(circuit, message["tables"], output_labels)
-    else:
-        channel.send(evaluator_name, {"output_labels": output_labels})
-        returned = channel.receive(garbler_name)
-        output_bits = decode_outputs(circuit, garbling.tables, returned["output_labels"])
-
-    network_bytes = channel.total_bytes() - bytes_before
-    # Attribute OT time half/half: in a real deployment each party does
-    # roughly symmetric work in the OT (the sender computes pads, the
-    # receiver derives keys); this split matches how the paper's Fig. 6
-    # reports a single per-input Yao CPU cost.
-    garbler_total = garbler_elapsed + ot_elapsed / 2
-    evaluator_total = evaluator_elapsed + ot_elapsed / 2
-    stopwatch.add("yao.garbler", garbler_total)
-    stopwatch.add("yao.evaluator", evaluator_total)
+    bytes_before = channel.total_bytes()
+    garbler = YaoGarblerSession(circuit, garbler_bits, group, output_to, ot_mode)
+    evaluator = YaoEvaluatorSession(circuit, evaluator_bits, group, output_to, ot_mode)
+    run_session_pair(channel, {garbler_name: garbler, evaluator_name: evaluator})
+    output_bits = garbler.output_bits if output_to == "garbler" else evaluator.output_bits
+    assert output_bits is not None
+    stopwatch.add("yao.garbler", garbler.seconds)
+    stopwatch.add("yao.evaluator", evaluator.seconds)
     return YaoRunResult(
         output_bits=output_bits,
-        garbler_seconds=garbler_total,
-        evaluator_seconds=evaluator_total,
-        network_bytes=network_bytes,
+        garbler_seconds=garbler.seconds,
+        evaluator_seconds=evaluator.seconds,
+        network_bytes=channel.total_bytes() - bytes_before,
         and_gates=circuit.and_count,
     )

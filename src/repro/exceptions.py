@@ -52,6 +52,10 @@ class ProtocolAbort(ProtocolError):
     """A party detected misbehaviour and aborted the protocol."""
 
 
+class WireFormatError(ProtocolError):
+    """A serialized protocol frame is malformed, truncated, or mis-versioned."""
+
+
 class CircuitError(PretzelError, ValueError):
     """A boolean circuit is malformed or used inconsistently."""
 

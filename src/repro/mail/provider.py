@@ -84,5 +84,19 @@ class MailProvider:
         """IMAP-equivalent: fetch a user's encrypted emails."""
         return self.mailbox(address).fetch_since(since_index)
 
+    def pending_count(self, address: str, since_index: int = 0) -> int:
+        """How many emails a user has beyond its fetch cursor (burst size)."""
+        if since_index < 0:
+            raise MailError("fetch index must be non-negative")
+        return max(0, len(self.mailbox(address)) - since_index)
+
+    def mailboxes_with_mail(self) -> list[str]:
+        """Addresses with at least one stored email, in registration order.
+
+        The multi-user serving loop (:mod:`repro.core.runtime`) uses this to
+        decide which mailboxes participate in a drain pass.
+        """
+        return [address for address, mailbox in self._mailboxes.items() if len(mailbox)]
+
     def user_count(self) -> int:
         return len(self._mailboxes)

@@ -1,11 +1,17 @@
-"""An in-process two-party channel with exact byte accounting.
+"""A legacy in-process two-party channel for *untyped* payloads.
 
-The paper's evaluation reports "network transfers" per email (Figs. 3, 6, 11
-and the absolute-cost discussion in §6.3).  Both protocol parties run in the
-same Python process here, but every message still passes through a
-:class:`TwoPartyChannel`, which serializes it canonically (or uses a
-caller-supplied size for large opaque objects such as garbled tables and AHE
-ciphertexts) and tallies the bytes per sending party.
+The protocol stack proper no longer uses this: every protocol message is a
+typed frame (:mod:`repro.twopc.wire`) carried over a transport
+(:mod:`repro.twopc.transport`), and network accounting charges the exact
+serialized frame length.  :class:`TwoPartyChannel` remains for tests and
+ad-hoc experiments that want to shuttle plain Python values between two
+in-process roles with a size *estimate* attached.
+
+Because the real protocol paths have real codecs now,
+:func:`estimate_message_bytes` refuses to guess: an object it cannot size
+(no canonical encoding, no ``size_bytes``) raises
+:class:`~repro.exceptions.ProtocolError` instead of silently under-counting
+with a flat fallback.
 """
 
 from __future__ import annotations
@@ -51,8 +57,13 @@ def estimate_message_bytes(message: Any) -> int:
     encoded = getattr(message, "encoded_size_bytes", None)
     if callable(encoded):
         return int(encoded())
-    # Fall back to a conservative flat estimate for unknown objects.
-    return 64
+    # No silent fallback: an unsized object would corrupt the byte accounting
+    # the paper's evaluation depends on.  Objects that cross parties belong in
+    # a typed frame (repro.twopc.wire) with a real codec.
+    raise ProtocolError(
+        f"cannot size a {type(message).__name__} for the wire; give it a codec "
+        "in repro.twopc.wire or a size_bytes attribute"
+    )
 
 
 @dataclass

@@ -5,6 +5,15 @@ which the provider locally runs classification over the plaintext email.  Its
 per-email provider cost is ``L`` feature extractions, model look-ups and
 float additions (Fig. 3, "Non-private" column); there is no client cost and
 no extra network transfer beyond the email itself.
+
+For parity with the private arms the exchange is also expressed as a pair of
+frame-driven sessions: the client ships its plaintext feature vector in a
+:class:`~repro.twopc.wire.FeaturesFrame` (standing in for the email body the
+provider would read anyway) and the provider answers with a
+:class:`~repro.twopc.wire.ClassifyResultFrame`.  This makes the NoPriv
+provider half a reentrant request/response handler the multi-user serving
+loop can multiplex exactly like the 2PC halves — and makes its "network
+cost" the measured size of the features frame rather than an assumption.
 """
 
 from __future__ import annotations
@@ -17,6 +26,9 @@ import numpy as np
 
 from repro.classify.model import LinearModel
 from repro.exceptions import ClassifierError
+from repro.twopc.session import ProtocolSession, run_session_pair
+from repro.twopc.transport import FramedChannel
+from repro.twopc.wire import ClassifyResultFrame, FeaturesFrame, Frame
 
 SparseVector = Mapping[int, int]
 
@@ -61,3 +73,65 @@ class NoPrivClassifier:
         """Two-category convenience wrapper returning (is_spam, provider_seconds)."""
         result = self.classify(features)
         return result.predicted_category == spam_column, result.provider_seconds
+
+
+class NoPrivClientSession(ProtocolSession):
+    """The client half: send the plaintext features, receive the verdict."""
+
+    def __init__(self, features: SparseVector) -> None:
+        super().__init__()
+        if not isinstance(features, Mapping):
+            raise ClassifierError("features must be a sparse mapping")
+        self.features = features
+        self.predicted_category: int | None = None
+
+    def _start(self) -> list[Frame]:
+        entries = tuple(
+            (int(index), int(count))
+            for index, count in sorted(self.features.items())
+            if int(index) >= 0 and int(count) > 0
+        )
+        return [FeaturesFrame(entries)]
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if not isinstance(frame, ClassifyResultFrame):
+            return self._unexpected(frame)
+        self.predicted_category = frame.category
+        self.finished = True
+        return []
+
+
+class NoPrivProviderSession(ProtocolSession):
+    """The provider half: one classification per features frame, stateless after."""
+
+    def __init__(self, classifier: NoPrivClassifier) -> None:
+        super().__init__()
+        self.classifier = classifier
+        self.result: NoPrivResult | None = None
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if not isinstance(frame, FeaturesFrame):
+            return self._unexpected(frame)
+        self.result = self.classifier.classify(dict(frame.features))
+        self.finished = True
+        return [ClassifyResultFrame(self.result.predicted_category)]
+
+
+def run_noprv_session(
+    classifier: NoPrivClassifier,
+    features: SparseVector,
+    channel: FramedChannel | None = None,
+) -> tuple[NoPrivResult, int]:
+    """Drive one NoPriv exchange over a framed channel.
+
+    Returns the provider-side :class:`NoPrivResult` and the exact number of
+    bytes that crossed the transport (the features frame stands in for the
+    plaintext email the provider reads in the status quo).
+    """
+    channel = channel or FramedChannel.loopback("noprv")
+    bytes_before = channel.total_bytes()
+    client = NoPrivClientSession(features)
+    provider = NoPrivProviderSession(classifier)
+    run_session_pair(channel, {"client": client, "provider": provider})
+    assert provider.result is not None
+    return provider.result, channel.total_bytes() - bytes_before

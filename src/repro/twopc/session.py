@@ -1,0 +1,355 @@
+"""Protocol sessions: reentrant, message-driven party state machines.
+
+Every party of every two-party protocol in this repository is a
+:class:`ProtocolSession`: it emits zero or more frames when the session
+starts, and thereafter reacts to each incoming frame with zero or more
+response frames.  Nothing inside a session blocks — all waiting lives in
+whatever drives the session — so a provider can interleave thousands of
+sessions (one per in-flight email) over one process, which is what the
+multi-user serving loop of :mod:`repro.core.runtime` does.
+
+Provider halves that decrypt AHE ciphertexts additionally split the decrypt
+step out of :meth:`ProtocolSession.handle` (see :class:`DecryptingSession`):
+the session *requests* a decryption and is later *supplied* with the slot
+values, so the loop can fold requests across sessions into one
+``decrypt_slots_many`` call — the provider-side amortisation of Figs. 7/10.
+
+:class:`SessionLoop` is the single frame pump every driver shares; a
+one-email in-process run (:func:`run_session_pair`) and the multi-user
+serving loop (:class:`repro.core.runtime.ProviderRuntime`) are the same
+loop over one job or many.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.crypto.ahe import AHECiphertext, AHEKeyPair, AHEScheme
+from repro.exceptions import ProtocolError
+from repro.twopc.transport import FramedChannel
+from repro.twopc.wire import Frame
+
+
+class ProtocolSession(ABC):
+    """One party of a message-driven protocol.
+
+    Subclasses implement :meth:`_start` and :meth:`_handle`; the public
+    wrappers accumulate the party's CPU time in :attr:`seconds` (the paper's
+    per-party CPU columns) and enforce that finished sessions go quiet.
+    """
+
+    def __init__(self) -> None:
+        self.finished = False
+        self.seconds = 0.0
+
+    # -- driver-facing API --------------------------------------------------
+    def start(self) -> list[Frame]:
+        """Frames this party sends before having received anything."""
+        begin = time.perf_counter()
+        frames = self._start()
+        self.seconds += time.perf_counter() - begin
+        return frames
+
+    def handle(self, frame: Frame) -> list[Frame]:
+        """React to one incoming frame with zero or more response frames."""
+        if self.finished:
+            raise ProtocolError(f"{type(self).__name__} received a frame after finishing")
+        begin = time.perf_counter()
+        frames = self._handle(frame)
+        self.seconds += time.perf_counter() - begin
+        return frames
+
+    # -- protocol logic (subclasses) ----------------------------------------
+    def _start(self) -> list[Frame]:
+        return []
+
+    @abstractmethod
+    def _handle(self, frame: Frame) -> list[Frame]:
+        """Protocol logic; runs inside the timing wrapper."""
+
+    def _unexpected(self, frame: Frame) -> list[Frame]:
+        raise ProtocolError(
+            f"{type(self).__name__} cannot handle a {type(frame).__name__} in its current state"
+        )
+
+
+@dataclass
+class DecryptionRequest:
+    """A provider session's parked decryption work, ready for batching."""
+
+    scheme: AHEScheme
+    keypair: AHEKeyPair
+    ciphertexts: list[AHECiphertext]
+
+
+class DecryptingSession(ProtocolSession):
+    """A session whose decrypt step is separable for cross-session batching.
+
+    After a :meth:`handle` call, the driver checks :meth:`decryption_request`;
+    if non-``None`` the session is parked until :meth:`supply_decrypted` is
+    called with one slot list per requested ciphertext, which resumes the
+    protocol and returns the next outgoing frames.  The time spent inside the
+    batch decrypt itself is attributed by the driver (see
+    :meth:`add_seconds`), since the session does not run it.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._decryption_request: DecryptionRequest | None = None
+
+    def decryption_request(self) -> DecryptionRequest | None:
+        """The pending request, or ``None``; the driver takes ownership of it."""
+        request = self._decryption_request
+        self._decryption_request = None
+        return request
+
+    def supply_decrypted(self, slot_lists: list[list[int]]) -> list[Frame]:
+        """Resume the protocol with the decrypted slots of the requested ciphertexts."""
+        begin = time.perf_counter()
+        frames = self._resume_with_decryption(slot_lists)
+        self.seconds += time.perf_counter() - begin
+        return frames
+
+    def add_seconds(self, seconds: float) -> None:
+        """Attribute externally measured work (this session's share of a batch decrypt)."""
+        self.seconds += seconds
+
+    @abstractmethod
+    def _resume_with_decryption(self, slot_lists: list[list[int]]) -> list[Frame]:
+        """Protocol logic continuing after the decrypt; runs inside the timing wrapper."""
+
+
+class BufferedProviderSession(DecryptingSession):
+    """A provider half of shape *request → decrypt → inner session*.
+
+    Both the spam and topic providers follow the same skeleton: the first
+    frame is the protocol request (blinded scores), whose handling parks a
+    decryption; the decrypted slots then build an inner (Yao) session that
+    every later frame is delegated to.  Because the peer's OT opener can
+    outrun the decrypt, frames that arrive before the inner session exists
+    are buffered and replayed in order — that logic lives here exactly once.
+
+    Subclasses implement :meth:`_handle_request` (validate the request frame
+    and set ``self._decryption_request``), :meth:`_build_inner_session`
+    (construct the inner session from the decrypted slots), and optionally
+    :meth:`_inner_finished` (harvest the inner session's output).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._inner: ProtocolSession | None = None
+        self._awaiting_request = True
+        self._buffered: list[Frame] = []
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        if self._is_request(frame):
+            if not self._awaiting_request:
+                return self._unexpected(frame)
+            self._awaiting_request = False
+            return self._handle_request(frame)
+        if self._inner is None:
+            self._buffered.append(frame)
+            return []
+        return self._delegate(frame)
+
+    def _resume_with_decryption(self, slot_lists: list[list[int]]) -> list[Frame]:
+        self._inner = self._build_inner_session(slot_lists)
+        frames = self._inner.start()
+        while self._buffered:
+            frames += self._delegate(self._buffered.pop(0))
+        return frames
+
+    def _delegate(self, frame: Frame) -> list[Frame]:
+        assert self._inner is not None
+        frames = self._inner.handle(frame)
+        if self._inner.finished:
+            self._inner_finished(self._inner)
+            self.finished = True
+        return frames
+
+    # -- subclass hooks ------------------------------------------------------
+    @abstractmethod
+    def _is_request(self, frame: Frame) -> bool:
+        """Whether *frame* is this protocol's opening request."""
+
+    @abstractmethod
+    def _handle_request(self, frame: Frame) -> list[Frame]:
+        """Validate the request and park the decryption (set ``_decryption_request``)."""
+
+    @abstractmethod
+    def _build_inner_session(self, slot_lists: list[list[int]]) -> ProtocolSession:
+        """Build the post-decrypt inner session (the provider's Yao half)."""
+
+    def _inner_finished(self, inner: ProtocolSession) -> None:
+        """Harvest the inner session's output (default: nothing to harvest)."""
+
+
+# ---------------------------------------------------------------------------
+# The session loop: the one frame pump every driver uses
+# ---------------------------------------------------------------------------
+@dataclass
+class SessionJob:
+    """One in-flight protocol run: two state machines over one channel."""
+
+    channel: FramedChannel
+    client: ProtocolSession
+    provider: ProtocolSession
+    label: Any = None
+    client_name: str = "client"
+    provider_name: str = "provider"
+    _inbound: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._inbound = {self.client_name: 0, self.provider_name: 0}
+
+    @property
+    def finished(self) -> bool:
+        return self.client.finished and self.provider.finished
+
+    def session(self, name: str) -> ProtocolSession:
+        return self.client if name == self.client_name else self.provider
+
+    def dispatch(self, sender: str, frames: list[Frame]) -> None:
+        for frame in frames:
+            self.channel.send(sender, frame)
+            self._inbound[self.channel.transport.peer_of(sender)] += 1
+
+
+@dataclass
+class _ParkedDecryption:
+    job: SessionJob
+    party: str
+    session: DecryptingSession
+    request: DecryptionRequest
+
+
+class SessionLoop:
+    """Drive any number of session jobs to completion over their channels.
+
+    This is the *only* frame pump in the repository — the single-session
+    drivers (``run_session_pair``, and through it the protocol ``classify``
+    methods, ``run_yao`` and ``ObliviousTransfer.run``) and the multi-user
+    serving loop (:class:`repro.core.runtime.ProviderRuntime`) all run this
+    same loop, so delivery order, decrypt servicing and deadlock detection
+    cannot diverge between arrangements.
+
+    The loop alternates two phases until every job finishes: (1) deliver all
+    deliverable frames of every job, collecting the decryption requests of
+    sessions that parked; (2) fold the parked requests into one
+    ``decrypt_slots_many`` call per distinct key pair and resume the parked
+    sessions.  Phase 2 is where concurrency pays: eight emails for one
+    mailbox decrypt in one vectorised pass instead of eight.  Batch CPU time
+    is attributed back to sessions proportionally to their ciphertext counts.
+
+    ``decrypt_batch_sizes`` records the size of every batched call — tests
+    and benchmarks use it to verify that batching actually happened.
+    """
+
+    def __init__(self) -> None:
+        self.decrypt_batch_sizes: list[int] = []
+
+    def run(self, jobs: Sequence[SessionJob]) -> None:
+        """Drive every job to completion; raises on protocol deadlock."""
+        parked: list[_ParkedDecryption] = []
+        for job in jobs:
+            for name in (job.client_name, job.provider_name):
+                session = job.session(name)
+                job.dispatch(name, session.start())
+                self._collect_parked(job, name, session, parked)
+        while True:
+            progressed = self._deliver_all(jobs, parked)
+            if parked:
+                self._service_batched_decryption(parked)
+                parked = []
+                progressed = True
+            if all(job.finished for job in jobs):
+                return
+            if not progressed:
+                stuck = [job.label for job in jobs if not job.finished]
+                raise ProtocolError(f"session loop deadlock; unfinished jobs: {stuck}")
+
+    # -- phase 1: frame delivery -------------------------------------------------
+    def _deliver_all(
+        self, jobs: Sequence[SessionJob], parked: list[_ParkedDecryption]
+    ) -> bool:
+        progressed = False
+        for job in jobs:
+            for name in (job.provider_name, job.client_name):
+                session = job.session(name)
+                while job._inbound[name]:
+                    frame = job.channel.receive(name)
+                    job._inbound[name] -= 1
+                    job.dispatch(name, session.handle(frame))
+                    self._collect_parked(job, name, session, parked)
+                    progressed = True
+        return progressed
+
+    @staticmethod
+    def _collect_parked(
+        job: SessionJob, party: str, session: ProtocolSession, parked: list[_ParkedDecryption]
+    ) -> None:
+        if isinstance(session, DecryptingSession):
+            request = session.decryption_request()
+            if request is not None:
+                parked.append(
+                    _ParkedDecryption(job=job, party=party, session=session, request=request)
+                )
+
+    # -- phase 2: cross-session batched decryption ---------------------------------
+    def _service_batched_decryption(self, parked: list[_ParkedDecryption]) -> None:
+        groups: dict[tuple[int, int], list[_ParkedDecryption]] = {}
+        for entry in parked:
+            key = (id(entry.request.scheme), id(entry.request.keypair))
+            groups.setdefault(key, []).append(entry)
+        for entries in groups.values():
+            scheme = entries[0].request.scheme
+            keypair = entries[0].request.keypair
+            ciphertexts = [
+                ciphertext for entry in entries for ciphertext in entry.request.ciphertexts
+            ]
+            self.decrypt_batch_sizes.append(len(ciphertexts))
+            begin = time.perf_counter()
+            slot_lists = scheme.decrypt_slots_many(keypair, ciphertexts)
+            elapsed = time.perf_counter() - begin
+            offset = 0
+            for entry in entries:
+                count = len(entry.request.ciphertexts)
+                entry.session.add_seconds(elapsed * count / max(1, len(ciphertexts)))
+                frames = entry.session.supply_decrypted(slot_lists[offset : offset + count])
+                offset += count
+                entry.job.dispatch(entry.party, frames)
+
+
+def run_session_pair(
+    channel: FramedChannel,
+    sessions: dict[str, ProtocolSession],
+) -> None:
+    """Drive two sessions over *channel* until both finish.
+
+    *sessions* maps the channel's two party names to their sessions.  A thin
+    wrapper over :class:`SessionLoop` with a single job; the session whose
+    decrypt step is separable (if any) is placed in the job's provider slot
+    so resumed frames are attributed to the right party.
+    """
+    if set(sessions) != set(channel.parties):
+        raise ProtocolError(
+            f"sessions {sorted(sessions)} do not match channel parties {channel.parties}"
+        )
+    first, second = channel.parties
+    if isinstance(sessions[first], DecryptingSession) and not isinstance(
+        sessions[second], DecryptingSession
+    ):
+        provider_name, client_name = first, second
+    else:
+        client_name, provider_name = first, second
+    job = SessionJob(
+        channel=channel,
+        client=sessions[client_name],
+        provider=sessions[provider_name],
+        client_name=client_name,
+        provider_name=provider_name,
+    )
+    SessionLoop().run([job])

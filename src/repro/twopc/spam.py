@@ -9,13 +9,22 @@ model to the client, who stores it (the "client storage" cost of Fig. 8).
 
 *Per email*: the client computes the two encrypted dot products (spam and
 ham scores) over the decrypted email's features, blinds them, and sends one
-packed ciphertext back.  The provider decrypts.  The two parties then run a
-Yao comparison that removes the blinding and outputs a single bit — learned
-by the client only (guarantee 2 of §4.4): is this email spam?
+:class:`~repro.twopc.wire.BlindedScoresFrame`.  The provider decrypts.  The
+two parties then run a Yao comparison that removes the blinding and outputs a
+single bit — learned by the client only (guarantee 2 of §4.4): is this email
+spam?
 
-The same class implements the paper's Baseline (Paillier + legacy packing)
+Both halves are reentrant :class:`~repro.twopc.session.ProtocolSession` state
+machines.  :class:`SpamProviderSession` is purely reactive — it responds to
+frames keyed by type, and its decrypt step is separable so the multi-user
+serving loop (:mod:`repro.core.runtime`) can batch decrypts across many
+concurrent email sessions.  :class:`SpamFilterProtocol` keeps the one-email
+in-process driver interface: it pumps a client/provider session pair over a
+framed loopback channel and reports exact byte, message and round counts.
+
+The same classes implement the paper's Baseline (Paillier + legacy packing)
 and Pretzel (XPIR-BV + across-row packing) arms; the benchmark harness just
-instantiates it with different schemes.
+instantiates them with different schemes.
 """
 
 from __future__ import annotations
@@ -28,11 +37,19 @@ from repro.classify.model import QuantizedLinearModel
 from repro.crypto.ahe import AHEKeyPair, AHEScheme
 from repro.crypto.circuits import SpamCircuit
 from repro.crypto.dh import DHGroup
+from repro.crypto.ot import OtExtensionPool, initialize_ot_pool
 from repro.crypto.packing import PackedLinearModel
-from repro.crypto.yao import run_yao
+from repro.crypto.yao import YaoEvaluatorSession, YaoGarblerSession
 from repro.exceptions import ProtocolError
 from repro.twopc.blinding import blind_dot_products
-from repro.twopc.channel import TwoPartyChannel
+from repro.twopc.session import (
+    BufferedProviderSession,
+    DecryptionRequest,
+    ProtocolSession,
+    run_session_pair,
+)
+from repro.twopc.transport import FramedChannel
+from repro.twopc.wire import BlindedScoresFrame, Frame
 
 SparseVector = Mapping[int, int]
 
@@ -64,10 +81,123 @@ class SpamProtocolResult:
     client_seconds: float
     network_bytes: int
     yao_and_gates: int
+    network_messages: int = 0
+    network_rounds: int = 0
+
+
+class SpamClientSession(ProtocolSession):
+    """The client half: dot products + blinding, then the Yao evaluator role."""
+
+    def __init__(
+        self,
+        protocol: "SpamFilterProtocol",
+        setup: SpamSetup,
+        features: SparseVector,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> None:
+        super().__init__()
+        self.protocol = protocol
+        self.setup = setup
+        self.features = features
+        self.ot_pool = ot_pool
+        self.is_spam: bool | None = None
+        self.yao_and_gates = 0
+        self._yao: YaoEvaluatorSession | None = None
+
+    def _start(self) -> list[Frame]:
+        setup = self.setup
+        protocol = self.protocol
+        model = setup.quantized_model
+        sparse = model.sparse_features(self.features)
+        dot_result = setup.encrypted_model.dot_products(sparse)
+        blinded = blind_dot_products(
+            protocol.scheme,
+            setup.keypair.public,
+            setup.encrypted_model,
+            dot_result,
+            output_columns=[SPAM_COLUMN, HAM_COLUMN],
+            dot_bits=model.dot_product_bits,
+        )
+        _, _, spam_noise = blinded.output_noise[SPAM_COLUMN]
+        _, _, ham_noise = blinded.output_noise[HAM_COLUMN]
+        circuit = protocol._spam_circuit(protocol.scheme.slot_bits)
+        self.yao_and_gates = circuit.circuit.and_count
+        self._yao = YaoEvaluatorSession(
+            circuit.circuit,
+            circuit.evaluator_bits(spam_noise, ham_noise),
+            protocol.group,
+            output_to="evaluator",
+            ot_mode=protocol.ot_mode,
+            ot_pool=self.ot_pool,
+        )
+        return [BlindedScoresFrame(tuple(blinded.ciphertexts))] + self._yao.start()
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        assert self._yao is not None
+        frames = self._yao.handle(frame)
+        if self._yao.finished:
+            assert self._yao.output_bits is not None
+            self.is_spam = SpamCircuit.decode_output(self._yao.output_bits)
+            self.finished = True
+        return frames
+
+
+class SpamProviderSession(BufferedProviderSession):
+    """The provider half: a reactive, reentrant request/response handler.
+
+    State machine: AWAIT_SCORES --(BlindedScoresFrame)--> DECRYPTING
+    --(supplied slots)--> YAO (garbler) --> finished.  The park/buffer/replay
+    mechanics live in :class:`BufferedProviderSession`.
+    """
+
+    def __init__(
+        self,
+        protocol: "SpamFilterProtocol",
+        setup: SpamSetup,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> None:
+        super().__init__()
+        self.protocol = protocol
+        self.setup = setup
+        self.ot_pool = ot_pool
+
+    def _is_request(self, frame: Frame) -> bool:
+        return isinstance(frame, BlindedScoresFrame)
+
+    def _handle_request(self, frame: BlindedScoresFrame) -> list[Frame]:
+        expected = self.setup.encrypted_model.result_ciphertext_count()
+        if len(frame.ciphertexts) != expected:
+            raise ProtocolError(
+                f"expected {expected} blinded score ciphertexts, got {len(frame.ciphertexts)}"
+            )
+        self._decryption_request = DecryptionRequest(
+            scheme=self.protocol.scheme,
+            keypair=self.setup.keypair,
+            ciphertexts=list(frame.ciphertexts),
+        )
+        return []
+
+    def _build_inner_session(self, slot_lists: list[list[int]]) -> YaoGarblerSession:
+        setup = self.setup
+        protocol = self.protocol
+        slot_map = setup.encrypted_model.column_slot_map()
+        spam_ct, spam_slot = slot_map[SPAM_COLUMN]
+        ham_ct, ham_slot = slot_map[HAM_COLUMN]
+        blinded_spam = slot_lists[spam_ct][spam_slot]
+        blinded_ham = slot_lists[ham_ct][ham_slot]
+        circuit = protocol._spam_circuit(protocol.scheme.slot_bits)
+        return YaoGarblerSession(
+            circuit.circuit,
+            circuit.garbler_bits(blinded_spam, blinded_ham),
+            protocol.group,
+            output_to="evaluator",
+            ot_mode=protocol.ot_mode,
+            ot_pool=self.ot_pool,
+        )
 
 
 class SpamFilterProtocol:
-    """Runs the spam-filtering 2PC between an in-process provider and client."""
+    """Builds and drives the spam-filtering 2PC between a provider and a client."""
 
     def __init__(
         self,
@@ -113,64 +243,72 @@ class SpamFilterProtocol:
             provider_setup_seconds=provider_seconds,
         )
 
+    # -- session construction -----------------------------------------------------
+    def make_channel(self, setup: SpamSetup, name: str = "spam") -> FramedChannel:
+        """A loopback channel whose codec can carry this setup's ciphertexts."""
+        return FramedChannel.loopback(
+            name, scheme=self.scheme, public_key=setup.keypair.public
+        )
+
+    def make_ot_pool(
+        self, setup: SpamSetup, channel: FramedChannel | None = None
+    ) -> OtExtensionPool:
+        """Run the one-time per-pair OT-extension handshake (base OTs).
+
+        In the spam arrangement the provider garbles, so the provider is the
+        extension sender.  The pool is pair-level state like the encrypted
+        model: pay the base OTs once, then every email's Yao step needs only
+        symmetric work (the amortisation IKNP exists for).
+        """
+        channel = channel or self.make_channel(setup, name="spam-ot-setup")
+        return initialize_ot_pool(
+            self.group, channel, sender_name="provider", receiver_name="client"
+        )
+
+    def client_session(
+        self,
+        setup: SpamSetup,
+        features: SparseVector,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> SpamClientSession:
+        return SpamClientSession(self, setup, features, ot_pool=ot_pool)
+
+    def provider_session(
+        self, setup: SpamSetup, ot_pool: OtExtensionPool | None = None
+    ) -> SpamProviderSession:
+        return SpamProviderSession(self, setup, ot_pool=ot_pool)
+
     # -- per-email computation phase ------------------------------------------------
     def classify_email(
         self,
         setup: SpamSetup,
         features: SparseVector,
-        channel: TwoPartyChannel | None = None,
+        channel: FramedChannel | None = None,
+        ot_pool: OtExtensionPool | None = None,
     ) -> SpamProtocolResult:
-        """Run the full per-email protocol and return the client's verdict."""
-        channel = channel or TwoPartyChannel("spam")
+        """Run the full per-email protocol in-process; returns the client's verdict.
+
+        The *channel*'s parties must be ``("client", "provider")`` and its
+        codec must know the protocol's scheme (see :meth:`make_channel`).
+        Without an *ot_pool* every email pays fresh base OTs (the one-shot
+        baseline); a pool from :meth:`make_ot_pool` amortises them away.
+        """
+        channel = channel or self.make_channel(setup)
         bytes_before = channel.total_bytes()
-        model = setup.quantized_model
-        dot_bits = model.dot_product_bits
-
-        # --- client: encrypted dot products + blinding (Fig. 2 step 2) ----------
-        client_start = time.perf_counter()
-        sparse = model.sparse_features(features)
-        dot_result = setup.encrypted_model.dot_products(sparse)
-        blinded = blind_dot_products(
-            self.scheme,
-            setup.keypair.public,
-            setup.encrypted_model,
-            dot_result,
-            output_columns=[SPAM_COLUMN, HAM_COLUMN],
-            dot_bits=dot_bits,
-        )
-        client_seconds = time.perf_counter() - client_start
-        channel.send("client", blinded.ciphertexts)
-
-        # --- provider: decrypt the blinded dot products (Fig. 2 step 3) -----------
-        received = channel.receive("provider")
-        provider_start = time.perf_counter()
-        decrypted = self.scheme.decrypt_slots_many(setup.keypair, received)
-        spam_ct, spam_slot, spam_noise = blinded.output_noise[SPAM_COLUMN]
-        ham_ct, ham_slot, ham_noise = blinded.output_noise[HAM_COLUMN]
-        blinded_spam = decrypted[spam_ct][spam_slot]
-        blinded_ham = decrypted[ham_ct][ham_slot]
-        provider_seconds = time.perf_counter() - provider_start
-
-        # --- Yao: unblind and compare; the client learns the bit (Fig. 2 step 4) ----
-        circuit = self._spam_circuit(self.scheme.slot_bits)
-        yao = run_yao(
-            channel,
-            circuit.circuit,
-            garbler_bits=circuit.garbler_bits(blinded_spam, blinded_ham),
-            evaluator_bits=circuit.evaluator_bits(spam_noise, ham_noise),
-            group=self.group,
-            output_to="evaluator",
-            garbler_name="provider",
-            evaluator_name="client",
-            ot_mode=self.ot_mode,
-        )
-        is_spam = SpamCircuit.decode_output(yao.output_bits)
+        messages_before = channel.total_messages()
+        rounds_before = channel.rounds()
+        client = self.client_session(setup, features, ot_pool=ot_pool)
+        provider = self.provider_session(setup, ot_pool=ot_pool)
+        run_session_pair(channel, {"client": client, "provider": provider})
+        assert client.is_spam is not None
         return SpamProtocolResult(
-            is_spam=is_spam,
-            provider_seconds=provider_seconds + yao.garbler_seconds,
-            client_seconds=client_seconds + yao.evaluator_seconds,
+            is_spam=client.is_spam,
+            provider_seconds=provider.seconds,
+            client_seconds=client.seconds,
             network_bytes=channel.total_bytes() - bytes_before,
-            yao_and_gates=yao.and_gates,
+            yao_and_gates=client.yao_and_gates,
+            network_messages=channel.total_messages() - messages_before,
+            network_rounds=channel.rounds() - rounds_before,
         )
 
     def _spam_circuit(self, width: int) -> SpamCircuit:

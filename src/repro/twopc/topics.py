@@ -11,13 +11,22 @@ the thousands, so Pretzel decomposes the classification:
    candidate list ``S'`` as an input.
 2. The client computes the encrypted dot products against the provider's full
    proprietary model, *extracts* the B' candidate scores by homomorphically
-   shifting each one to a fixed slot, blinds them, and sends B' ciphertexts.
+   shifting each one to a fixed slot, blinds them, and sends one
+   :class:`~repro.twopc.wire.ExtractedCandidatesFrame` of B' ciphertexts.
 3. The provider decrypts the B' blinded scores; a Yao argmax removes the
    blinding and hands the provider only ``S'[argmax_j d_j]`` — it never learns
    which candidates were considered nor any other score (Fig. 5 step 5).
 
-Setting ``candidate_count = None`` (i.e. B' = B) disables decomposition and
-yields the paper's Baseline / "Pretzel (B'=B)" arms of Figs. 10 and 11.
+Setting ``candidate_topics = None`` (i.e. B' = B) disables decomposition and
+yields the paper's Baseline / "Pretzel (B'=B)" arms of Figs. 10 and 11; the
+scores then travel in a :class:`~repro.twopc.wire.BlindedScoresFrame` and the
+provider reads every column via the packing layout.
+
+Both halves are reentrant state machines; the provider half
+(:class:`TopicProviderSession`) is a request/response handler keyed by frame
+type whose decrypt step is separable for cross-session batching, mirroring
+:mod:`repro.twopc.spam`.  The provider learns how many candidates there are
+from the frame itself (one ciphertext per candidate), never *which* ones.
 """
 
 from __future__ import annotations
@@ -31,11 +40,19 @@ from repro.classify.model import QuantizedLinearModel
 from repro.crypto.ahe import AHEKeyPair, AHEScheme
 from repro.crypto.circuits import TopicCircuit
 from repro.crypto.dh import DHGroup
+from repro.crypto.ot import OtExtensionPool, initialize_ot_pool
 from repro.crypto.packing import PackedLinearModel
-from repro.crypto.yao import run_yao
+from repro.crypto.yao import YaoEvaluatorSession, YaoGarblerSession
 from repro.exceptions import ProtocolError
 from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
-from repro.twopc.channel import TwoPartyChannel
+from repro.twopc.session import (
+    BufferedProviderSession,
+    DecryptionRequest,
+    ProtocolSession,
+    run_session_pair,
+)
+from repro.twopc.transport import FramedChannel
+from repro.twopc.wire import BlindedScoresFrame, ExtractedCandidatesFrame, Frame
 
 SparseVector = Mapping[int, int]
 
@@ -65,10 +82,172 @@ class TopicProtocolResult:
     network_bytes: int
     yao_and_gates: int
     candidates_used: int
+    network_messages: int = 0
+    network_rounds: int = 0
+
+
+def _topic_index_bits(num_topics: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, num_topics))))
+
+
+class TopicClientSession(ProtocolSession):
+    """The client half: dot products, candidate extraction + blinding, Yao garbler."""
+
+    def __init__(
+        self,
+        protocol: "TopicExtractionProtocol",
+        setup: TopicSetup,
+        features: SparseVector,
+        candidates: list[int],
+        decomposed: bool,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> None:
+        super().__init__()
+        self.protocol = protocol
+        self.setup = setup
+        self.features = features
+        self.candidates = candidates
+        self.decomposed = decomposed
+        self.ot_pool = ot_pool
+        self.yao_and_gates = 0
+        self._yao: YaoGarblerSession | None = None
+
+    def _start(self) -> list[Frame]:
+        setup = self.setup
+        protocol = self.protocol
+        model = setup.quantized_model
+        dot_bits = model.dot_product_bits
+        sparse = model.sparse_features(self.features)
+        dot_result = setup.encrypted_model.dot_products(sparse)
+        if self.decomposed:
+            blinded = blind_extracted_candidates(
+                protocol.scheme,
+                setup.keypair.public,
+                setup.encrypted_model,
+                dot_result,
+                candidate_columns=self.candidates,
+                dot_bits=dot_bits,
+            )
+            scores_frame: Frame = ExtractedCandidatesFrame(tuple(blinded.ciphertexts))
+        else:
+            blinded = blind_dot_products(
+                protocol.scheme,
+                setup.keypair.public,
+                setup.encrypted_model,
+                dot_result,
+                output_columns=self.candidates,
+                dot_bits=dot_bits,
+            )
+            scores_frame = BlindedScoresFrame(tuple(blinded.ciphertexts))
+        noises = [blinded.output_noise[column][2] for column in self.candidates]
+        circuit = protocol._topic_circuit(
+            protocol.scheme.slot_bits,
+            len(self.candidates),
+            _topic_index_bits(model.num_categories),
+        )
+        self.yao_and_gates = circuit.circuit.and_count
+        self._yao = YaoGarblerSession(
+            circuit.circuit,
+            circuit.garbler_bits(noises, self.candidates),
+            protocol.group,
+            output_to="evaluator",   # the evaluator here is the *provider*
+            ot_mode=protocol.ot_mode,
+            ot_pool=self.ot_pool,
+        )
+        return [scores_frame] + self._yao.start()
+
+    def _handle(self, frame: Frame) -> list[Frame]:
+        assert self._yao is not None
+        frames = self._yao.handle(frame)
+        if self._yao.finished:
+            self.finished = True
+        return frames
+
+
+class TopicProviderSession(BufferedProviderSession):
+    """The provider half: reactive handler, separable decrypt, Yao evaluator.
+
+    State machine: AWAIT_SCORES --(Blinded/Extracted frame)--> DECRYPTING
+    --(supplied slots)--> YAO (evaluator, learns the argmax) --> finished;
+    the park/buffer/replay mechanics live in :class:`BufferedProviderSession`.
+    The number of candidates B' is read off the frame (one ciphertext per
+    candidate when decomposed); which columns they correspond to stays with
+    the client, as §4.4 guarantee 3 requires.
+    """
+
+    def __init__(
+        self,
+        protocol: "TopicExtractionProtocol",
+        setup: TopicSetup,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> None:
+        super().__init__()
+        self.protocol = protocol
+        self.setup = setup
+        self.ot_pool = ot_pool
+        self.extracted_topic: int | None = None
+        self._decomposed = False
+
+    def _is_request(self, frame: Frame) -> bool:
+        return isinstance(frame, (BlindedScoresFrame, ExtractedCandidatesFrame))
+
+    def _handle_request(self, frame: Frame) -> list[Frame]:
+        self._decomposed = isinstance(frame, ExtractedCandidatesFrame)
+        if self._decomposed:
+            if not frame.ciphertexts:
+                raise ProtocolError("candidate extraction frame carries no ciphertexts")
+            if not self.protocol.scheme.supports_slot_shift:
+                raise ProtocolError(
+                    "decomposed candidate extraction needs a slot-shifting scheme (XPIR-BV)"
+                )
+        else:
+            expected = self.setup.encrypted_model.result_ciphertext_count()
+            if len(frame.ciphertexts) != expected:
+                raise ProtocolError(
+                    f"expected {expected} blinded score ciphertexts, got "
+                    f"{len(frame.ciphertexts)}"
+                )
+        self._decryption_request = DecryptionRequest(
+            scheme=self.protocol.scheme,
+            keypair=self.setup.keypair,
+            ciphertexts=list(frame.ciphertexts),
+        )
+        return []
+
+    def _build_inner_session(self, slot_lists: list[list[int]]) -> YaoEvaluatorSession:
+        protocol = self.protocol
+        num_topics = self.setup.quantized_model.num_categories
+        if self._decomposed:
+            # One ciphertext per candidate; every score sits in the fixed
+            # extraction slot (the top slot), so B' = the frame's length.
+            extraction_slot = protocol.scheme.num_slots - 1
+            blinded_scores = [slots[extraction_slot] for slots in slot_lists]
+        else:
+            # B' = B: scores for all columns, located via the packing layout.
+            slot_map = self.setup.encrypted_model.column_slot_map()
+            blinded_scores = []
+            for column in range(num_topics):
+                ct_index, slot = slot_map[column]
+                blinded_scores.append(slot_lists[ct_index][slot])
+        circuit = protocol._topic_circuit(
+            protocol.scheme.slot_bits, len(blinded_scores), _topic_index_bits(num_topics)
+        )
+        return YaoEvaluatorSession(
+            circuit.circuit,
+            circuit.evaluator_bits(blinded_scores),
+            protocol.group,
+            output_to="evaluator",
+            ot_mode=protocol.ot_mode,
+            ot_pool=self.ot_pool,
+        )
+
+    def _inner_finished(self, inner: ProtocolSession) -> None:
+        assert inner.output_bits is not None
+        self.extracted_topic = TopicCircuit.decode_output(inner.output_bits)
 
 
 class TopicExtractionProtocol:
-    """Runs the topic-extraction 2PC between an in-process provider and client."""
+    """Builds and drives the topic-extraction 2PC between a provider and a client."""
 
     def __init__(self, scheme: AHEScheme, group: DHGroup, ot_mode: str = "iknp") -> None:
         self.scheme = scheme
@@ -108,100 +287,98 @@ class TopicExtractionProtocol:
             provider_setup_seconds=provider_seconds,
         )
 
+    # -- session construction -----------------------------------------------------
+    def make_channel(self, setup: TopicSetup, name: str = "topics") -> FramedChannel:
+        """A loopback channel whose codec can carry this setup's ciphertexts."""
+        return FramedChannel.loopback(
+            name, scheme=self.scheme, public_key=setup.keypair.public
+        )
+
+    def resolve_candidates(
+        self, setup: TopicSetup, candidate_topics: Sequence[int] | None
+    ) -> tuple[list[int], bool]:
+        """Validate and normalise the client's candidate set ``S'``.
+
+        Returns ``(candidates, decomposed)``; ``None`` means "no
+        decomposition" (every topic is a candidate, the B' = B arms).
+        """
+        num_topics = setup.quantized_model.num_categories
+        if candidate_topics is None:
+            return list(range(num_topics)), False
+        candidates = list(dict.fromkeys(int(c) for c in candidate_topics))
+        if not candidates:
+            raise ProtocolError("candidate topic list is empty")
+        for candidate in candidates:
+            if not 0 <= candidate < num_topics:
+                raise ProtocolError(f"candidate topic {candidate} out of range")
+        if not self.scheme.supports_slot_shift:
+            raise ProtocolError(
+                "decomposed candidate extraction needs a slot-shifting scheme (XPIR-BV)"
+            )
+        return candidates, True
+
+    def make_ot_pool(
+        self, setup: TopicSetup, channel: FramedChannel | None = None
+    ) -> OtExtensionPool:
+        """Run the one-time per-pair OT-extension handshake (base OTs).
+
+        In the topic arrangement the *client* garbles (the provider evaluates
+        and learns the argmax), so the client is the extension sender.
+        """
+        channel = channel or self.make_channel(setup, name="topics-ot-setup")
+        return initialize_ot_pool(
+            self.group, channel, sender_name="client", receiver_name="provider"
+        )
+
+    def client_session(
+        self,
+        setup: TopicSetup,
+        features: SparseVector,
+        candidate_topics: Sequence[int] | None = None,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> TopicClientSession:
+        candidates, decomposed = self.resolve_candidates(setup, candidate_topics)
+        return TopicClientSession(self, setup, features, candidates, decomposed, ot_pool=ot_pool)
+
+    def provider_session(
+        self, setup: TopicSetup, ot_pool: OtExtensionPool | None = None
+    ) -> TopicProviderSession:
+        return TopicProviderSession(self, setup, ot_pool=ot_pool)
+
     # -- per-email computation phase ----------------------------------------------------
     def extract_topic(
         self,
         setup: TopicSetup,
         features: SparseVector,
         candidate_topics: Sequence[int] | None = None,
-        channel: TwoPartyChannel | None = None,
+        channel: FramedChannel | None = None,
+        ot_pool: OtExtensionPool | None = None,
     ) -> TopicProtocolResult:
-        """Run the per-email protocol; the provider learns only the winning topic.
+        """Run the per-email protocol in-process; the provider learns the winning topic.
 
         *candidate_topics* is the client's candidate set ``S'`` (step (i) of
         §4.3).  ``None`` means "no decomposition": every one of the B topics
-        is a candidate, which reproduces the Baseline / B' = B arms.
+        is a candidate, which reproduces the Baseline / B' = B arms.  Without
+        an *ot_pool* every email pays fresh base OTs; a pool from
+        :meth:`make_ot_pool` amortises them away.
         """
-        channel = channel or TwoPartyChannel("topics")
+        channel = channel or self.make_channel(setup)
         bytes_before = channel.total_bytes()
-        model = setup.quantized_model
-        dot_bits = model.dot_product_bits
-        num_topics = model.num_categories
-        if candidate_topics is None:
-            candidates = list(range(num_topics))
-            decomposed = False
-        else:
-            candidates = list(dict.fromkeys(int(c) for c in candidate_topics))
-            if not candidates:
-                raise ProtocolError("candidate topic list is empty")
-            for candidate in candidates:
-                if not 0 <= candidate < num_topics:
-                    raise ProtocolError(f"candidate topic {candidate} out of range")
-            decomposed = True
-        if decomposed and not self.scheme.supports_slot_shift:
-            raise ProtocolError(
-                "decomposed candidate extraction needs a slot-shifting scheme (XPIR-BV)"
-            )
-
-        # --- client: dot products, candidate extraction, blinding ------------------
-        client_start = time.perf_counter()
-        sparse = model.sparse_features(features)
-        dot_result = setup.encrypted_model.dot_products(sparse)
-        if decomposed:
-            blinded = blind_extracted_candidates(
-                self.scheme,
-                setup.keypair.public,
-                setup.encrypted_model,
-                dot_result,
-                candidate_columns=candidates,
-                dot_bits=dot_bits,
-            )
-        else:
-            blinded = blind_dot_products(
-                self.scheme,
-                setup.keypair.public,
-                setup.encrypted_model,
-                dot_result,
-                output_columns=candidates,
-                dot_bits=dot_bits,
-            )
-        client_seconds = time.perf_counter() - client_start
-        channel.send("client", blinded.ciphertexts)
-
-        # --- provider: decrypt the blinded candidate scores ------------------------------
-        received = channel.receive("provider")
-        provider_start = time.perf_counter()
-        decrypted = self.scheme.decrypt_slots_many(setup.keypair, received)
-        blinded_scores = []
-        noises = []
-        for column in candidates:
-            ct_index, slot, noise = blinded.output_noise[column]
-            blinded_scores.append(decrypted[ct_index][slot])
-            noises.append(noise)
-        provider_seconds = time.perf_counter() - provider_start
-
-        # --- Yao argmax: provider learns S'[argmax] (Fig. 5 step 5) -----------------------
-        index_bits = max(1, math.ceil(math.log2(max(2, num_topics))))
-        circuit = self._topic_circuit(self.scheme.slot_bits, len(candidates), index_bits)
-        yao = run_yao(
-            channel,
-            circuit.circuit,
-            garbler_bits=circuit.garbler_bits(noises, candidates),
-            evaluator_bits=circuit.evaluator_bits(blinded_scores),
-            group=self.group,
-            output_to="evaluator",
-            garbler_name="client",
-            evaluator_name="provider",
-            ot_mode=self.ot_mode,
-        )
-        winner = TopicCircuit.decode_output(yao.output_bits)
+        messages_before = channel.total_messages()
+        rounds_before = channel.rounds()
+        client = self.client_session(setup, features, candidate_topics, ot_pool=ot_pool)
+        provider = self.provider_session(setup, ot_pool=ot_pool)
+        run_session_pair(channel, {"client": client, "provider": provider})
+        assert provider.extracted_topic is not None
         return TopicProtocolResult(
-            extracted_topic=winner,
-            provider_seconds=provider_seconds + yao.evaluator_seconds,
-            client_seconds=client_seconds + yao.garbler_seconds,
+            extracted_topic=provider.extracted_topic,
+            provider_seconds=provider.seconds,
+            client_seconds=client.seconds,
             network_bytes=channel.total_bytes() - bytes_before,
-            yao_and_gates=yao.and_gates,
-            candidates_used=len(candidates),
+            yao_and_gates=client.yao_and_gates,
+            candidates_used=len(client.candidates),
+            network_messages=channel.total_messages() - messages_before,
+            network_rounds=channel.rounds() - rounds_before,
         )
 
     def _topic_circuit(self, width: int, candidates: int, index_bits: int) -> TopicCircuit:

@@ -1,0 +1,291 @@
+"""Transport abstraction: moving serialized frames between two parties.
+
+A :class:`Transport` carries opaque byte strings between exactly two named
+parties and keeps the ledger the paper's evaluation needs — bytes and
+messages per sending party, plus communication *rounds* (a round is a maximal
+burst of consecutive frames from one direction; Figs. 3/6/11 report rounds
+alongside bytes).  Accounting is exact: a transport charges ``len(data)`` for
+every frame it accepts, nothing is estimated.
+
+Two implementations are provided:
+
+* :class:`LoopbackTransport` — an in-process FIFO, the default for unit tests,
+  benchmarks and the multi-session serving loop of :mod:`repro.core.runtime`;
+* :class:`SocketTransport` — a real OS socket pair with length-prefixed
+  frames.  Writes are drained by per-party background threads so that two
+  parties driven from a single thread can exchange frames larger than the
+  kernel buffers without deadlocking.
+
+:class:`FramedChannel` layers a :class:`~repro.twopc.wire.WireCodec` on top:
+protocol code sends and receives *typed frames*, the transport sees bytes.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+
+from repro.crypto.ahe import AHEPublicKey, AHEScheme
+from repro.exceptions import ProtocolError
+from repro.twopc.wire import Frame, WireCodec
+
+
+class Transport(ABC):
+    """Duplex byte transport between two named parties, with exact accounting."""
+
+    def __init__(self, parties: tuple[str, str], name: str = "transport") -> None:
+        if len(set(parties)) != 2:
+            raise ProtocolError("a transport connects exactly two distinct parties")
+        self.name = name
+        self.parties = tuple(parties)
+        self.bytes_by_sender: dict[str, int] = {party: 0 for party in self.parties}
+        self.messages_by_sender: dict[str, int] = {party: 0 for party in self.parties}
+        self.frame_log: list[tuple[str, int]] = []  # (sender, size) per frame, in order
+        self._last_sender: str | None = None
+        self._rounds = 0
+
+    def peer_of(self, party: str) -> str:
+        self._check_party(party)
+        first, second = self.parties
+        return second if party == first else first
+
+    def _check_party(self, party: str) -> None:
+        if party not in self.parties:
+            raise ProtocolError(
+                f"unknown party {party!r} on transport {self.name!r} "
+                f"(parties: {self.parties})"
+            )
+
+    def _account(self, sender: str, size: int) -> None:
+        self.bytes_by_sender[sender] += size
+        self.messages_by_sender[sender] += 1
+        self.frame_log.append((sender, size))
+        if sender != self._last_sender:
+            self._rounds += 1
+            self._last_sender = sender
+
+    # -- byte movement ------------------------------------------------------
+    @abstractmethod
+    def send(self, sender: str, data: bytes) -> int:
+        """Accept *data* from *sender* for delivery to the peer; returns len(data)."""
+
+    @abstractmethod
+    def receive(self, receiver: str) -> bytes:
+        """Return the oldest undelivered frame addressed to *receiver*."""
+
+    @abstractmethod
+    def pending(self) -> int:
+        """Frames accepted but not yet received (0 after a completed protocol)."""
+
+    # -- ledger -------------------------------------------------------------
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_sender.values())
+
+    def total_messages(self) -> int:
+        return sum(self.messages_by_sender.values())
+
+    def rounds(self) -> int:
+        """Completed communication rounds (direction changes, counting the first)."""
+        return self._rounds
+
+    def close(self) -> None:
+        """Release any OS resources (no-op for in-process transports)."""
+
+
+class LoopbackTransport(Transport):
+    """In-process FIFO transport; both parties live in one Python process."""
+
+    def __init__(
+        self, parties: tuple[str, str] = ("client", "provider"), name: str = "loopback"
+    ) -> None:
+        super().__init__(parties, name)
+        self._queues: dict[str, deque[bytes]] = {party: deque() for party in self.parties}
+
+    def send(self, sender: str, data: bytes) -> int:
+        self._check_party(sender)
+        self._account(sender, len(data))
+        self._queues[self.peer_of(sender)].append(bytes(data))
+        return len(data)
+
+    def receive(self, receiver: str) -> bytes:
+        self._check_party(receiver)
+        pending = self._queues[receiver]
+        if not pending:
+            raise ProtocolError(
+                f"no pending frame for {receiver!r} on transport {self.name!r}"
+            )
+        return pending.popleft()
+
+    def pending(self) -> int:
+        return sum(len(pending) for pending in self._queues.values())
+
+
+class SocketTransport(Transport):
+    """Real OS sockets (a ``socketpair``) with u32-length-prefixed frames.
+
+    Each party owns one end of the pair.  Sends are enqueued to a per-party
+    writer thread that drains into the socket, so a single-threaded driver
+    pumping both parties cannot deadlock on frames larger than the kernel
+    buffer.  Receives block (with *timeout*) on the receiving party's socket.
+    """
+
+    _LENGTH = struct.Struct(">I")
+
+    def __init__(
+        self,
+        parties: tuple[str, str] = ("client", "provider"),
+        name: str = "socket",
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__(parties, name)
+        left, right = socket.socketpair()
+        for sock in (left, right):
+            sock.settimeout(timeout)
+        self._sockets: dict[str, socket.socket] = {
+            self.parties[0]: left,
+            self.parties[1]: right,
+        }
+        self._outboxes: dict[str, queue.Queue] = {party: queue.Queue() for party in self.parties}
+        self._in_flight: dict[str, int] = {party: 0 for party in self.parties}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._writers = []
+        for party in self.parties:
+            writer = threading.Thread(
+                target=self._drain_outbox, args=(party,), daemon=True,
+                name=f"{name}-writer-{party}",
+            )
+            writer.start()
+            self._writers.append(writer)
+
+    def _drain_outbox(self, party: str) -> None:
+        sock = self._sockets[party]
+        outbox = self._outboxes[party]
+        while True:
+            item = outbox.get()
+            if item is None:
+                return
+            try:
+                sock.sendall(item)
+            except OSError:
+                return  # peer closed; receive() will surface the error
+
+    def send(self, sender: str, data: bytes) -> int:
+        self._check_party(sender)
+        if self._closed:
+            raise ProtocolError(f"transport {self.name!r} is closed")
+        with self._lock:
+            self._account(sender, len(data))
+            self._in_flight[self.peer_of(sender)] += 1
+        self._outboxes[sender].put(self._LENGTH.pack(len(data)) + data)
+        return len(data)
+
+    def receive(self, receiver: str) -> bytes:
+        self._check_party(receiver)
+        sock = self._sockets[receiver]
+        try:
+            header = self._read_exact(sock, self._LENGTH.size)
+            length = self._LENGTH.unpack(header)[0]
+            data = self._read_exact(sock, length)
+        except socket.timeout as timeout:
+            raise ProtocolError(
+                f"timed out waiting for a frame for {receiver!r} on {self.name!r}"
+            ) from timeout
+        with self._lock:
+            self._in_flight[receiver] -= 1
+        return data
+
+    @staticmethod
+    def _read_exact(sock: socket.socket, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            if not chunk:
+                raise ProtocolError("socket transport peer closed mid-frame")
+            chunks += chunk
+        return bytes(chunks)
+
+    def pending(self) -> int:
+        with self._lock:
+            return sum(self._in_flight.values())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for party in self.parties:
+            self._outboxes[party].put(None)
+        for writer in self._writers:
+            writer.join(timeout=1.0)
+        for sock in self._sockets.values():
+            sock.close()
+
+
+class FramedChannel:
+    """A typed frame channel: :class:`WireCodec` over a :class:`Transport`.
+
+    This is what every protocol party holds.  ``send`` serializes a frame and
+    charges its exact byte length to the sending party; ``receive`` decodes
+    the oldest frame addressed to the receiver.  The ledger methods delegate
+    to the transport, so ``total_bytes()`` is by construction the sum of the
+    serialized frame lengths that crossed the wire.
+    """
+
+    def __init__(self, transport: Transport, codec: WireCodec, name: str | None = None) -> None:
+        self.transport = transport
+        self.codec = codec
+        self.name = name or transport.name
+
+    @classmethod
+    def loopback(
+        cls,
+        name: str = "channel",
+        scheme: AHEScheme | None = None,
+        public_key: AHEPublicKey | None = None,
+        parties: tuple[str, str] = ("client", "provider"),
+    ) -> "FramedChannel":
+        """An in-process framed channel (the default for protocol drivers)."""
+        return cls(
+            LoopbackTransport(parties=parties, name=name),
+            WireCodec(scheme=scheme, public_key=public_key),
+            name=name,
+        )
+
+    # -- frame movement -----------------------------------------------------
+    def send(self, sender: str, frame: Frame) -> int:
+        return self.transport.send(sender, self.codec.encode(frame))
+
+    def receive(self, receiver: str) -> Frame:
+        return self.codec.decode(self.transport.receive(receiver))
+
+    # -- ledger (delegated) -------------------------------------------------
+    @property
+    def parties(self) -> tuple[str, str]:
+        return self.transport.parties
+
+    @property
+    def bytes_by_sender(self) -> dict[str, int]:
+        return self.transport.bytes_by_sender
+
+    @property
+    def messages_by_sender(self) -> dict[str, int]:
+        return self.transport.messages_by_sender
+
+    def total_bytes(self) -> int:
+        return self.transport.total_bytes()
+
+    def total_messages(self) -> int:
+        return self.transport.total_messages()
+
+    def rounds(self) -> int:
+        return self.transport.rounds()
+
+    def pending(self) -> int:
+        return self.transport.pending()
+
+    def close(self) -> None:
+        self.transport.close()

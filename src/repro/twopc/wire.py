@@ -1,0 +1,315 @@
+"""Typed, versioned wire frames for every message that crosses parties.
+
+The paper's evaluation treats the wire as the system boundary: network
+transfers (Figs. 3, 6, 11 and the absolute costs of §6.3) are counted in
+serialized bytes, and a deployed provider speaks to millions of clients whose
+messages arrive as frames, not Python objects.  This module defines that
+boundary once:
+
+* each protocol message — blinded AHE scores, candidate extractions, the four
+  OT message kinds, garbled tables, output labels, and the NoPriv plaintext
+  exchange — is a small frozen dataclass (*frame*);
+* :class:`WireCodec` turns frames into bytes and back.  Every frame starts
+  with a fixed header (magic, version, type); ciphertext-bearing frames
+  delegate to the scheme codecs (:meth:`AHEScheme.serialize_ciphertext`),
+  garbled tables to :meth:`GarbledTables.to_bytes`.
+
+Byte accounting is therefore exact by construction: the transport charges
+``len(codec.encode(frame))`` — there is no estimator on any protocol path.
+Decoding validates magic, version, type, and ciphertext parameters, and
+raises :class:`~repro.exceptions.WireFormatError` on anything malformed
+(frames cross a trust boundary; decoding never executes arbitrary code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ahe import AHECiphertext, AHEPublicKey, AHEScheme
+from repro.crypto.garbled import LABEL_BYTES, GarbledTables
+from repro.exceptions import WireFormatError
+from repro.utils.serialization import ByteReader, ByteWriter
+
+WIRE_MAGIC = 0x5A  # 'Z' — "pretZel"
+WIRE_VERSION = 1
+HEADER_BYTES = 3  # magic (u8) + version (u8) + frame type (u8)
+
+
+# ---------------------------------------------------------------------------
+# Frame types
+# ---------------------------------------------------------------------------
+class FrameType:
+    """Wire identifiers; the third header byte of every frame."""
+
+    BLINDED_SCORES = 0x01        # client -> provider: blinded dot products (Fig. 2 step 2)
+    EXTRACTED_CANDIDATES = 0x02  # client -> provider: B' extracted scores (Fig. 5 step 3)
+    OT_PUBLICS = 0x03            # base OT: sender's DH shares
+    OT_RESPONSES = 0x04          # base OT: receiver's blinded responses
+    OT_CIPHERPAIRS = 0x05        # base OT: the two encrypted messages per transfer
+    OT_EXT_COLUMNS = 0x06        # IKNP: the receiver's U-matrix columns
+    OT_EXT_PAIRS = 0x07          # IKNP: the sender's encrypted message pairs
+    GARBLED_CIRCUIT = 0x08       # garbler -> evaluator: tables + garbler input labels
+    OUTPUT_LABELS = 0x09         # evaluator -> garbler: output labels for decoding
+    FEATURES = 0x0A              # NoPriv: the plaintext feature vector (the email)
+    CLASSIFY_RESULT = 0x0B       # NoPriv: the provider's category verdict
+
+
+@dataclass(frozen=True, eq=False)
+class BlindedScoresFrame:
+    """All blinded dot-product ciphertexts, in result-layout order."""
+
+    ciphertexts: tuple[AHECiphertext, ...]
+
+    frame_type = FrameType.BLINDED_SCORES
+
+
+@dataclass(frozen=True, eq=False)
+class ExtractedCandidatesFrame:
+    """One extracted-and-blinded ciphertext per candidate topic (§4.3)."""
+
+    ciphertexts: tuple[AHECiphertext, ...]
+
+    frame_type = FrameType.EXTRACTED_CANDIDATES
+
+
+@dataclass(frozen=True)
+class OtPublicsFrame:
+    """Base-OT sender DH shares (one group element per transfer)."""
+
+    elements: tuple[int, ...]
+
+    frame_type = FrameType.OT_PUBLICS
+
+
+@dataclass(frozen=True)
+class OtResponsesFrame:
+    """Base-OT receiver responses (one group element per transfer)."""
+
+    elements: tuple[int, ...]
+
+    frame_type = FrameType.OT_RESPONSES
+
+
+@dataclass(frozen=True)
+class OtCipherPairsFrame:
+    """Base-OT encrypted message pairs."""
+
+    pairs: tuple[tuple[bytes, bytes], ...]
+
+    frame_type = FrameType.OT_CIPHERPAIRS
+
+
+@dataclass(frozen=True)
+class OtExtColumnsFrame:
+    """IKNP extension: the receiver's U-matrix columns.
+
+    ``start_index`` is the batch's first global transfer index when the
+    extension runs against persistent per-pair state (the amortised usage of
+    IKNP: base OTs once per pair, every later batch extends).  One-shot
+    extensions leave it at 0.
+    """
+
+    columns: tuple[bytes, ...]
+    start_index: int = 0
+
+    frame_type = FrameType.OT_EXT_COLUMNS
+
+
+@dataclass(frozen=True)
+class OtExtPairsFrame:
+    """IKNP extension: the sender's encrypted message pairs."""
+
+    pairs: tuple[tuple[bytes, bytes], ...]
+
+    frame_type = FrameType.OT_EXT_PAIRS
+
+
+@dataclass(frozen=True)
+class GarbledCircuitFrame:
+    """Garbled tables, the garbler's own input labels, and the output arrangement."""
+
+    tables: GarbledTables
+    garbler_labels: tuple[bytes, ...]
+    decode_at_evaluator: bool
+
+    frame_type = FrameType.GARBLED_CIRCUIT
+
+
+@dataclass(frozen=True)
+class OutputLabelsFrame:
+    """The evaluator's output labels, returned when the garbler learns the output."""
+
+    labels: tuple[bytes, ...]
+
+    frame_type = FrameType.OUTPUT_LABELS
+
+
+@dataclass(frozen=True)
+class FeaturesFrame:
+    """NoPriv: the plaintext sparse feature vector the provider classifies."""
+
+    features: tuple[tuple[int, int], ...]
+
+    frame_type = FrameType.FEATURES
+
+
+@dataclass(frozen=True)
+class ClassifyResultFrame:
+    """NoPriv: the provider's predicted category index."""
+
+    category: int
+
+    frame_type = FrameType.CLASSIFY_RESULT
+
+
+Frame = (
+    BlindedScoresFrame
+    | ExtractedCandidatesFrame
+    | OtPublicsFrame
+    | OtResponsesFrame
+    | OtCipherPairsFrame
+    | OtExtColumnsFrame
+    | OtExtPairsFrame
+    | GarbledCircuitFrame
+    | OutputLabelsFrame
+    | FeaturesFrame
+    | ClassifyResultFrame
+)
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+class WireCodec:
+    """Encode/decode protocol frames.
+
+    Ciphertext-bearing frames need *scheme* (and, for Paillier, *public_key*)
+    to delegate to the scheme codec; a codec built without them can still
+    handle every other frame type, which is what standalone OT/Yao runs use.
+    """
+
+    def __init__(
+        self,
+        scheme: AHEScheme | None = None,
+        public_key: AHEPublicKey | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.public_key = public_key
+
+    # -- encoding ----------------------------------------------------------
+    def encode(self, frame: Frame) -> bytes:
+        frame_type = getattr(frame, "frame_type", None)
+        if frame_type is None:
+            raise WireFormatError(f"not a protocol frame: {type(frame)!r}")
+        writer = ByteWriter()
+        writer.u8(WIRE_MAGIC).u8(WIRE_VERSION).u8(frame_type)
+        if isinstance(frame, (BlindedScoresFrame, ExtractedCandidatesFrame)):
+            self._encode_ciphertexts(writer, frame.ciphertexts)
+        elif isinstance(frame, (OtPublicsFrame, OtResponsesFrame)):
+            writer.u32(len(frame.elements))
+            for element in frame.elements:
+                writer.big_uint(element)
+        elif isinstance(frame, (OtCipherPairsFrame, OtExtPairsFrame)):
+            writer.u32(len(frame.pairs))
+            for first, second in frame.pairs:
+                writer.blob(first)
+                writer.blob(second)
+        elif isinstance(frame, OtExtColumnsFrame):
+            writer.u32(frame.start_index)
+            writer.u32(len(frame.columns))
+            for column in frame.columns:
+                writer.blob(column)
+        elif isinstance(frame, GarbledCircuitFrame):
+            writer.blob(frame.tables.to_bytes())
+            self._encode_labels(writer, frame.garbler_labels)
+            writer.u8(1 if frame.decode_at_evaluator else 0)
+        elif isinstance(frame, OutputLabelsFrame):
+            self._encode_labels(writer, frame.labels)
+        elif isinstance(frame, FeaturesFrame):
+            writer.u32(len(frame.features))
+            for index, frequency in frame.features:
+                writer.u32(index)
+                writer.u32(frequency)
+        elif isinstance(frame, ClassifyResultFrame):
+            writer.u32(frame.category)
+        else:
+            raise WireFormatError(f"no encoder for frame type {type(frame)!r}")
+        return writer.getvalue()
+
+    def _encode_ciphertexts(
+        self, writer: ByteWriter, ciphertexts: tuple[AHECiphertext, ...]
+    ) -> None:
+        if self.scheme is None:
+            raise WireFormatError("a scheme-less codec cannot encode ciphertext frames")
+        writer.u16(len(ciphertexts))
+        for ciphertext in ciphertexts:
+            writer.blob(self.scheme.serialize_ciphertext(ciphertext))
+
+    @staticmethod
+    def _encode_labels(writer: ByteWriter, labels: tuple[bytes, ...]) -> None:
+        writer.u32(len(labels))
+        for label in labels:
+            if len(label) != LABEL_BYTES:
+                raise WireFormatError("wire labels must be exactly LABEL_BYTES long")
+            writer.raw(label)
+
+    # -- decoding ----------------------------------------------------------
+    def decode(self, data: bytes) -> Frame:
+        reader = ByteReader(data)
+        magic = reader.u8()
+        if magic != WIRE_MAGIC:
+            raise WireFormatError(f"bad frame magic 0x{magic:02x}")
+        version = reader.u8()
+        if version != WIRE_VERSION:
+            raise WireFormatError(f"unsupported wire version {version}")
+        frame_type = reader.u8()
+        frame = self._decode_body(frame_type, reader)
+        reader.expect_end()
+        return frame
+
+    def _decode_body(self, frame_type: int, reader: ByteReader) -> Frame:
+        if frame_type in (FrameType.BLINDED_SCORES, FrameType.EXTRACTED_CANDIDATES):
+            ciphertexts = self._decode_ciphertexts(reader)
+            if frame_type == FrameType.BLINDED_SCORES:
+                return BlindedScoresFrame(ciphertexts)
+            return ExtractedCandidatesFrame(ciphertexts)
+        if frame_type in (FrameType.OT_PUBLICS, FrameType.OT_RESPONSES):
+            elements = tuple(reader.big_uint() for _ in range(reader.u32()))
+            if frame_type == FrameType.OT_PUBLICS:
+                return OtPublicsFrame(elements)
+            return OtResponsesFrame(elements)
+        if frame_type in (FrameType.OT_CIPHERPAIRS, FrameType.OT_EXT_PAIRS):
+            pairs = tuple((reader.blob(), reader.blob()) for _ in range(reader.u32()))
+            if frame_type == FrameType.OT_CIPHERPAIRS:
+                return OtCipherPairsFrame(pairs)
+            return OtExtPairsFrame(pairs)
+        if frame_type == FrameType.OT_EXT_COLUMNS:
+            start_index = reader.u32()
+            columns = tuple(reader.blob() for _ in range(reader.u32()))
+            return OtExtColumnsFrame(columns, start_index)
+        if frame_type == FrameType.GARBLED_CIRCUIT:
+            tables = GarbledTables.from_bytes(reader.blob())
+            labels = self._decode_labels(reader)
+            decode_at_evaluator = reader.u8() != 0
+            return GarbledCircuitFrame(tables, labels, decode_at_evaluator)
+        if frame_type == FrameType.OUTPUT_LABELS:
+            return OutputLabelsFrame(self._decode_labels(reader))
+        if frame_type == FrameType.FEATURES:
+            return FeaturesFrame(
+                tuple((reader.u32(), reader.u32()) for _ in range(reader.u32()))
+            )
+        if frame_type == FrameType.CLASSIFY_RESULT:
+            return ClassifyResultFrame(reader.u32())
+        raise WireFormatError(f"unknown frame type 0x{frame_type:02x}")
+
+    def _decode_ciphertexts(self, reader: ByteReader) -> tuple[AHECiphertext, ...]:
+        if self.scheme is None:
+            raise WireFormatError("a scheme-less codec cannot decode ciphertext frames")
+        return tuple(
+            self.scheme.deserialize_ciphertext(reader.blob(), public_key=self.public_key)
+            for _ in range(reader.u16())
+        )
+
+    @staticmethod
+    def _decode_labels(reader: ByteReader) -> tuple[bytes, ...]:
+        return tuple(reader.raw(LABEL_BYTES) for _ in range(reader.u32()))

@@ -17,7 +17,7 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, WireFormatError
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -143,3 +143,107 @@ def canonical_loads(data: bytes) -> Any:
 def encoded_size(value: Any) -> int:
     """Byte size of the canonical encoding (used for network accounting)."""
     return len(canonical_dumps(value))
+
+
+# ---------------------------------------------------------------------------
+# Fixed-width wire primitives
+#
+# The protocol frames of :mod:`repro.twopc.wire` need a tighter encoding than
+# the tagged canonical format above (no per-value tags, 1/2/4-byte lengths
+# instead of 8), so the frame codecs are built on these two helpers.  Both are
+# deliberately dumb: big-endian fixed-width integers, length-prefixed blobs,
+# and length-prefixed unsigned big integers.  Truncation always raises
+# :class:`~repro.exceptions.WireFormatError` rather than returning short data.
+# ---------------------------------------------------------------------------
+
+
+class ByteWriter:
+    """Append-only builder for fixed-width wire encodings."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def u8(self, value: int) -> "ByteWriter":
+        self._check_range(value, 1 << 8)
+        self._buffer += struct.pack(">B", value)
+        return self
+
+    def u16(self, value: int) -> "ByteWriter":
+        self._check_range(value, 1 << 16)
+        self._buffer += struct.pack(">H", value)
+        return self
+
+    def u32(self, value: int) -> "ByteWriter":
+        self._check_range(value, 1 << 32)
+        self._buffer += struct.pack(">I", value)
+        return self
+
+    def raw(self, data: bytes) -> "ByteWriter":
+        """Append bytes verbatim (fixed-width fields whose size both sides know)."""
+        self._buffer += data
+        return self
+
+    def blob(self, data: bytes) -> "ByteWriter":
+        """Append a u32-length-prefixed byte string."""
+        self.u32(len(data))
+        self._buffer += data
+        return self
+
+    def big_uint(self, value: int) -> "ByteWriter":
+        """Append a u32-length-prefixed big-endian non-negative integer."""
+        if value < 0:
+            raise ParameterError("big_uint cannot encode negative integers")
+        payload = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        return self.blob(payload)
+
+    @staticmethod
+    def _check_range(value: int, bound: int) -> None:
+        if not 0 <= value < bound:
+            raise ParameterError(f"integer {value} outside [0, {bound}) for wire field")
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class ByteReader:
+    """Sequential reader matching :class:`ByteWriter`'s encodings."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def raw(self, count: int) -> bytes:
+        if count < 0 or self.offset + count > len(self.data):
+            raise WireFormatError("truncated wire encoding")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack(">B", self.raw(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.raw(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.raw(4))[0]
+
+    def blob(self) -> bytes:
+        return self.raw(self.u32())
+
+    def big_uint(self) -> int:
+        return int.from_bytes(self.blob(), "big")
+
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def expect_end(self) -> None:
+        if self.offset != len(self.data):
+            raise WireFormatError("trailing bytes after wire encoding")

@@ -195,8 +195,17 @@ class TestBvSpecific:
 
     def test_ciphertext_size_matches_parameters(self):
         scheme = BVScheme(BVParameters.test_parameters())
-        expected = 2 * ((scheme.parameters.ring_degree * scheme.ring.modulus_bits + 7) // 8)
+        # Wire codec header (u32 n + u8 primes) plus two polynomials of
+        # per-prime u32 residues.
+        n = scheme.parameters.ring_degree
+        primes = scheme.parameters.prime_count
+        expected = 5 + 2 * primes * n * 4
         assert scheme.ciphertext_size_bytes() == expected
+
+    def test_ciphertext_size_is_exact_wire_size(self, bv_scheme, bv_keys):
+        ciphertext = bv_scheme.encrypt_slots(bv_keys.public, [1, 2, 3])
+        encoded = bv_scheme.serialize_ciphertext(ciphertext)
+        assert len(encoded) == bv_scheme.ciphertext_size_bytes()
 
     def test_wide_slots_roundtrip_beyond_int64(self):
         # slot_bits >= 64 is a valid parameterization (three 31-bit primes);

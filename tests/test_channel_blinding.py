@@ -52,6 +52,17 @@ class TestChannel:
     def test_structured_message_size_positive(self):
         assert estimate_message_bytes({"key": [1, 2, 3], "blob": b"abc"}) > 0
 
+    def test_unsized_object_raises_instead_of_guessing(self):
+        # The flat 64-byte fallback is gone: protocol objects belong in a
+        # typed wire frame with a real codec, not in a guess.
+        class Opaque:
+            pass
+
+        with pytest.raises(ProtocolError):
+            estimate_message_bytes(Opaque())
+        with pytest.raises(ProtocolError):
+            TwoPartyChannel().send("client", Opaque())
+
 
 @pytest.fixture(scope="module")
 def packed_model(bv_scheme, bv_keys):

@@ -182,3 +182,36 @@ class TestPretzelSystem:
             system.client("nobody@example.com")
         with pytest.raises(MailError):
             system.send_email("nobody@example.com", "bob@example.com", "s", "b")
+
+
+class TestBatchedServing:
+    def test_drain_all_mailboxes_matches_sequential(self, test_config, spam_module):
+        system = PretzelSystem(test_config)
+        system.add_user("alice@example.com")
+        bob = system.add_user("bob@example.com")
+        bob.attach_module(spam_module)
+        bodies = ["w000001 w000002", "w000500 w000900 w000002", "w000010 w000001"]
+        for body in bodies:
+            system.send_email("alice@example.com", "bob@example.com", "subject", body)
+        assert bob.mail.pending_email_count() == len(bodies)
+
+        reports_by_user = system.drain_all_mailboxes()
+        assert set(reports_by_user) == {"bob@example.com"}
+        reports = reports_by_user["bob@example.com"]
+        batched = [report.output_of("spam-filter").is_spam for report in reports]
+        assert len(batched) == len(bodies)
+        result = reports[0].module_results["spam-filter"]
+        assert result.network_bytes > 0
+        assert result.network_messages > 0
+        assert result.network_rounds >= 2
+
+        # The same burst processed sequentially produces identical verdicts.
+        for body in bodies:
+            system.send_email("alice@example.com", "bob@example.com", "subject", body)
+        sequential = [
+            report.output_of("spam-filter").is_spam
+            for report in system.fetch_and_process("bob@example.com")
+        ]
+        assert sequential == batched
+        # Everything is drained: a second pass has no work.
+        assert system.drain_all_mailboxes() == {}

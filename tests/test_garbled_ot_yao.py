@@ -8,8 +8,16 @@ from repro.crypto.garbled import decode_outputs, evaluate, garble
 from repro.crypto.ot import ObliviousTransfer
 from repro.crypto.yao import run_yao
 from repro.exceptions import OTError, ProtocolAbort
-from repro.twopc.channel import TwoPartyChannel
+from repro.twopc.transport import FramedChannel
 from repro.utils.bitops import int_to_bits
+
+
+def ot_channel(name="ot-test"):
+    return FramedChannel.loopback(name, parties=("sender", "receiver"))
+
+
+def yao_channel(name="yao-test"):
+    return FramedChannel.loopback(name, parties=("garbler", "evaluator"))
 
 
 def _and_xor_circuit():
@@ -79,23 +87,24 @@ class TestObliviousTransfer:
         count = 20
         pairs = [(bytes([i]) * 16, bytes([i + 100]) * 16) for i in range(count)]
         choices = [i % 2 for i in range(count)]
-        channel = TwoPartyChannel("ot-test")
+        channel = ot_channel()
         received = ObliviousTransfer(dh_group, mode=mode).run(channel, pairs, choices)
         assert received == [pair[choice] for pair, choice in zip(pairs, choices)]
+        assert channel.pending() == 0
 
     @pytest.mark.parametrize("mode", ["base", "iknp"])
     def test_receiver_does_not_get_other_message(self, dh_group, mode):
         pairs = [(b"A" * 16, b"B" * 16)]
-        channel = TwoPartyChannel("ot-test")
+        channel = ot_channel()
         received = ObliviousTransfer(dh_group, mode=mode).run(channel, pairs, [0])
         assert received[0] == b"A" * 16 != b"B" * 16
 
     def test_empty_batch(self, dh_group):
-        channel = TwoPartyChannel("ot-test")
+        channel = ot_channel()
         assert ObliviousTransfer(dh_group).run(channel, [], []) == []
 
     def test_length_mismatch_rejected(self, dh_group):
-        channel = TwoPartyChannel("ot-test")
+        channel = ot_channel()
         with pytest.raises(OTError):
             ObliviousTransfer(dh_group).run(channel, [(b"a" * 16, b"b" * 16)], [0, 1])
 
@@ -104,17 +113,19 @@ class TestObliviousTransfer:
             ObliviousTransfer(dh_group, mode="quantum")
 
     def test_network_bytes_accounted(self, dh_group):
-        channel = TwoPartyChannel("ot-test")
+        channel = ot_channel()
         pairs = [(b"x" * 16, b"y" * 16)] * 8
         ObliviousTransfer(dh_group, mode="iknp").run(channel, pairs, [1] * 8)
         assert channel.total_bytes() > 0
+        # Exact accounting: the total equals the sum of serialized frame sizes.
+        assert channel.total_bytes() == sum(size for _, size in channel.transport.frame_log)
 
 
 class TestYaoDriver:
     @pytest.mark.parametrize("output_to", ["evaluator", "garbler"])
     def test_spam_comparison_both_output_arrangements(self, dh_group, output_to):
         circuit = SpamCircuit.build(16)
-        channel = TwoPartyChannel("yao-test")
+        channel = yao_channel()
         result = run_yao(
             channel,
             circuit.circuit,
@@ -134,7 +145,7 @@ class TestYaoDriver:
         noises = [7, 11, 13, 17]
         indices = [3, 9, 27, 41]
         blinded = [(s + n) % 2**16 for s, n in zip(scores, noises)]
-        channel = TwoPartyChannel("yao-topic")
+        channel = yao_channel("yao-topic")
         result = run_yao(
             channel,
             circuit.circuit,
@@ -149,7 +160,7 @@ class TestYaoDriver:
         circuit = SpamCircuit.build(8)
         with pytest.raises(ProtocolAbort):
             run_yao(
-                TwoPartyChannel("bad"),
+                yao_channel("bad"),
                 circuit.circuit,
                 garbler_bits=circuit.garbler_bits(1, 2),
                 evaluator_bits=circuit.evaluator_bits(0, 0),

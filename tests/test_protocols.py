@@ -3,7 +3,6 @@
 import pytest
 
 from repro.exceptions import ProtocolError
-from repro.twopc.channel import TwoPartyChannel
 from repro.twopc.noprv import NoPrivClassifier
 from repro.twopc.spam import SpamFilterProtocol
 from repro.twopc.topics import TopicExtractionProtocol
@@ -52,9 +51,20 @@ class TestSpamProtocol:
 
     def test_channel_is_drained(self, spam_setup):
         protocol, setup = spam_setup
-        channel = TwoPartyChannel("spam-test")
+        channel = protocol.make_channel(setup, name="spam-test")
         protocol.classify_email(setup, SPAM_TEST_EMAILS[1], channel=channel)
         assert channel.pending() == 0
+
+    def test_network_bytes_equal_serialized_frame_lengths(self, spam_setup):
+        # Acceptance: reported network_bytes is the sum of the actual
+        # serialized frame lengths on the transport — no estimator anywhere.
+        protocol, setup = spam_setup
+        channel = protocol.make_channel(setup, name="spam-exact")
+        result = protocol.classify_email(setup, SPAM_TEST_EMAILS[0], channel=channel)
+        frame_log = channel.transport.frame_log
+        assert result.network_bytes == sum(size for _, size in frame_log)
+        assert result.network_messages == len(frame_log)
+        assert result.network_rounds >= 2
 
     def test_client_storage_reported(self, spam_setup):
         _, setup = spam_setup

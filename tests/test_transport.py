@@ -1,0 +1,138 @@
+"""Transport-layer tests: loopback and socket transports, framed channels.
+
+The transport is where byte accounting lives, so the ledger invariants are
+tested here: every accepted frame is charged exactly ``len(data)`` to its
+sender, message counts and rounds track the frame log, and both transports
+deliver FIFO per direction — including frames much larger than a socket
+buffer from a single driving thread.
+"""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.twopc.transport import FramedChannel, LoopbackTransport, SocketTransport
+from repro.twopc.wire import ClassifyResultFrame, FeaturesFrame, OtExtColumnsFrame, WireCodec
+
+
+class TestLoopbackTransport:
+    def test_fifo_per_direction(self):
+        transport = LoopbackTransport()
+        transport.send("client", b"first")
+        transport.send("client", b"second")
+        transport.send("provider", b"reply")
+        assert transport.receive("provider") == b"first"
+        assert transport.receive("provider") == b"second"
+        assert transport.receive("client") == b"reply"
+        assert transport.pending() == 0
+
+    def test_exact_byte_accounting(self):
+        transport = LoopbackTransport()
+        transport.send("client", b"x" * 100)
+        transport.send("provider", b"y" * 50)
+        assert transport.bytes_by_sender == {"client": 100, "provider": 50}
+        assert transport.total_bytes() == 150
+        assert transport.total_messages() == 2
+        assert transport.frame_log == [("client", 100), ("provider", 50)]
+
+    def test_rounds_count_direction_bursts(self):
+        transport = LoopbackTransport()
+        assert transport.rounds() == 0
+        transport.send("client", b"a")
+        transport.send("client", b"b")   # same burst
+        assert transport.rounds() == 1
+        transport.send("provider", b"c")
+        assert transport.rounds() == 2
+        transport.send("client", b"d")
+        assert transport.rounds() == 3
+
+    def test_empty_receive_raises(self):
+        transport = LoopbackTransport()
+        with pytest.raises(ProtocolError):
+            transport.receive("client")
+
+    def test_unknown_party_rejected(self):
+        transport = LoopbackTransport(parties=("alice", "bob"))
+        with pytest.raises(ProtocolError):
+            transport.send("mallory", b"hi")
+        with pytest.raises(ProtocolError):
+            transport.receive("mallory")
+
+    def test_peer_of(self):
+        transport = LoopbackTransport(parties=("alice", "bob"))
+        assert transport.peer_of("alice") == "bob"
+        assert transport.peer_of("bob") == "alice"
+
+
+class TestSocketTransport:
+    def test_roundtrip_and_accounting(self):
+        transport = SocketTransport(timeout=10.0)
+        try:
+            transport.send("client", b"hello")
+            transport.send("provider", b"world!")
+            assert transport.receive("provider") == b"hello"
+            assert transport.receive("client") == b"world!"
+            assert transport.bytes_by_sender == {"client": 5, "provider": 6}
+            assert transport.pending() == 0
+        finally:
+            transport.close()
+
+    def test_large_frames_from_single_thread(self):
+        # Frames larger than typical kernel socket buffers must not deadlock
+        # a single-threaded driver that sends both before receiving.
+        transport = SocketTransport(timeout=30.0)
+        try:
+            big = bytes(range(256)) * 4096  # 1 MiB
+            transport.send("client", big)
+            transport.send("provider", big[::-1])
+            assert transport.receive("provider") == big
+            assert transport.receive("client") == big[::-1]
+        finally:
+            transport.close()
+
+    def test_fifo_order_preserved(self):
+        transport = SocketTransport(timeout=10.0)
+        try:
+            for index in range(20):
+                transport.send("client", bytes([index]))
+            received = [transport.receive("provider") for _ in range(20)]
+            assert received == [bytes([index]) for index in range(20)]
+        finally:
+            transport.close()
+
+    def test_send_after_close_rejected(self):
+        transport = SocketTransport()
+        transport.close()
+        with pytest.raises(ProtocolError):
+            transport.send("client", b"late")
+
+
+class TestFramedChannel:
+    @pytest.mark.parametrize("make_transport", [LoopbackTransport, SocketTransport])
+    def test_typed_frames_roundtrip(self, make_transport):
+        channel = FramedChannel(make_transport(), WireCodec())
+        try:
+            sent = FeaturesFrame(((1, 2), (9, 1)))
+            size = channel.send("client", sent)
+            assert size == len(channel.codec.encode(sent))
+            assert channel.receive("provider") == sent
+            channel.send("provider", ClassifyResultFrame(3))
+            assert channel.receive("client") == ClassifyResultFrame(3)
+        finally:
+            channel.close()
+
+    def test_total_bytes_is_sum_of_frame_lengths(self):
+        channel = FramedChannel.loopback()
+        frames = [
+            FeaturesFrame(((0, 1),)),
+            OtExtColumnsFrame((b"col",), start_index=4),
+            ClassifyResultFrame(0),
+        ]
+        expected = 0
+        for frame in frames:
+            expected += len(channel.codec.encode(frame))
+            channel.send("client", frame)
+        assert channel.total_bytes() == expected
+        assert channel.total_messages() == len(frames)
+        assert [size for _, size in channel.transport.frame_log] == [
+            len(channel.codec.encode(frame)) for frame in frames
+        ]

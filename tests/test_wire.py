@@ -1,0 +1,268 @@
+"""Wire-codec tests: property-based roundtrips for every frame type plus a
+pinned-bytes golden test that catches accidental format drift.
+
+The frames are the system boundary (every protocol message crosses parties as
+``codec.encode(frame)`` bytes), so two properties matter: *roundtrip* — frame
+→ bytes → frame is bit-identical for arbitrary payloads — and *stability* —
+the byte layout only changes together with :data:`repro.twopc.wire.WIRE_VERSION`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.garbled import LABEL_BYTES, GarbledGate, GarbledTables
+from repro.exceptions import WireFormatError
+from repro.twopc.wire import (
+    WIRE_VERSION,
+    BlindedScoresFrame,
+    ClassifyResultFrame,
+    ExtractedCandidatesFrame,
+    FeaturesFrame,
+    GarbledCircuitFrame,
+    OtCipherPairsFrame,
+    OtExtColumnsFrame,
+    OtExtPairsFrame,
+    OtPublicsFrame,
+    OtResponsesFrame,
+    OutputLabelsFrame,
+    WireCodec,
+)
+
+codec = WireCodec()
+
+elements = st.lists(st.integers(min_value=0, max_value=2**521), max_size=6).map(tuple)
+blobs = st.binary(max_size=64)
+pairs = st.lists(st.tuples(blobs, blobs), max_size=5).map(tuple)
+labels = st.lists(st.binary(min_size=LABEL_BYTES, max_size=LABEL_BYTES), max_size=5).map(tuple)
+
+
+class TestRoundTrips:
+    @given(elements)
+    @settings(max_examples=40, deadline=None)
+    def test_ot_publics(self, values):
+        assert codec.decode(codec.encode(OtPublicsFrame(values))) == OtPublicsFrame(values)
+
+    @given(elements)
+    @settings(max_examples=40, deadline=None)
+    def test_ot_responses(self, values):
+        assert codec.decode(codec.encode(OtResponsesFrame(values))) == OtResponsesFrame(values)
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_ot_cipherpairs(self, values):
+        frame = OtCipherPairsFrame(values)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_ot_ext_pairs(self, values):
+        frame = OtExtPairsFrame(values)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(st.lists(blobs, max_size=6).map(tuple), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_ot_ext_columns(self, columns, start):
+        frame = OtExtColumnsFrame(columns, start_index=start)
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded == frame
+        assert decoded.start_index == start
+
+    @given(labels)
+    @settings(max_examples=40, deadline=None)
+    def test_output_labels(self, values):
+        frame = OutputLabelsFrame(values)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=2**32 - 1),
+            ),
+            max_size=8,
+        ).map(tuple)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_features(self, values):
+        frame = FeaturesFrame(values)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_classify_result(self, category):
+        frame = ClassifyResultFrame(category)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), unique=True, max_size=4),
+        st.integers(min_value=0, max_value=3),
+        labels,
+        st.booleans(),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_garbled_circuit(self, positions, outputs, garbler_labels, decode_flag, rnd):
+        tables = GarbledTables(
+            and_gates={
+                position: GarbledGate(
+                    gate_index=position,
+                    rows=[bytes(rnd.getrandbits(8) for _ in range(LABEL_BYTES)) for _ in range(4)],
+                )
+                for position in positions
+            },
+            output_decode=[
+                (
+                    bytes(rnd.getrandbits(8) for _ in range(LABEL_BYTES)),
+                    bytes(rnd.getrandbits(8) for _ in range(LABEL_BYTES)),
+                )
+                for _ in range(outputs)
+            ],
+        )
+        frame = GarbledCircuitFrame(tables, garbler_labels, decode_flag)
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded.garbler_labels == frame.garbler_labels
+        assert decoded.decode_at_evaluator == frame.decode_at_evaluator
+        assert decoded.tables.output_decode == tables.output_decode
+        assert set(decoded.tables.and_gates) == set(tables.and_gates)
+        for position, gate in tables.and_gates.items():
+            assert decoded.tables.and_gates[position].rows == gate.rows
+
+
+class TestCiphertextFrames:
+    def _codec(self, scheme, keys):
+        return WireCodec(scheme=scheme, public_key=keys.public)
+
+    @pytest.mark.parametrize("frame_cls", [BlindedScoresFrame, ExtractedCandidatesFrame])
+    def test_bv_roundtrip_bit_identical(self, bv_scheme, bv_keys, frame_cls):
+        ciphertexts = tuple(
+            bv_scheme.encrypt_slots(bv_keys.public, [index, index + 1])
+            for index in range(3)
+        )
+        wire = self._codec(bv_scheme, bv_keys)
+        decoded = wire.decode(wire.encode(frame_cls(ciphertexts)))
+        assert isinstance(decoded, frame_cls)
+        assert len(decoded.ciphertexts) == 3
+        for original, restored in zip(ciphertexts, decoded.ciphertexts):
+            np.testing.assert_array_equal(
+                original.payload.c0.spectra, restored.payload.c0.spectra
+            )
+            np.testing.assert_array_equal(
+                original.payload.c1.spectra, restored.payload.c1.spectra
+            )
+            assert restored.size_bytes == bv_scheme.ciphertext_size_bytes()
+
+    def test_bv_roundtrip_still_decrypts(self, bv_scheme, bv_keys):
+        ciphertext = bv_scheme.encrypt_slots(bv_keys.public, [7, 11, 13])
+        wire = self._codec(bv_scheme, bv_keys)
+        frame = wire.decode(wire.encode(BlindedScoresFrame((ciphertext,))))
+        assert bv_scheme.decrypt_slots(bv_keys, frame.ciphertexts[0])[:3] == [7, 11, 13]
+
+    def test_paillier_roundtrip_still_decrypts(self, paillier_scheme, paillier_keys):
+        ciphertext = paillier_scheme.encrypt_slots(paillier_keys.public, [41, 42])
+        wire = self._codec(paillier_scheme, paillier_keys)
+        frame = wire.decode(wire.encode(BlindedScoresFrame((ciphertext,))))
+        restored = frame.ciphertexts[0]
+        assert restored.payload[0] == ciphertext.payload[0]
+        assert paillier_scheme.decrypt_slots(paillier_keys, restored)[:2] == [41, 42]
+
+    def test_serialized_length_is_constant(self, bv_scheme, bv_keys):
+        for values in ([], [1], list(range(50))):
+            ciphertext = bv_scheme.encrypt_slots(bv_keys.public, values)
+            assert (
+                len(bv_scheme.serialize_ciphertext(ciphertext))
+                == bv_scheme.ciphertext_size_bytes()
+            )
+
+    def test_schemeless_codec_rejects_ciphertext_frames(self, bv_scheme, bv_keys):
+        ciphertext = bv_scheme.encrypt_slots(bv_keys.public, [1])
+        with pytest.raises(WireFormatError):
+            codec.encode(BlindedScoresFrame((ciphertext,)))
+
+    def test_corrupt_residue_rejected(self, bv_scheme, bv_keys):
+        data = bytearray(
+            bv_scheme.serialize_ciphertext(bv_scheme.encrypt_slots(bv_keys.public, [1]))
+        )
+        data[5:9] = (0xFFFFFFFF).to_bytes(4, "big")  # residue >= every prime
+        with pytest.raises(WireFormatError):
+            bv_scheme.deserialize_ciphertext(bytes(data))
+
+
+class TestMalformedFrames:
+    def test_bad_magic(self):
+        encoded = bytearray(codec.encode(ClassifyResultFrame(1)))
+        encoded[0] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            codec.decode(bytes(encoded))
+
+    def test_bad_version(self):
+        encoded = bytearray(codec.encode(ClassifyResultFrame(1)))
+        encoded[1] = WIRE_VERSION + 1
+        with pytest.raises(WireFormatError):
+            codec.decode(bytes(encoded))
+
+    def test_unknown_type(self):
+        encoded = bytearray(codec.encode(ClassifyResultFrame(1)))
+        encoded[2] = 0x7F
+        with pytest.raises(WireFormatError):
+            codec.decode(bytes(encoded))
+
+    def test_truncated(self):
+        encoded = codec.encode(OtPublicsFrame((12345,)))
+        with pytest.raises(WireFormatError):
+            codec.decode(encoded[:-1])
+
+    def test_trailing_bytes(self):
+        encoded = codec.encode(ClassifyResultFrame(1))
+        with pytest.raises(WireFormatError):
+            codec.decode(encoded + b"\x00")
+
+
+# Pinned encodings: regenerate ONLY together with a WIRE_VERSION bump.
+GOLDEN_FRAMES = {
+    "ot_publics": "5a010300000003000000010100000001ff00000006010000000000",
+    "ot_cipherpairs": "5a010500000001000000017800000002797a",
+    "ot_ext_columns": "5a0106000000070000000200000002616200000000",
+    "output_labels": "5a010900000001000102030405060708090a0b0c0d0e0f",
+    "features": "5a010a0000000200000001000000020000000300000004",
+    "classify_result": "5a010b00000005",
+    "garbled_circuit": "5a01080000006c00000001000000030000000000000000000000000000000001010101010101010101010101010101020202020202020202020202020202020303030303030303030303030303030300000001aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb00000001cccccccccccccccccccccccccccccccc01",  # noqa: E501
+}
+
+
+def _golden_frame(name):
+    if name == "ot_publics":
+        return OtPublicsFrame((1, 255, 2**40))
+    if name == "ot_cipherpairs":
+        return OtCipherPairsFrame(((b"x", b"yz"),))
+    if name == "ot_ext_columns":
+        return OtExtColumnsFrame((b"ab", b""), start_index=7)
+    if name == "output_labels":
+        return OutputLabelsFrame((bytes(range(16)),))
+    if name == "features":
+        return FeaturesFrame(((1, 2), (3, 4)))
+    if name == "classify_result":
+        return ClassifyResultFrame(5)
+    if name == "garbled_circuit":
+        return GarbledCircuitFrame(
+            tables=GarbledTables(
+                and_gates={
+                    3: GarbledGate(gate_index=3, rows=[bytes([i]) * 16 for i in range(4)])
+                },
+                output_decode=[(b"\xaa" * 16, b"\xbb" * 16)],
+            ),
+            garbler_labels=(b"\xcc" * 16,),
+            decode_at_evaluator=True,
+        )
+    raise AssertionError(name)
+
+
+class TestGoldenBytes:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_pinned_encoding(self, name):
+        assert codec.encode(_golden_frame(name)).hex() == GOLDEN_FRAMES[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_pinned_bytes_decode(self, name):
+        decoded = codec.decode(bytes.fromhex(GOLDEN_FRAMES[name]))
+        assert codec.encode(decoded).hex() == GOLDEN_FRAMES[name]
