@@ -1,19 +1,27 @@
-"""Regression benchmark harness: the BV hot path and the serving runtime.
+"""Regression benchmark harness: BV hot path, serving runtime, sharded stack.
 
 ``--suite hotpath`` (default) times the operations that dominate Pretzel's
 per-email costs (Figs. 6, 7 and 10).  ``--suite runtime`` measures multi-user
 serving-loop throughput: 8 emails classified one-shot sequentially versus as
 8 concurrent sessions through :class:`repro.core.runtime.ProviderRuntime`
 (cross-session batched decrypts + the per-pair persistent OT extension).
-Each suite writes its medians to a ``BENCH_*.json`` file, so successive PRs
-can track the performance trajectory instead of re-deriving it from one-off
-pytest-benchmark runs.
+``--suite shard`` measures the sharded serving stack of the §6.3 deployment
+story: a stream of email waves over several mailboxes, driven three ways —
+the PR 2 single-loop drive (fresh per-pair OT handshake per burst, exactly
+the arrangement behind the committed runtime numbers), the same single loop
+with a warm :class:`MailboxDirectory`, and a 4-worker
+:class:`repro.core.runtime.ShardedRuntime` with windowed decrypt scheduling.
+The shard suite **hard-fails** if sharded throughput drops below the PR 2
+single-loop drive.  Each suite writes its medians to a ``BENCH_*.json``
+file, so successive PRs can track the performance trajectory instead of
+re-deriving it from one-off pytest-benchmark runs.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full-size ring (n=1024)
     PYTHONPATH=src python benchmarks/regress.py --ring-degree 256 --repeat 3
     PYTHONPATH=src python benchmarks/regress.py --suite runtime
+    PYTHONPATH=src python benchmarks/regress.py --suite shard
     PYTHONPATH=src python benchmarks/regress.py --output BENCH_smoke.json
 
 The JSON schema is flat on purpose: ``{"meta": {...}, "results": {name: ...}}``.
@@ -34,7 +42,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.classify.model import LinearModel, QuantizedLinearModel
-from repro.core.runtime import ProviderRuntime, run_spam_batch
+from repro.core.runtime import (
+    DecryptScheduler,
+    MailboxDirectory,
+    ProviderRuntime,
+    ShardedRuntime,
+    run_spam_batch,
+    shard_of_address,
+    spam_job,
+)
 from repro.crypto.bv import BVParameters, BVScheme
 from repro.crypto.dh import generate_group
 from repro.crypto.packing import PackedLinearModel, decrypt_dot_products
@@ -47,6 +63,12 @@ TOPIC_CATEGORIES = 64
 TOPIC_CANDIDATES = 10
 RUNTIME_SESSIONS = 8
 RUNTIME_DH_BITS = 256
+
+SHARD_WORKERS = 4
+SHARD_MAILBOXES = 4
+SHARD_WAVES = 4
+SHARD_EMAILS_PER_WAVE = 8  # 2 per mailbox per wave; 32 emails per stream
+SHARD_WINDOW_BURSTS = 2
 
 
 def _median_ms(function, repeat: int) -> float:
@@ -201,15 +223,199 @@ def run_runtime(ring_degree: int, repeat: int) -> dict:
     }
 
 
+def _shard_addresses(num_shards: int) -> list[str]:
+    """SHARD_MAILBOXES addresses spread over the stable hash partition.
+
+    Walks candidate addresses preferring unoccupied shards; once every shard
+    owns a mailbox (or there are more mailboxes than shards) further
+    addresses are taken as they come, so the walk always terminates.
+    """
+    addresses: list[str] = []
+    taken: set[int] = set()
+    candidate = 0
+    while len(addresses) < SHARD_MAILBOXES:
+        address = f"mailbox-{candidate}@bench.example"
+        shard = shard_of_address(address, num_shards)
+        if shard not in taken or len(taken) == num_shards:
+            taken.add(shard)
+            addresses.append(address)
+        candidate += 1
+    return addresses
+
+
+def run_shard(ring_degree: int, repeat: int) -> dict:
+    """Sharded serving-stack throughput versus the PR 2 single-loop drive.
+
+    One workload, three drives.  The stream is SHARD_WAVES waves of
+    SHARD_EMAILS_PER_WAVE emails spread over SHARD_MAILBOXES mailboxes (own
+    key pairs, like real users):
+
+    * ``singleloop`` — the PR 2 arrangement the committed runtime numbers
+      use: each wave runs as concurrent sessions in one process via
+      ``run_spam_batch``, paying a fresh per-pair base-OT handshake per
+      mailbox per burst (that is what the one-shot drive does);
+    * ``singleloop_warm`` — the same single process with a warm
+      :class:`MailboxDirectory` (persistent OT pools, pre-stacked models), to
+      separate what persistence buys from what sharding buys;
+    * ``sharded`` — a ``SHARD_WORKERS``-process :class:`ShardedRuntime`,
+      mailboxes partitioned by stable hash, per-worker warm directories and a
+      ``SHARD_WINDOW_BURSTS``-burst :class:`DecryptScheduler` window
+      accumulating decrypts across waves.
+
+    Registration/handshake state for the warm arms is built *outside* the
+    timed region — steady-state serving throughput is the §6.3 quantity.
+    The suite hard-fails if ``sharded`` falls below ``singleloop``.
+    """
+    parameters = BVParameters(ring_degree=ring_degree)
+    scheme = BVScheme(parameters)
+    group = generate_group(RUNTIME_DH_BITS)
+    rng = np.random.default_rng(11)
+    linear = LinearModel(
+        weights=rng.normal(size=(SPAM_FEATURE_ROWS, 2)),
+        biases=np.array([0.25, -0.25]),
+        category_names=["spam", "ham"],
+    )
+    quantized = QuantizedLinearModel.from_linear_model(
+        linear, value_bits=10, frequency_bits=4, max_features_per_email=4096
+    )
+    protocol = SpamFilterProtocol(scheme, group)
+    addresses = _shard_addresses(SHARD_WORKERS)
+    setups = {address: protocol.setup(quantized) for address in addresses}
+
+    total_emails = SHARD_WAVES * SHARD_EMAILS_PER_WAVE
+    per_wave_per_mailbox = SHARD_EMAILS_PER_WAVE // SHARD_MAILBOXES
+    waves: list[list[tuple[str, dict[int, int]]]] = []
+    for _ in range(SHARD_WAVES):
+        wave = []
+        for address in addresses:
+            for _ in range(per_wave_per_mailbox):
+                features = {
+                    int(row): 1
+                    for row in rng.choice(
+                        SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False
+                    )
+                }
+                wave.append((address, features))
+        waves.append(wave)
+    # Warm the shared one-time caches (circuits, model stacks) and pin truth.
+    truth: list[list[bool]] = []
+    for wave in waves:
+        truth.append(
+            [
+                protocol.classify_email(setups[address], features).is_spam
+                for address, features in wave
+            ]
+        )
+
+    # -- warm state the persistent arms keep between waves (untimed) --------
+    directory = MailboxDirectory()
+    for address in addresses:
+        directory.register_spam(address, protocol, setups[address])
+    sharded_runtime = ShardedRuntime(
+        num_shards=SHARD_WORKERS, window_bursts=SHARD_WINDOW_BURSTS
+    )
+    for address in addresses:
+        sharded_runtime.register_spam(address, protocol, setups[address])
+
+    singleloop_rates: list[float] = []
+    warm_rates: list[float] = []
+    sharded_rates: list[float] = []
+    try:
+        for _ in range(repeat):
+            # Arm 1: the PR 2 single-loop drive (fresh handshakes per burst).
+            start = time.perf_counter()
+            singleloop_verdicts = []
+            for wave in waves:
+                by_mailbox: dict[str, list[dict[int, int]]] = {}
+                for address, features in wave:
+                    by_mailbox.setdefault(address, []).append(features)
+                wave_results = {
+                    address: run_spam_batch(protocol, setups[address], feature_sets)
+                    for address, feature_sets in by_mailbox.items()
+                }
+                cursors = {address: 0 for address in by_mailbox}
+                for address, _ in wave:
+                    singleloop_verdicts.append(
+                        wave_results[address][cursors[address]].is_spam
+                    )
+                    cursors[address] += 1
+            singleloop_rates.append(total_emails / (time.perf_counter() - start))
+
+            # Arm 2: one process, warm directory (persistent per-pair pools).
+            start = time.perf_counter()
+            warm_verdicts = []
+            for wave in waves:
+                runtime = ProviderRuntime()
+                jobs = []
+                for address, features in wave:
+                    protocol_w, setup_w = directory.spam_of(address)
+                    jobs.append(
+                        spam_job(
+                            protocol_w,
+                            setup_w,
+                            features,
+                            label=len(jobs),
+                            ot_pool=directory.spam_pool_of(address),
+                        )
+                    )
+                runtime.run(jobs)
+                warm_verdicts += [job.client.is_spam for job in jobs]
+            warm_rates.append(total_emails / (time.perf_counter() - start))
+
+            # Arm 3: the sharded stack (worker processes + windowed decrypts).
+            start = time.perf_counter()
+            sharded_results = sharded_runtime.run_spam_stream(waves)
+            sharded_rates.append(total_emails / (time.perf_counter() - start))
+            sharded_verdicts = [result.is_spam for result in sharded_results]
+
+            flat_truth = [verdict for wave in truth for verdict in wave]
+            if (
+                singleloop_verdicts != flat_truth
+                or warm_verdicts != flat_truth
+                or sharded_verdicts != flat_truth
+            ):
+                raise AssertionError("serving arms disagree with the sequential truth")
+        stats = sharded_runtime.shard_stats()
+    finally:
+        sharded_runtime.close()
+
+    singleloop_rate = statistics.median(singleloop_rates)
+    warm_rate = statistics.median(warm_rates)
+    sharded_rate = statistics.median(sharded_rates)
+    # The row's reason to exist: scaling out must never cost throughput
+    # against the single-loop drive.  Fail loudly (CI-visible) if it does.
+    if sharded_rate < singleloop_rate:
+        raise AssertionError(
+            f"sharded serving regressed: {sharded_rate:.2f} emails/s with "
+            f"{SHARD_WORKERS} workers < {singleloop_rate:.2f} emails/s single-loop"
+        )
+    largest_batch = max(
+        (max(stat["decrypt_batch_sizes"], default=0) for stat in stats), default=0
+    )
+    return {
+        "shard_singleloop_emails_per_s": singleloop_rate,
+        "shard_singleloop_warm_emails_per_s": warm_rate,
+        f"shard_sharded{SHARD_WORKERS}_emails_per_s": sharded_rate,
+        "shard_speedup_vs_singleloop": sharded_rate / singleloop_rate,
+        "shard_largest_decrypt_batch": largest_batch,
+        "shard_mailboxes": SHARD_MAILBOXES,
+        "shard_window_bursts": SHARD_WINDOW_BURSTS,
+        "shard_stream_emails": total_emails,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ring-degree", type=int, default=1024)
     parser.add_argument("--repeat", type=int, default=9, help="samples per op (median reported)")
     parser.add_argument(
         "--suite",
-        choices=("hotpath", "runtime"),
+        choices=("hotpath", "runtime", "shard"),
         default="hotpath",
-        help="hotpath = BV micro/protocol ops; runtime = serving-loop throughput",
+        help=(
+            "hotpath = BV micro/protocol ops; runtime = serving-loop throughput; "
+            "shard = sharded serving stack vs the single-loop drive"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -220,13 +426,15 @@ def main() -> None:
     args = parser.parse_args()
     if args.repeat < 1:
         parser.error("--repeat must be at least 1")
-    stem = "bv_hotpath" if args.suite == "hotpath" else "runtime"
+    stem = {"hotpath": "bv_hotpath", "runtime": "runtime", "shard": "shard"}[args.suite]
     output = args.output or Path(__file__).parent / f"BENCH_{stem}_n{args.ring_degree}.json"
 
     if args.suite == "hotpath":
         results = run(args.ring_degree, args.repeat)
-    else:
+    elif args.suite == "runtime":
         results = run_runtime(args.ring_degree, args.repeat)
+    else:
+        results = run_shard(args.ring_degree, args.repeat)
     payload = {
         "meta": {
             "harness": "benchmarks/regress.py",
@@ -249,7 +457,7 @@ def main() -> None:
     width = max(len(name) for name in results)
     print(f"{args.suite} suite (ring degree {args.ring_degree}, median of {args.repeat}):")
     for name, value in results.items():
-        unit = "" if args.suite == "runtime" else " ms"
+        unit = " ms" if args.suite == "hotpath" else ""
         print(f"  {name.ljust(width)}  {value:10.3f}{unit}")
     print(f"wrote {output}")
 

@@ -15,11 +15,14 @@ This package glues the substrates together into the system of Fig. 1:
 
 from repro.core.config import PretzelConfig
 from repro.core.runtime import (
+    DecryptScheduler,
     MailboxDirectory,
     ProviderRuntime,
     SessionJob,
+    ShardedRuntime,
     run_spam_batch,
     run_topic_batch,
+    shard_of_address,
     spam_job,
     topic_job,
 )
@@ -38,6 +41,9 @@ __all__ = [
     "PretzelSystem",
     "EmailProcessingReport",
     "ProviderRuntime",
+    "DecryptScheduler",
+    "ShardedRuntime",
+    "shard_of_address",
     "MailboxDirectory",
     "SessionJob",
     "run_spam_batch",

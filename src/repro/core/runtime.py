@@ -23,20 +23,141 @@ the runtime layer that makes the provider half scale:
 :func:`run_spam_batch` / :func:`run_topic_batch` are the convenience drivers
 used by the benchmarks, tests and function modules: N feature vectors in,
 N protocol results out, with every frame serialized and every byte counted.
+
+Scaling past one loop (this PR's serving stack, cf. the §6.3 estimates):
+
+* :class:`DecryptScheduler` — the time/size-windowed accumulator that lets a
+  provider hold parked decrypts *across bursts* and per key pair before
+  folding them into one ``decrypt_slots_many`` call (latency/throughput
+  knob; ``window_bursts=1`` degenerates to the per-burst batching above).
+* :class:`ProviderRuntime.serve_burst`/:meth:`ProviderRuntime.drain` — the
+  windowed serving entry points: jobs whose decrypts are still inside an
+  open window stay parked between bursts and complete when it closes.
+* :class:`ShardedRuntime` — N worker processes, each owning the mailboxes
+  that hash to its shard (stable SHA-256 partition) with its own
+  :class:`MailboxDirectory` (warm OT pools, stacked model rows) and windowed
+  :class:`ProviderRuntime`.  Shards are embarrassingly parallel because all
+  decrypt batching is per key pair, which never crosses a mailbox.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import itertools
+import multiprocessing
+import time
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.crypto.ot import OtExtensionPool
 from repro.exceptions import ProtocolError
-from repro.twopc.session import SessionJob, SessionLoop
+from repro.twopc.session import SessionJob, SessionLoop, _ParkedDecryption, decrypt_group_key
 from repro.twopc.spam import SpamFilterProtocol, SpamProtocolResult, SpamSetup
 from repro.twopc.topics import TopicExtractionProtocol, TopicProtocolResult, TopicSetup
 
 SparseVector = Mapping[int, int]
+
+
+# ---------------------------------------------------------------------------
+# The windowed decrypt scheduler
+# ---------------------------------------------------------------------------
+@dataclass
+class _DecryptWindow:
+    """Parked decrypts for one key pair, accumulating until the window closes."""
+
+    entries: list[_ParkedDecryption] = field(default_factory=list)
+    ciphertext_count: int = 0
+    opened_at: float = 0.0
+    opened_burst: int = 0
+
+
+class DecryptScheduler:
+    """Accumulate parked provider decrypts across bursts, per key pair.
+
+    The per-burst serving loop already folds the decrypts of one burst into
+    one ``decrypt_slots_many`` per key pair.  This scheduler generalises that
+    into a *window*: requests parked in burst *b* stay parked until any of
+
+    * ``window_bursts`` bursts have completed since the window opened,
+    * the window holds ``max_pending_ciphertexts`` or more ciphertexts,
+    * ``max_delay_seconds`` have elapsed since the window opened,
+
+    whichever trigger is observed first — the latency/throughput knob of the
+    §6.3 serving stack.  The scheduler is *poll-driven*: triggers are
+    evaluated when the serving loop calls :meth:`take_due` (inside
+    ``serve_burst`` and ``drain``), so ``max_delay_seconds`` bounds how long
+    a window survives *once traffic or a drain touches the loop again* — an
+    idle provider with no further bursts holds its windows until ``drain``.
+    ``window_bursts=1`` (the default, with no size/time triggers) closes
+    every window at the end of the burst that opened it, i.e. exactly the
+    per-burst batching of the PR 2 serving loop.  Windows are per key pair
+    by construction, so nothing here ever mixes mailboxes.
+    """
+
+    def __init__(
+        self,
+        window_bursts: int = 1,
+        max_pending_ciphertexts: int | None = None,
+        max_delay_seconds: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if window_bursts < 1:
+            raise ProtocolError("window_bursts must be at least 1")
+        if max_pending_ciphertexts is not None and max_pending_ciphertexts < 1:
+            raise ProtocolError("max_pending_ciphertexts must be at least 1")
+        if max_delay_seconds is not None and max_delay_seconds < 0:
+            raise ProtocolError("max_delay_seconds must be non-negative")
+        self.window_bursts = window_bursts
+        self.max_pending_ciphertexts = max_pending_ciphertexts
+        self.max_delay_seconds = max_delay_seconds
+        self._clock = clock
+        self._windows: dict[tuple[int, int], _DecryptWindow] = {}
+        self._burst = 0
+
+    def enqueue(self, entry: _ParkedDecryption) -> None:
+        key = decrypt_group_key(entry.request)
+        window = self._windows.get(key)
+        if window is None:
+            window = _DecryptWindow(opened_at=self._clock(), opened_burst=self._burst)
+            self._windows[key] = window
+        window.entries.append(entry)
+        window.ciphertext_count += len(entry.request.ciphertexts)
+
+    def end_burst(self) -> None:
+        """Mark a burst boundary (ages every open window by one burst)."""
+        self._burst += 1
+
+    def _is_due(self, window: _DecryptWindow, now: float) -> bool:
+        if self._burst - window.opened_burst >= self.window_bursts:
+            return True
+        if (
+            self.max_pending_ciphertexts is not None
+            and window.ciphertext_count >= self.max_pending_ciphertexts
+        ):
+            return True
+        if (
+            self.max_delay_seconds is not None
+            and now - window.opened_at >= self.max_delay_seconds
+        ):
+            return True
+        return False
+
+    def take_due(self, now: float | None = None) -> list[list[_ParkedDecryption]]:
+        """Pop and return every window whose trigger has fired."""
+        now = self._clock() if now is None else now
+        due = [key for key, window in self._windows.items() if self._is_due(window, now)]
+        return [self._windows.pop(key).entries for key in due]
+
+    def flush(self) -> list[list[_ParkedDecryption]]:
+        """Pop every open window regardless of triggers (shutdown / drain)."""
+        windows, self._windows = list(self._windows.values()), {}
+        return [window.entries for window in windows]
+
+    def pending_ciphertexts(self) -> int:
+        return sum(window.ciphertext_count for window in self._windows.values())
+
+    def pending_sessions(self) -> int:
+        return sum(len(window.entries) for window in self._windows.values())
 
 
 class ProviderRuntime(SessionLoop):
@@ -47,9 +168,83 @@ class ProviderRuntime(SessionLoop):
     loop that drives one in-process session also drains a provider's burst
     of concurrent email jobs.  See :class:`MailboxDirectory` for the
     per-mailbox state the provider keeps warm between bursts.
+
+    :meth:`run` keeps the PR 2 contract: drive a burst to completion, folding
+    each round's parked decrypts immediately.  The *windowed* entry points —
+    :meth:`serve_burst` and :meth:`drain` — thread a
+    :class:`DecryptScheduler` through the same delivery phases, so decrypts
+    can stay parked across bursts until their window closes; jobs whose
+    sessions are inside an open window simply remain active between calls.
     """
 
+    def __init__(self, scheduler: DecryptScheduler | None = None) -> None:
+        super().__init__()
+        self.scheduler = scheduler or DecryptScheduler()
+        self._active: list[SessionJob] = []
 
+    # -- windowed serving ----------------------------------------------------
+    def serve_burst(self, jobs: Sequence[SessionJob]) -> list[SessionJob]:
+        """Admit *jobs*, pump everything deliverable, close due windows.
+
+        Returns the jobs (from this burst or earlier ones) that finished;
+        jobs waiting on an open decrypt window stay active until a later
+        burst, a trigger, or :meth:`drain` closes it.
+        """
+        for job in jobs:
+            self._active.append(job)
+            parked: list[_ParkedDecryption] = []
+            for name in (job.client_name, job.provider_name):
+                session = job.session(name)
+                job.dispatch(name, session.start())
+                self._collect_parked(job, name, session, parked)
+            for entry in parked:
+                self.scheduler.enqueue(entry)
+        self._advance()
+        self.scheduler.end_burst()
+        while True:
+            due = self.scheduler.take_due()
+            if not due:
+                break
+            for entries in due:
+                self._service_group(entries)
+            self._advance()
+        return self._collect_finished()
+
+    def drain(self) -> list[SessionJob]:
+        """Close every open window and finish every active job."""
+        while True:
+            self._advance()
+            groups = self.scheduler.flush()
+            if not groups:
+                break
+            for entries in groups:
+                self._service_group(entries)
+        stuck = [job.label for job in self._active if not job.finished]
+        if stuck:
+            raise ProtocolError(f"serving loop deadlock after drain; unfinished jobs: {stuck}")
+        return self._collect_finished()
+
+    def outstanding_jobs(self) -> int:
+        """Jobs admitted but not yet finished (waiting on an open window)."""
+        return sum(1 for job in self._active if not job.finished)
+
+    def _advance(self) -> None:
+        """Deliver all deliverable frames, servicing windows as triggers fire."""
+        while True:
+            parked: list[_ParkedDecryption] = []
+            self._deliver_all(self._active, parked)
+            for entry in parked:
+                self.scheduler.enqueue(entry)
+            due = self.scheduler.take_due()
+            if not due:
+                return
+            for entries in due:
+                self._service_group(entries)
+
+    def _collect_finished(self) -> list[SessionJob]:
+        finished = [job for job in self._active if job.finished]
+        self._active = [job for job in self._active if not job.finished]
+        return finished
 
 
 # ---------------------------------------------------------------------------
@@ -237,6 +432,14 @@ class MailboxDirectory:
             raise ProtocolError(f"no topic mailbox registered for {address!r}")
         return entry.topics
 
+    def spam_pool_of(self, address: str) -> OtExtensionPool | None:
+        entry = self._mailboxes.get(address)
+        return entry.spam_ot_pool if entry else None
+
+    def topic_pool_of(self, address: str) -> OtExtensionPool | None:
+        entry = self._mailboxes.get(address)
+        return entry.topic_ot_pool if entry else None
+
     def mailbox_count(self) -> int:
         return len(self._mailboxes)
 
@@ -264,3 +467,407 @@ class MailboxDirectory:
             topic_job(protocol, setup, features, candidates, label=(address, index), ot_pool=pool)
             for index, (features, candidates) in enumerate(zip(feature_sets, candidate_lists))
         ]
+
+
+# ---------------------------------------------------------------------------
+# The sharded serving stack: worker processes keyed by mailbox hash
+# ---------------------------------------------------------------------------
+def shard_of_address(address: str, num_shards: int) -> int:
+    """Stable shard assignment: SHA-256 of the address, mod the shard count.
+
+    Deliberately *not* Python's salted ``hash`` — the partition must agree
+    across processes and across runs, because per-mailbox state (encrypted
+    models, OT pools) lives wherever the mailbox hashes to.
+    """
+    digest = hashlib.sha256(address.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def _worker_build_job(
+    directory: MailboxDirectory,
+    kind: str,
+    address: str,
+    features: SparseVector,
+    candidates: Sequence[int] | None,
+    job_id: int,
+) -> SessionJob:
+    if kind == "spam":
+        protocol, setup = directory.spam_of(address)
+        return spam_job(
+            protocol, setup, features, label=job_id, ot_pool=directory.spam_pool_of(address)
+        )
+    if kind == "topics":
+        protocol, setup = directory.topics_of(address)
+        return topic_job(
+            protocol,
+            setup,
+            features,
+            candidates,
+            label=job_id,
+            ot_pool=directory.topic_pool_of(address),
+        )
+    raise ProtocolError(f"unknown job kind {kind!r}")
+
+
+def _worker_results(
+    pending: dict[int, str], finished: Sequence[SessionJob]
+) -> list[tuple[int, Any]]:
+    results = []
+    for job in finished:
+        job_id = job.label
+        kind = pending.pop(job_id)
+        result = _spam_result(job) if kind == "spam" else _topic_result(job)
+        results.append((job_id, result))
+    return results
+
+
+def _shard_worker_main(
+    connection,
+    window_bursts: int,
+    max_pending_ciphertexts: int | None,
+    max_delay_seconds: float | None,
+) -> None:
+    """One shard: its own directory, windowed runtime, and command loop.
+
+    The parent speaks a small request/response protocol over the pipe; every
+    command gets exactly one reply.  Errors are caught and shipped back as
+    ``("error", message)`` so a protocol mistake in one shard surfaces in the
+    parent instead of killing the worker silently.
+    """
+    directory = MailboxDirectory()
+    runtime = ProviderRuntime(
+        scheduler=DecryptScheduler(
+            window_bursts=window_bursts,
+            max_pending_ciphertexts=max_pending_ciphertexts,
+            max_delay_seconds=max_delay_seconds,
+        )
+    )
+    pending: dict[int, str] = {}  # job_id -> kind, for jobs inside open windows
+    while True:
+        try:
+            command, payload = connection.recv()
+        except (EOFError, OSError):
+            return
+        try:
+            if command == "register_spam":
+                address, protocol, setup = payload
+                directory.register_spam(address, protocol, setup)
+                reply = ("ok", None)
+            elif command == "register_topics":
+                address, protocol, setup = payload
+                directory.register_topics(address, protocol, setup)
+                reply = ("ok", None)
+            elif command == "burst":
+                jobs = []
+                for job_id, kind, address, features, candidates in payload:
+                    jobs.append(
+                        _worker_build_job(directory, kind, address, features, candidates, job_id)
+                    )
+                    pending[job_id] = kind
+                finished = runtime.serve_burst(jobs)
+                reply = ("results", _worker_results(pending, finished))
+            elif command == "drain":
+                reply = ("results", _worker_results(pending, runtime.drain()))
+            elif command == "stats":
+                reply = (
+                    "stats",
+                    {
+                        "mailboxes": directory.mailbox_count(),
+                        "decrypt_batch_sizes": list(runtime.decrypt_batch_sizes),
+                        "outstanding_jobs": runtime.outstanding_jobs(),
+                        "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
+                    },
+                )
+            elif command == "stop":
+                connection.send(("ok", None))
+                return
+            else:
+                reply = ("error", f"unknown shard command {command!r}")
+        except Exception as error:  # noqa: BLE001 — every failure goes to the parent
+            reply = ("error", f"{type(error).__name__}: {error}")
+        connection.send(reply)
+
+
+@dataclass
+class _OutstandingItem:
+    """Parent-side record of a submitted email, kept until its result lands.
+
+    This is all the state needed to resubmit the email after a shard restart
+    (frames never leave the worker, so an email in flight on a killed shard
+    simply re-runs from its features).
+    """
+
+    shard: int
+    kind: str
+    address: str
+    features: SparseVector
+    candidates: Sequence[int] | None = None
+
+
+class ShardedRuntime:
+    """Partition the serving loop across worker processes by mailbox hash.
+
+    Each of the ``num_shards`` workers owns the mailboxes that
+    :func:`shard_of_address` maps to it: its own :class:`MailboxDirectory`
+    (encrypted-model stacks and per-pair OT pools stay warm in the worker
+    across bursts) and its own windowed :class:`ProviderRuntime`.  Because
+    decrypt batching is per key pair, shards never need to coordinate — the
+    partition is embarrassingly parallel, which is the §6.3 scaling story.
+
+    The parent keeps enough state to survive a worker loss: registrations are
+    replayed and in-flight emails resubmitted by :meth:`restart_shard`, so a
+    mid-window crash costs recomputation of the open window, never
+    correctness.  Results are collected by job id (:meth:`take_result`);
+    :meth:`run_spam_stream` is the submit/drain convenience the benchmarks
+    use.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        window_bursts: int = 1,
+        max_pending_ciphertexts: int | None = None,
+        max_delay_seconds: float | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ProtocolError("a sharded runtime needs at least one shard")
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self.num_shards = num_shards
+        self._window = (window_bursts, max_pending_ciphertexts, max_delay_seconds)
+        self._context = multiprocessing.get_context(start_method)
+        self._connections: list[Any] = []
+        self._processes: list[Any] = []
+        self._registrations: list[tuple[int, str, tuple]] = []
+        self._registered: set[tuple[str, str]] = set()  # (kind, address)
+        self._outstanding: dict[int, _OutstandingItem] = {}
+        self._results: dict[int, Any] = {}
+        self._job_ids = itertools.count()
+        self._closed = False
+        for _ in range(num_shards):
+            self._spawn_worker()
+
+    # -- worker lifecycle ----------------------------------------------------
+    def _spawn_worker(self) -> None:
+        parent_connection, child_connection = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(child_connection, *self._window),
+            daemon=True,
+        )
+        process.start()
+        child_connection.close()
+        self._connections.append(parent_connection)
+        self._processes.append(process)
+
+    def _send(self, shard: int, command: str, payload: Any) -> None:
+        if self._closed:
+            raise ProtocolError("the sharded runtime is closed")
+        try:
+            self._connections[shard].send((command, payload))
+        except (EOFError, OSError, BrokenPipeError) as error:
+            raise ProtocolError(
+                f"shard {shard} worker died (restart_shard can recover it): {error}"
+            ) from error
+
+    def _collect(self, shard: int, command: str) -> Any:
+        try:
+            tag, body = self._connections[shard].recv()
+        except (EOFError, OSError, BrokenPipeError) as error:
+            raise ProtocolError(
+                f"shard {shard} worker died (restart_shard can recover it): {error}"
+            ) from error
+        if tag == "error":
+            raise ProtocolError(f"shard {shard} rejected {command!r}: {body}")
+        if tag == "results":
+            for job_id, result in body:
+                self._results[job_id] = result
+                self._outstanding.pop(job_id, None)
+        return body
+
+    def _request(self, shard: int, command: str, payload: Any) -> Any:
+        self._send(shard, command, payload)
+        return self._collect(shard, command)
+
+    def restart_shard(self, shard: int) -> int:
+        """Kill one worker and rebuild it: replay registrations, resubmit work.
+
+        Models a provider process dying mid-window (§6.3 deployments restart
+        workers all the time).  Returns the number of in-flight emails that
+        were resubmitted to the fresh worker.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ProtocolError(f"no shard {shard} in a {self.num_shards}-shard runtime")
+        process = self._processes[shard]
+        process.terminate()
+        process.join(timeout=10.0)
+        self._connections[shard].close()
+        # Rebuild in place so shard indices (and the address partition) hold.
+        parent_connection, child_connection = self._context.Pipe()
+        fresh = self._context.Process(
+            target=_shard_worker_main,
+            args=(child_connection, *self._window),
+            daemon=True,
+        )
+        fresh.start()
+        child_connection.close()
+        self._connections[shard] = parent_connection
+        self._processes[shard] = fresh
+        for registered_shard, command, payload in self._registrations:
+            if registered_shard == shard:
+                self._request(shard, command, payload)
+        resubmit = [
+            (job_id, item)
+            for job_id, item in self._outstanding.items()
+            if item.shard == shard
+        ]
+        if resubmit:
+            self._request(
+                shard,
+                "burst",
+                [
+                    (job_id, item.kind, item.address, item.features, item.candidates)
+                    for job_id, item in resubmit
+                ],
+            )
+        return len(resubmit)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for connection, process in zip(self._connections, self._processes):
+            try:
+                connection.send(("stop", None))
+                connection.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10.0)
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- registration --------------------------------------------------------
+    def shard_of(self, address: str) -> int:
+        return shard_of_address(address, self.num_shards)
+
+    def register_spam(
+        self, address: str, protocol: SpamFilterProtocol, setup: SpamSetup
+    ) -> None:
+        shard = self.shard_of(address)
+        payload = (address, protocol, setup)
+        self._request(shard, "register_spam", payload)
+        self._registrations.append((shard, "register_spam", payload))
+        self._registered.add(("spam", address))
+
+    def register_topics(
+        self, address: str, protocol: TopicExtractionProtocol, setup: TopicSetup
+    ) -> None:
+        shard = self.shard_of(address)
+        payload = (address, protocol, setup)
+        self._request(shard, "register_topics", payload)
+        self._registrations.append((shard, "register_topics", payload))
+        self._registered.add(("topics", address))
+
+    def has_spam(self, address: str) -> bool:
+        return ("spam", address) in self._registered
+
+    def has_topics(self, address: str) -> bool:
+        return ("topics", address) in self._registered
+
+    # -- submission / results ------------------------------------------------
+    def _submit(self, items: list[_OutstandingItem]) -> list[int]:
+        job_ids = []
+        by_shard: dict[int, list[tuple]] = {}
+        for item in items:
+            job_id = next(self._job_ids)
+            job_ids.append(job_id)
+            self._outstanding[job_id] = item
+            by_shard.setdefault(item.shard, []).append(
+                (job_id, item.kind, item.address, item.features, item.candidates)
+            )
+        # Fan out before collecting: every worker computes its slice of the
+        # burst concurrently; the replies are gathered only afterwards.
+        for shard, shard_items in by_shard.items():
+            self._send(shard, "burst", shard_items)
+        for shard in by_shard:
+            self._collect(shard, "burst")
+        return job_ids
+
+    def submit_spam(self, emails: Sequence[tuple[str, SparseVector]]) -> list[int]:
+        """Submit one burst of (address, features) emails; returns their job ids.
+
+        Each shard runs its slice of the burst through its windowed serving
+        loop; results that complete immediately (closed windows) are already
+        collected when this returns — the rest arrive with later bursts or
+        :meth:`drain`.
+        """
+        return self._submit(
+            [
+                _OutstandingItem(
+                    shard=self.shard_of(address), kind="spam", address=address, features=features
+                )
+                for address, features in emails
+            ]
+        )
+
+    def submit_topics(
+        self, emails: Sequence[tuple[str, SparseVector, Sequence[int] | None]]
+    ) -> list[int]:
+        """Submit one burst of (address, features, candidates) topic emails."""
+        return self._submit(
+            [
+                _OutstandingItem(
+                    shard=self.shard_of(address),
+                    kind="topics",
+                    address=address,
+                    features=features,
+                    candidates=candidates,
+                )
+                for address, features, candidates in emails
+            ]
+        )
+
+    def drain(self) -> None:
+        """Close every shard's open windows; all outstanding results land."""
+        for shard in range(self.num_shards):
+            self._send(shard, "drain", None)
+        for shard in range(self.num_shards):
+            self._collect(shard, "drain")
+
+    def take_result(self, job_id: int) -> Any:
+        """Pop the protocol result for *job_id* (drain first if still open)."""
+        if job_id not in self._results:
+            raise ProtocolError(
+                f"no result for job {job_id} yet "
+                f"({len(self._outstanding)} emails still inside open windows)"
+            )
+        return self._results.pop(job_id)
+
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    def run_spam_stream(
+        self, bursts: Sequence[Sequence[tuple[str, SparseVector]]]
+    ) -> list[SpamProtocolResult]:
+        """Feed bursts through the shards, drain, return results in order."""
+        job_ids: list[int] = []
+        for burst in bursts:
+            job_ids.extend(self.submit_spam(burst))
+        self.drain()
+        return [self.take_result(job_id) for job_id in job_ids]
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard serving stats (mailboxes, decrypt batch sizes, backlog)."""
+        return [self._request(shard, "stats", None) for shard in range(self.num_shards)]

@@ -170,6 +170,99 @@ class PretzelSystem:
         messages = receiving_client.mail.fetch_and_decrypt()
         return receiving_client.process_messages(messages)
 
+    def drain_all_mailboxes_sharded(
+        self,
+        num_shards: int = 2,
+        window_bursts: int = 1,
+        runtime=None,
+    ) -> dict[str, list[EmailProcessingReport]]:
+        """One provider-wide serving pass across shard worker processes.
+
+        The sharded twin of :meth:`drain_all_mailboxes`: recipients partition
+        across a :class:`~repro.core.runtime.ShardedRuntime` by mailbox hash,
+        so each worker process runs the 2PC provider halves (spam, topics) for
+        its own mailboxes with warm per-mailbox state, accumulating decrypts
+        in its windowed scheduler.  Client-only modules (keyword search) have
+        no provider half to shard and run in-process as before.
+
+        Pass a *runtime* to keep workers (and their warm OT pools) alive
+        across serving passes; otherwise one is created and torn down here.
+        """
+        from repro.core.runtime import ShardedRuntime
+        from repro.core.spam_module import SpamFunctionModule
+        from repro.core.topic_module import TopicFunctionModule
+
+        owns_runtime = runtime is None
+        if runtime is None:
+            runtime = ShardedRuntime(num_shards=num_shards, window_bursts=window_bursts)
+        try:
+            reports: dict[str, list[EmailProcessingReport]] = {}
+            # (report, module, features-in-email, job id) per sharded session
+            placements: list[tuple[EmailProcessingReport, FunctionModule, int, int]] = []
+            for address in self.provider.mail.mailboxes_with_mail():
+                client = self.clients.get(address)
+                if client is None or client.mail.pending_email_count() == 0:
+                    continue
+                messages = client.mail.fetch_and_decrypt()
+                if not messages:
+                    continue
+                client_reports = [
+                    EmailProcessingReport(
+                        message=message, encrypted_size_bytes=message.size_bytes()
+                    )
+                    for message in messages
+                ]
+                reports[address] = client_reports
+                for name, module in client.modules.items():
+                    if isinstance(module, SpamFunctionModule):
+                        if not runtime.has_spam(address):
+                            runtime.register_spam(address, module.protocol, module.setup)
+                        feature_sets = [
+                            module.extractor.transform(message.text_content(), boolean=True)
+                            for message in messages
+                        ]
+                        job_ids = runtime.submit_spam(
+                            [(address, features) for features in feature_sets]
+                        )
+                        placements += [
+                            (report, module, len(features), job_id)
+                            for report, features, job_id in zip(
+                                client_reports, feature_sets, job_ids
+                            )
+                        ]
+                    elif isinstance(module, TopicFunctionModule):
+                        if not runtime.has_topics(address):
+                            runtime.register_topics(address, module.protocol, module.setup)
+                        feature_sets = [
+                            module.extractor.transform(message.text_content(), boolean=False)
+                            for message in messages
+                        ]
+                        job_ids = runtime.submit_topics(
+                            [
+                                (address, features, module.candidate_topics(features))
+                                for features in feature_sets
+                            ]
+                        )
+                        placements += [
+                            (report, module, len(features), job_id)
+                            for report, features, job_id in zip(
+                                client_reports, feature_sets, job_ids
+                            )
+                        ]
+                    else:
+                        for report, result in zip(
+                            client_reports, module.process_emails(messages)
+                        ):
+                            report.module_results[name] = result
+            runtime.drain()
+            for report, module, num_features, job_id in placements:
+                result = runtime.take_result(job_id)
+                report.module_results[module.name] = module._run_result(result, num_features)
+            return reports
+        finally:
+            if owns_runtime:
+                runtime.close()
+
     def drain_all_mailboxes(self) -> dict[str, list[EmailProcessingReport]]:
         """One provider-wide serving pass: drain every mailbox with pending mail.
 

@@ -56,6 +56,10 @@ class WireFormatError(ProtocolError):
     """A serialized protocol frame is malformed, truncated, or mis-versioned."""
 
 
+class TransportClosedError(ProtocolError):
+    """The transport (or its peer) closed; no further frames can move."""
+
+
 class CircuitError(PretzelError, ValueError):
     """A boolean circuit is malformed or used inconsistently."""
 

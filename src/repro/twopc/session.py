@@ -14,14 +14,18 @@ the session *requests* a decryption and is later *supplied* with the slot
 values, so the loop can fold requests across sessions into one
 ``decrypt_slots_many`` call — the provider-side amortisation of Figs. 7/10.
 
-:class:`SessionLoop` is the single frame pump every driver shares; a
-one-email in-process run (:func:`run_session_pair`) and the multi-user
-serving loop (:class:`repro.core.runtime.ProviderRuntime`) are the same
-loop over one job or many.
+:class:`SessionLoop` is the single frame pump every in-process driver shares;
+a one-email run (:func:`run_session_pair`) and the multi-user serving loop
+(:class:`repro.core.runtime.ProviderRuntime`) are the same loop over one job
+or many.  :class:`AsyncSessionPump` is the cross-process counterpart: it
+drives *one party's* sessions over asyncio TCP channels
+(:class:`repro.twopc.transport.AsyncTcpTransport`), with the same
+windowed cross-session decrypt batching on the provider side.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -300,27 +304,53 @@ class SessionLoop:
 
     # -- phase 2: cross-session batched decryption ---------------------------------
     def _service_batched_decryption(self, parked: list[_ParkedDecryption]) -> None:
-        groups: dict[tuple[int, int], list[_ParkedDecryption]] = {}
-        for entry in parked:
-            key = (id(entry.request.scheme), id(entry.request.keypair))
-            groups.setdefault(key, []).append(entry)
-        for entries in groups.values():
-            scheme = entries[0].request.scheme
-            keypair = entries[0].request.keypair
-            ciphertexts = [
-                ciphertext for entry in entries for ciphertext in entry.request.ciphertexts
-            ]
-            self.decrypt_batch_sizes.append(len(ciphertexts))
-            begin = time.perf_counter()
-            slot_lists = scheme.decrypt_slots_many(keypair, ciphertexts)
-            elapsed = time.perf_counter() - begin
-            offset = 0
-            for entry in entries:
-                count = len(entry.request.ciphertexts)
-                entry.session.add_seconds(elapsed * count / max(1, len(ciphertexts)))
-                frames = entry.session.supply_decrypted(slot_lists[offset : offset + count])
-                offset += count
-                entry.job.dispatch(entry.party, frames)
+        for entries in group_by_keypair(parked).values():
+            self._service_group(entries)
+
+    def _service_group(self, entries: list[_ParkedDecryption]) -> None:
+        """One ``decrypt_slots_many`` call covering *entries* (same key pair)."""
+        ciphertexts = [
+            ciphertext for entry in entries for ciphertext in entry.request.ciphertexts
+        ]
+        self.decrypt_batch_sizes.append(len(ciphertexts))
+        slot_lists, per_ciphertext_seconds = batch_decrypt(
+            entries[0].request.scheme, entries[0].request.keypair, ciphertexts
+        )
+        offset = 0
+        for entry in entries:
+            count = len(entry.request.ciphertexts)
+            entry.session.add_seconds(per_ciphertext_seconds * count)
+            frames = entry.session.supply_decrypted(slot_lists[offset : offset + count])
+            offset += count
+            entry.job.dispatch(entry.party, frames)
+
+
+def decrypt_group_key(request: DecryptionRequest) -> tuple[int, int]:
+    """The batching identity of a decryption request: its (scheme, keypair).
+
+    Every place that folds decrypts — the in-process loop, the windowed
+    scheduler, the async pump — must group by the *same* identity, so the
+    key expression lives here exactly once.
+    """
+    return (id(request.scheme), id(request.keypair))
+
+
+def group_by_keypair(parked: Sequence[_ParkedDecryption]) -> dict[tuple[int, int], list]:
+    """Group parked decrypts by :func:`decrypt_group_key`, insertion-ordered."""
+    groups: dict[tuple[int, int], list[_ParkedDecryption]] = {}
+    for entry in parked:
+        groups.setdefault(decrypt_group_key(entry.request), []).append(entry)
+    return groups
+
+
+def batch_decrypt(
+    scheme: AHEScheme, keypair: AHEKeyPair, ciphertexts: list[AHECiphertext]
+) -> tuple[list[list[int]], float]:
+    """One vectorised decrypt; returns (slot lists, seconds per ciphertext)."""
+    begin = time.perf_counter()
+    slot_lists = scheme.decrypt_slots_many(keypair, ciphertexts)
+    elapsed = time.perf_counter() - begin
+    return slot_lists, elapsed / max(1, len(ciphertexts))
 
 
 def run_session_pair(
@@ -353,3 +383,123 @@ def run_session_pair(
         provider_name=provider_name,
     )
     SessionLoop().run([job])
+
+
+# ---------------------------------------------------------------------------
+# The asyncio pump: one party's sessions over real TCP connections
+# ---------------------------------------------------------------------------
+class AsyncSessionPump:
+    """Drive one party's protocol sessions over async framed channels.
+
+    The cross-process twin of :class:`SessionLoop`.  A provider process runs
+    one pump for all of its live TCP connections; each connection's session is
+    a coroutine (:meth:`run_session`), so thousands of sessions share one
+    event loop.  Provider sessions that park a decryption await a shared
+    windowed flusher that folds requests *across connections* into one
+    ``decrypt_slots_many`` call per key pair — the same amortisation the
+    in-process serving loop gets, now across sockets.
+
+    ``window_seconds`` is the latency/throughput knob: ``0`` batches whatever
+    parked within the same event-loop tick; a positive window accumulates
+    decrypts across arrivals at the cost of that much added latency.
+    ``max_pending_ciphertexts`` (if set) flushes early once enough work has
+    piled up, bounding the latency a deep queue can add.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 0.0,
+        max_pending_ciphertexts: int | None = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise ProtocolError("window_seconds must be non-negative")
+        if max_pending_ciphertexts is not None and max_pending_ciphertexts < 1:
+            raise ProtocolError("max_pending_ciphertexts must be at least 1")
+        self.window_seconds = window_seconds
+        self.max_pending_ciphertexts = max_pending_ciphertexts
+        self.decrypt_batch_sizes: list[int] = []
+        self._pending: list[tuple[DecryptionRequest, "asyncio.Future"]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+
+    async def run_session(self, channel, party: str, session: ProtocolSession) -> None:
+        """Pump one session over *channel* until it finishes.
+
+        *channel* is an :class:`~repro.twopc.transport.AsyncFramedChannel`
+        whose local party is *party*.  Frames the session emits are sent;
+        frames from the peer are received and handled; parked decryptions
+        await the pump's shared windowed flusher.
+        """
+        for frame in session.start():
+            await channel.send(party, frame)
+        await self._service_parked(channel, party, session)
+        while not session.finished:
+            frame = await channel.receive(party)
+            for response in session.handle(frame):
+                await channel.send(party, response)
+            await self._service_parked(channel, party, session)
+
+    async def _service_parked(self, channel, party: str, session: ProtocolSession) -> None:
+        if not isinstance(session, DecryptingSession):
+            return
+        while True:
+            request = session.decryption_request()
+            if request is None:
+                return
+            future = asyncio.get_running_loop().create_future()
+            self._pending.append((request, future))
+            self._arm_flush()
+            slot_lists, attributed_seconds = await future
+            session.add_seconds(attributed_seconds)
+            for frame in session.supply_decrypted(slot_lists):
+                await channel.send(party, frame)
+
+    # -- the windowed flusher ------------------------------------------------
+    def _arm_flush(self) -> None:
+        if self.max_pending_ciphertexts is not None:
+            pending = sum(len(request.ciphertexts) for request, _ in self._pending)
+            if pending >= self.max_pending_ciphertexts:
+                if self._flush_handle is not None:
+                    self._flush_handle.cancel()
+                    self._flush_handle = None
+                self._flush()
+                return
+        if self._flush_handle is None:
+            self._flush_handle = asyncio.get_running_loop().call_later(
+                self.window_seconds, self._timer_fired
+            )
+
+    def _timer_fired(self) -> None:
+        self._flush_handle = None
+        self._flush()
+
+    def _flush(self) -> None:
+        pending, self._pending = self._pending, []
+        groups: dict[tuple[int, int], list[tuple[DecryptionRequest, "asyncio.Future"]]] = {}
+        for request, future in pending:
+            groups.setdefault(decrypt_group_key(request), []).append((request, future))
+        for entries in groups.values():
+            ciphertexts = [
+                ciphertext for request, _ in entries for ciphertext in request.ciphertexts
+            ]
+            self.decrypt_batch_sizes.append(len(ciphertexts))
+            try:
+                slot_lists, per_ciphertext_seconds = batch_decrypt(
+                    entries[0][0].scheme, entries[0][0].keypair, ciphertexts
+                )
+            except Exception as error:  # noqa: BLE001 — must reach the sessions
+                # A failed batch (e.g. a hostile ciphertext) fails the parked
+                # sessions, never the flusher: when this runs from the timer
+                # callback an unhandled exception would leave every awaiting
+                # coroutine hung forever.
+                for _, future in entries:
+                    if not future.cancelled():
+                        future.set_exception(error)
+                continue
+            offset = 0
+            for request, future in entries:
+                count = len(request.ciphertexts)
+                if not future.cancelled():
+                    future.set_result(
+                        (slot_lists[offset : offset + count], per_ciphertext_seconds * count)
+                    )
+                offset += count

@@ -7,7 +7,7 @@ burst of consecutive frames from one direction; Figs. 3/6/11 report rounds
 alongside bytes).  Accounting is exact: a transport charges ``len(data)`` for
 every frame it accepts, nothing is estimated.
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :class:`LoopbackTransport` — an in-process FIFO, the default for unit tests,
   benchmarks and the multi-session serving loop of :mod:`repro.core.runtime`;
@@ -15,13 +15,27 @@ Two implementations are provided:
   frames.  Writes are drained by per-party background threads so that two
   parties driven from a single thread can exchange frames larger than the
   kernel buffers without deadlocking.
+* :class:`AsyncTcpTransport` — **one endpoint** of a real TCP connection
+  (asyncio streams) using the same u32-length-prefixed framing.  This is the
+  cross-process arrangement: the client process and the provider process each
+  hold their own endpoint and their own ledger, and the serving side
+  multiplexes many connections on one event loop
+  (:class:`repro.twopc.session.AsyncSessionPump`).
+
+All byte-stream transports share :class:`FrameAssembler`, the incremental
+length-prefix parser, so framing behaviour under adversarial write splits
+(1-byte writes, frame-boundary straddles) is defined — and property-tested —
+exactly once.  A closed transport (or a peer hangup mid-frame) raises
+:class:`~repro.exceptions.TransportClosedError`, never a raw ``OSError``.
 
 :class:`FramedChannel` layers a :class:`~repro.twopc.wire.WireCodec` on top:
 protocol code sends and receives *typed frames*, the transport sees bytes.
+:class:`AsyncFramedChannel` is its asyncio twin.
 """
 
 from __future__ import annotations
 
+import asyncio
 import queue
 import socket
 import struct
@@ -30,8 +44,52 @@ from abc import ABC, abstractmethod
 from collections import deque
 
 from repro.crypto.ahe import AHEPublicKey, AHEScheme
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, TransportClosedError, WireFormatError
 from repro.twopc.wire import Frame, WireCodec
+
+#: Every byte-stream transport prefixes each frame with its u32 length.
+FRAME_LENGTH_PREFIX = struct.Struct(">I")
+
+#: Upper bound on a single frame accepted off the wire (64 MiB).  Nothing the
+#: protocols produce comes near this; it exists so a corrupted or hostile
+#: length prefix cannot make an endpoint try to buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameAssembler:
+    """Incremental parser for u32-length-prefixed frames.
+
+    Byte-stream transports deliver arbitrary chunks — a frame may arrive one
+    byte at a time, or a chunk may straddle a frame boundary.  ``feed`` copes
+    with every split: it buffers partial data and returns each frame exactly
+    once, in order, as soon as its last byte arrives.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb *data* and return every frame it completed."""
+        self._buffer += data
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < FRAME_LENGTH_PREFIX.size:
+                return frames
+            (length,) = FRAME_LENGTH_PREFIX.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise WireFormatError(
+                    f"frame length {length} exceeds the {self.max_frame_bytes}-byte cap"
+                )
+            end = FRAME_LENGTH_PREFIX.size + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append(bytes(self._buffer[FRAME_LENGTH_PREFIX.size : end]))
+            del self._buffer[:end]
+
+    def buffered_bytes(self) -> int:
+        """Bytes held waiting for the rest of a frame (0 at frame boundaries)."""
+        return len(self._buffer)
 
 
 class Transport(ABC):
@@ -133,7 +191,7 @@ class SocketTransport(Transport):
     buffer.  Receives block (with *timeout*) on the receiving party's socket.
     """
 
-    _LENGTH = struct.Struct(">I")
+    _LENGTH = FRAME_LENGTH_PREFIX
 
     def __init__(
         self,
@@ -177,7 +235,7 @@ class SocketTransport(Transport):
     def send(self, sender: str, data: bytes) -> int:
         self._check_party(sender)
         if self._closed:
-            raise ProtocolError(f"transport {self.name!r} is closed")
+            raise TransportClosedError(f"transport {self.name!r} is closed")
         with self._lock:
             self._account(sender, len(data))
             self._in_flight[self.peer_of(sender)] += 1
@@ -186,15 +244,25 @@ class SocketTransport(Transport):
 
     def receive(self, receiver: str) -> bytes:
         self._check_party(receiver)
+        if self._closed:
+            raise TransportClosedError(f"transport {self.name!r} is closed")
         sock = self._sockets[receiver]
         try:
             header = self._read_exact(sock, self._LENGTH.size)
             length = self._LENGTH.unpack(header)[0]
+            if length > MAX_FRAME_BYTES:
+                raise WireFormatError(
+                    f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
             data = self._read_exact(sock, length)
         except socket.timeout as timeout:
             raise ProtocolError(
                 f"timed out waiting for a frame for {receiver!r} on {self.name!r}"
             ) from timeout
+        except OSError as error:
+            raise TransportClosedError(
+                f"transport {self.name!r} socket failed while receiving: {error}"
+            ) from error
         with self._lock:
             self._in_flight[receiver] -= 1
         return data
@@ -205,7 +273,7 @@ class SocketTransport(Transport):
         while len(chunks) < count:
             chunk = sock.recv(count - len(chunks))
             if not chunk:
-                raise ProtocolError("socket transport peer closed mid-frame")
+                raise TransportClosedError("socket transport peer closed mid-frame")
             chunks += chunk
         return bytes(chunks)
 
@@ -223,6 +291,159 @@ class SocketTransport(Transport):
             writer.join(timeout=1.0)
         for sock in self._sockets.values():
             sock.close()
+
+
+class AsyncTcpTransport(Transport):
+    """One endpoint of a real TCP connection speaking length-prefixed frames.
+
+    Unlike the in-process transports, which own both ends, an
+    :class:`AsyncTcpTransport` lives in one process and talks to a peer
+    endpoint across the network — the deployment arrangement of §6.3, where a
+    provider serves remote clients.  The party owning this endpoint is
+    ``local_party``; sends are accounted to it at :meth:`send`, and inbound
+    frames are accounted to the peer as they are assembled, so each endpoint's
+    ledger converges to the shared-transport ledger of the in-process case.
+
+    ``send``/``receive`` are coroutines (the :class:`Transport` ledger
+    contract is unchanged, only the calling convention differs).  Frame
+    reassembly under arbitrary TCP segmentation is delegated to
+    :class:`FrameAssembler`.  A closed endpoint, or a peer hangup mid-frame,
+    raises :class:`~repro.exceptions.TransportClosedError`.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        local_party: str = "client",
+        parties: tuple[str, str] = ("client", "provider"),
+        name: str = "tcp",
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__(parties, name)
+        self._check_party(local_party)
+        self.local_party = local_party
+        self.timeout = timeout
+        self._reader = reader
+        self._writer = writer
+        self._assembler = FrameAssembler()
+        self._inbound: deque[bytes] = deque()
+        self._closed = False
+
+    # -- connection establishment -------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        local_party: str = "client",
+        parties: tuple[str, str] = ("client", "provider"),
+        name: str = "tcp-client",
+        timeout: float = 30.0,
+    ) -> "AsyncTcpTransport":
+        """Dial a serving endpoint and return the connecting side's transport."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, local_party, parties, name, timeout)
+
+    @classmethod
+    async def start_server(
+        cls,
+        connection_handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        local_party: str = "provider",
+        parties: tuple[str, str] = ("client", "provider"),
+        name: str = "tcp-server",
+        timeout: float = 30.0,
+    ) -> asyncio.base_events.Server:
+        """Serve TCP connections; *connection_handler(transport)* runs per peer.
+
+        Returns the :class:`asyncio.Server` (use ``server.sockets[0]
+        .getsockname()[1]`` for the bound port when *port* is 0).
+        """
+
+        async def on_connect(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            transport = cls(reader, writer, local_party, parties, name, timeout)
+            try:
+                await connection_handler(transport)
+            finally:
+                await transport.aclose()
+
+        return await asyncio.start_server(on_connect, host, port)
+
+    def _local_only(self, party: str) -> None:
+        self._check_party(party)
+        if party != self.local_party:
+            raise ProtocolError(
+                f"endpoint {self.name!r} belongs to {self.local_party!r}; "
+                f"{party!r} lives across the network"
+            )
+
+    # -- byte movement (async) ----------------------------------------------
+    async def send(self, sender: str, data: bytes) -> int:
+        self._local_only(sender)
+        if self._closed:
+            raise TransportClosedError(f"transport {self.name!r} is closed")
+        self._account(sender, len(data))
+        self._writer.write(FRAME_LENGTH_PREFIX.pack(len(data)) + bytes(data))
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            raise TransportClosedError(
+                f"transport {self.name!r} peer went away while sending: {error}"
+            ) from error
+        return len(data)
+
+    async def receive(self, receiver: str) -> bytes:
+        self._local_only(receiver)
+        peer = self.peer_of(receiver)
+        while not self._inbound:
+            if self._closed:
+                raise TransportClosedError(f"transport {self.name!r} is closed")
+            try:
+                chunk = await asyncio.wait_for(self._reader.read(65536), self.timeout)
+            except asyncio.TimeoutError as timeout:
+                raise ProtocolError(
+                    f"timed out waiting for a frame for {receiver!r} on {self.name!r}"
+                ) from timeout
+            except (ConnectionError, OSError) as error:
+                raise TransportClosedError(
+                    f"transport {self.name!r} connection failed: {error}"
+                ) from error
+            if not chunk:
+                if self._assembler.buffered_bytes():
+                    raise TransportClosedError(
+                        f"transport {self.name!r} peer closed mid-frame"
+                    )
+                raise TransportClosedError(f"transport {self.name!r} peer closed")
+            for frame in self._assembler.feed(chunk):
+                self._account(peer, len(frame))
+                self._inbound.append(frame)
+        return self._inbound.popleft()
+
+    def pending(self) -> int:
+        """Frames assembled at this endpoint but not yet received."""
+        return len(self._inbound)
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def close(self) -> None:
+        """Synchronous best-effort close (prefer :meth:`aclose` inside a loop)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
 
 
 class FramedChannel:
@@ -289,3 +510,58 @@ class FramedChannel:
 
     def close(self) -> None:
         self.transport.close()
+
+
+class AsyncFramedChannel:
+    """Typed frames over an :class:`AsyncTcpTransport` (asyncio calling convention).
+
+    The async twin of :class:`FramedChannel`: ``send`` serializes and charges
+    the exact frame length, ``receive`` decodes the next assembled frame.  One
+    endpoint of a cross-process session holds one of these.
+    """
+
+    def __init__(
+        self, transport: AsyncTcpTransport, codec: WireCodec, name: str | None = None
+    ) -> None:
+        self.transport = transport
+        self.codec = codec
+        self.name = name or transport.name
+
+    # -- frame movement -----------------------------------------------------
+    async def send(self, sender: str, frame: Frame) -> int:
+        return await self.transport.send(sender, self.codec.encode(frame))
+
+    async def receive(self, receiver: str) -> Frame:
+        return self.codec.decode(await self.transport.receive(receiver))
+
+    # -- ledger (delegated) -------------------------------------------------
+    @property
+    def parties(self) -> tuple[str, str]:
+        return self.transport.parties
+
+    @property
+    def local_party(self) -> str:
+        return self.transport.local_party
+
+    @property
+    def bytes_by_sender(self) -> dict[str, int]:
+        return self.transport.bytes_by_sender
+
+    @property
+    def messages_by_sender(self) -> dict[str, int]:
+        return self.transport.messages_by_sender
+
+    def total_bytes(self) -> int:
+        return self.transport.total_bytes()
+
+    def total_messages(self) -> int:
+        return self.transport.total_messages()
+
+    def rounds(self) -> int:
+        return self.transport.rounds()
+
+    def pending(self) -> int:
+        return self.transport.pending()
+
+    async def aclose(self) -> None:
+        await self.transport.aclose()

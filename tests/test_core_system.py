@@ -215,3 +215,38 @@ class TestBatchedServing:
         assert sequential == batched
         # Everything is drained: a second pass has no work.
         assert system.drain_all_mailboxes() == {}
+
+    def test_sharded_drain_matches_in_process_drain(self, test_config, spam_module):
+        system = PretzelSystem(test_config)
+        system.add_user("alice@example.com")
+        for address in ("bob@example.com", "carol@example.com"):
+            user = system.add_user(address)
+            user.attach_module(spam_module)
+            user.attach_module(SearchFunctionModule())
+        bodies = ["w000001 w000002", "w000500 w000900 w000002", "w000010 w000001"]
+        for recipient in ("bob@example.com", "carol@example.com"):
+            for body in bodies:
+                system.send_email("alice@example.com", recipient, "subject", body)
+
+        sharded = system.drain_all_mailboxes_sharded(num_shards=2, window_bursts=2)
+        assert set(sharded) == {"bob@example.com", "carol@example.com"}
+        for reports in sharded.values():
+            assert len(reports) == len(bodies)
+            for report in reports:
+                spam_result = report.module_results["spam-filter"]
+                assert spam_result.network_bytes > 0
+                assert spam_result.network_rounds >= 2
+                # The client-only search module still ran in-process.
+                assert report.output_of("keyword-search").indexed_documents >= 1
+
+        # The same burst through the in-process serving loop agrees verdict
+        # for verdict (sharding moves sessions, never changes outputs).
+        for body in bodies:
+            system.send_email("alice@example.com", "bob@example.com", "subject", body)
+        in_process = system.drain_all_mailboxes()["bob@example.com"]
+        assert [report.output_of("spam-filter").is_spam for report in in_process] == [
+            report.output_of("spam-filter").is_spam
+            for report in sharded["bob@example.com"]
+        ]
+        # Everything was drained; nothing is left for another pass.
+        assert system.drain_all_mailboxes_sharded(num_shards=2) == {}

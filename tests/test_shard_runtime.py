@@ -1,0 +1,368 @@
+"""Sharded serving stack tests: windowed scheduling, worker processes, async pump.
+
+The §6.3 scaling layers must never change protocol outputs — only *when*
+decrypts run and *where* sessions live.  These tests pin:
+
+* :class:`DecryptScheduler` trigger semantics (burst window, size, time);
+* output equivalence of the windowed serving loop against sequential runs
+  under every window setting, including ``window_bursts=1`` (which must
+  degenerate to the per-burst batching of the PR 2 loop);
+* the sharded runtime: stable partition, results identical to sequential,
+  and a forced mid-window shard restart that recomputes, never corrupts;
+* the asyncio pump: sessions over real TCP produce the same verdicts, with
+  cross-connection decrypt batching.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.runtime import (
+    DecryptScheduler,
+    ProviderRuntime,
+    ShardedRuntime,
+    shard_of_address,
+    spam_job,
+    topic_job,
+)
+from repro.exceptions import ProtocolError
+from repro.twopc.session import AsyncSessionPump
+from repro.twopc.spam import SpamFilterProtocol
+from repro.twopc.topics import TopicExtractionProtocol
+from repro.twopc.transport import AsyncFramedChannel, AsyncTcpTransport
+from repro.twopc.wire import WireCodec
+
+SPAM_EMAILS = [
+    {1: 1, 5: 1, 9: 1},
+    {100: 1, 150: 1, 199: 1, 42: 1},
+    {0: 1},
+    {i: 1 for i in range(0, 200, 7)},
+    {3: 1, 77: 1},
+    {i: 1 for i in range(1, 200, 23)},
+]
+
+TOPIC_EMAILS = [
+    {2: 1, 3: 2, 77: 1},
+    {150: 4, 151: 1, 10: 2},
+]
+
+
+@pytest.fixture(scope="module")
+def spam_setup(bv_scheme, dh_group, small_spam_model):
+    protocol = SpamFilterProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_spam_model)
+
+
+@pytest.fixture(scope="module")
+def topic_setup(bv_scheme, dh_group, small_topic_model):
+    protocol = TopicExtractionProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_topic_model)
+
+
+@pytest.fixture(scope="module")
+def spam_truth(small_spam_model):
+    return [small_spam_model.predict_is_spam(features) for features in SPAM_EMAILS]
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _FakeEntry:
+    """Stands in for a parked decryption in scheduler unit tests."""
+
+    class _Request:
+        def __init__(self, scheme, keypair, count):
+            self.scheme = scheme
+            self.keypair = keypair
+            self.ciphertexts = [object()] * count
+
+    def __init__(self, keypair="kp", count=1):
+        self.request = self._Request(scheme="scheme", keypair=keypair, count=count)
+
+
+class TestDecryptScheduler:
+    def test_burst_window_ages_by_end_burst(self):
+        scheduler = DecryptScheduler(window_bursts=2)
+        scheduler.enqueue(_FakeEntry())
+        assert scheduler.take_due() == []
+        scheduler.end_burst()
+        assert scheduler.take_due() == []  # one burst old, window is two
+        scheduler.end_burst()
+        due = scheduler.take_due()
+        assert len(due) == 1 and len(due[0]) == 1
+        assert scheduler.pending_sessions() == 0
+
+    def test_size_trigger_fires_within_a_burst(self):
+        scheduler = DecryptScheduler(window_bursts=10, max_pending_ciphertexts=3)
+        scheduler.enqueue(_FakeEntry(count=2))
+        assert scheduler.take_due() == []
+        scheduler.enqueue(_FakeEntry(count=1))
+        assert len(scheduler.take_due()) == 1
+
+    def test_time_trigger_uses_clock(self):
+        clock = _FakeClock()
+        scheduler = DecryptScheduler(window_bursts=10, max_delay_seconds=5.0, clock=clock)
+        scheduler.enqueue(_FakeEntry())
+        assert scheduler.take_due() == []
+        clock.now = 4.9
+        assert scheduler.take_due() == []
+        clock.now = 5.0
+        assert len(scheduler.take_due()) == 1
+
+    def test_windows_are_per_keypair(self):
+        scheduler = DecryptScheduler(window_bursts=1, max_pending_ciphertexts=2)
+        scheduler.enqueue(_FakeEntry(keypair="a"))
+        scheduler.enqueue(_FakeEntry(keypair="b"))
+        assert scheduler.pending_sessions() == 2
+        scheduler.enqueue(_FakeEntry(keypair="a"))
+        due = scheduler.take_due()
+        assert [len(entries) for entries in due] == [2]  # only keypair a is full
+        assert scheduler.pending_ciphertexts() == 1
+
+    def test_flush_empties_everything(self):
+        scheduler = DecryptScheduler(window_bursts=5)
+        for keypair in ("a", "b"):
+            scheduler.enqueue(_FakeEntry(keypair=keypair))
+        assert len(scheduler.flush()) == 2
+        assert scheduler.flush() == []
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ProtocolError):
+            DecryptScheduler(window_bursts=0)
+        with pytest.raises(ProtocolError):
+            DecryptScheduler(max_pending_ciphertexts=0)
+        with pytest.raises(ProtocolError):
+            DecryptScheduler(max_delay_seconds=-1.0)
+
+
+class TestWindowedServing:
+    def _serve_in_bursts(self, protocol, setup, scheduler, burst_size=2):
+        """Feed SPAM_EMAILS in bursts; return verdicts by label plus the runtime."""
+        runtime = ProviderRuntime(scheduler=scheduler)
+        pool = protocol.make_ot_pool(setup)
+        finished = []
+        for start in range(0, len(SPAM_EMAILS), burst_size):
+            jobs = [
+                spam_job(protocol, setup, features, label=start + offset, ot_pool=pool)
+                for offset, features in enumerate(SPAM_EMAILS[start : start + burst_size])
+            ]
+            finished += runtime.serve_burst(jobs)
+        finished += runtime.drain()
+        verdicts = {job.label: job.client.is_spam for job in finished}
+        return [verdicts[index] for index in range(len(SPAM_EMAILS))], runtime
+
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda: DecryptScheduler(window_bursts=1),
+            lambda: DecryptScheduler(window_bursts=2),
+            lambda: DecryptScheduler(window_bursts=100),  # only drain() closes it
+            lambda: DecryptScheduler(window_bursts=100, max_pending_ciphertexts=3),
+            lambda: DecryptScheduler(window_bursts=100, max_delay_seconds=0.0),
+        ],
+        ids=["bursts1", "bursts2", "drain-only", "size3", "delay0"],
+    )
+    def test_every_window_setting_matches_sequential(
+        self, spam_setup, spam_truth, make_scheduler
+    ):
+        protocol, setup = spam_setup
+        verdicts, _ = self._serve_in_bursts(protocol, setup, make_scheduler())
+        assert verdicts == spam_truth
+
+    def test_window_one_degenerates_to_per_burst_batching(self, spam_setup, spam_truth):
+        # window_bursts=1 is PR 2 behaviour: every burst completes before
+        # serve_burst returns, with one batched decrypt per burst.
+        protocol, setup = spam_setup
+        runtime = ProviderRuntime()  # default scheduler: window_bursts=1
+        pool = protocol.make_ot_pool(setup)
+        per_email = setup.encrypted_model.result_ciphertext_count()
+        for start in range(0, len(SPAM_EMAILS), 3):
+            burst = SPAM_EMAILS[start : start + 3]
+            jobs = [
+                spam_job(protocol, setup, features, label=index, ot_pool=pool)
+                for index, features in enumerate(burst)
+            ]
+            finished = runtime.serve_burst(jobs)
+            assert len(finished) == len(burst)
+            assert runtime.outstanding_jobs() == 0
+        assert runtime.decrypt_batch_sizes == [3 * per_email, 3 * per_email]
+        assert runtime.drain() == []
+
+    def test_wide_window_holds_work_across_bursts(self, spam_setup, spam_truth):
+        protocol, setup = spam_setup
+        scheduler = DecryptScheduler(window_bursts=3)
+        verdicts, runtime = self._serve_in_bursts(protocol, setup, scheduler)
+        assert verdicts == spam_truth
+        per_email = setup.encrypted_model.result_ciphertext_count()
+        # 3 bursts of 2 emails folded into one decrypt; no per-burst calls.
+        assert runtime.decrypt_batch_sizes == [len(SPAM_EMAILS) * per_email]
+
+    def test_drain_on_idle_runtime_is_empty(self):
+        runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=4))
+        assert runtime.drain() == []
+        assert runtime.outstanding_jobs() == 0
+
+
+class TestShardedRuntime:
+    def test_partition_is_stable_and_total(self):
+        addresses = [f"user{i}@example.com" for i in range(64)]
+        shards = [shard_of_address(address, 4) for address in addresses]
+        assert shards == [shard_of_address(address, 4) for address in addresses]
+        assert set(shards) == {0, 1, 2, 3}  # 64 addresses cover 4 shards w.h.p.
+        assert all(0 <= shard < 4 for shard in shards)
+
+    def test_sharded_spam_matches_sequential(self, spam_setup, spam_truth):
+        protocol, setup = spam_setup
+        addresses = ["alice@example.com", "bob@example.com", "carol@example.com"]
+        with ShardedRuntime(num_shards=2, window_bursts=2) as runtime:
+            for address in addresses:
+                runtime.register_spam(address, protocol, setup)
+            bursts = [
+                [(addresses[index % 3], features) for index, features in burst]
+                for burst in (
+                    list(enumerate(SPAM_EMAILS[:3])),
+                    list(enumerate(SPAM_EMAILS[3:], start=3)),
+                )
+            ]
+            results = runtime.run_spam_stream(bursts)
+            assert [result.is_spam for result in results] == spam_truth
+            stats = runtime.shard_stats()
+        assert sum(stat["mailboxes"] for stat in stats) == len(addresses)
+        assert all(stat["outstanding_jobs"] == 0 for stat in stats)
+
+    def test_sharded_topics_match_sequential(self, topic_setup, small_topic_model):
+        protocol, setup = topic_setup
+        truths = [small_topic_model.predict(features) for features in TOPIC_EMAILS]
+        candidates = [sorted({truth, 0, 1, 2}) for truth in truths]
+        with ShardedRuntime(num_shards=2) as runtime:
+            runtime.register_topics("dave@example.com", protocol, setup)
+            job_ids = runtime.submit_topics(
+                [
+                    ("dave@example.com", features, candidate_list)
+                    for features, candidate_list in zip(TOPIC_EMAILS, candidates)
+                ]
+            )
+            runtime.drain()
+            extracted = [runtime.take_result(job_id).extracted_topic for job_id in job_ids]
+        assert extracted == truths
+
+    def test_forced_mid_window_restart_recomputes_open_window(
+        self, spam_setup, spam_truth
+    ):
+        # Kill a worker while its decrypt window is open: the parent must
+        # replay registrations, resubmit the in-flight emails, and the final
+        # outputs must match the sequential truth exactly.
+        protocol, setup = spam_setup
+        address = "restartable@example.com"
+        with ShardedRuntime(num_shards=2, window_bursts=100) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            first_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS[:3]])
+            assert runtime.outstanding_count() == 3  # parked inside the window
+            resubmitted = runtime.restart_shard(runtime.shard_of(address))
+            assert resubmitted == 3
+            second_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS[3:]])
+            runtime.drain()
+            verdicts = [
+                runtime.take_result(job_id).is_spam for job_id in first_ids + second_ids
+            ]
+        assert verdicts == spam_truth
+
+    def test_restart_of_idle_shard_is_harmless(self, spam_setup, spam_truth):
+        protocol, setup = spam_setup
+        address = "idle-restart@example.com"
+        with ShardedRuntime(num_shards=2) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            assert runtime.restart_shard(runtime.shard_of(address)) == 0
+            results = runtime.run_spam_stream([[(address, SPAM_EMAILS[0])]])
+            assert results[0].is_spam == spam_truth[0]
+
+    def test_unregistered_mailbox_error_surfaces_in_parent(self, spam_setup):
+        with ShardedRuntime(num_shards=1) as runtime:
+            with pytest.raises(ProtocolError, match="rejected|no spam mailbox"):
+                runtime.submit_spam([("ghost@example.com", SPAM_EMAILS[0])])
+
+    def test_take_result_before_drain_raises(self, spam_setup):
+        protocol, setup = spam_setup
+        address = "early@example.com"
+        with ShardedRuntime(num_shards=1, window_bursts=100) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            (job_id,) = runtime.submit_spam([(address, SPAM_EMAILS[0])])
+            with pytest.raises(ProtocolError, match="no result"):
+                runtime.take_result(job_id)
+            runtime.drain()
+            assert runtime.take_result(job_id) is not None
+
+    def test_closed_runtime_rejects_work(self, spam_setup):
+        runtime = ShardedRuntime(num_shards=1)
+        runtime.close()
+        with pytest.raises(ProtocolError):
+            runtime.submit_spam([("late@example.com", SPAM_EMAILS[0])])
+        runtime.close()  # idempotent
+
+
+class TestAsyncSessionPump:
+    def _run_tcp_sessions(self, protocol, setup, feature_sets, window_seconds=0.02):
+        """Run N spam sessions over real TCP through one provider pump."""
+
+        async def scenario():
+            provider_pump = AsyncSessionPump(window_seconds=window_seconds)
+            client_pump = AsyncSessionPump()
+            pool = protocol.make_ot_pool(setup)
+
+            def codec():
+                return WireCodec(scheme=protocol.scheme, public_key=setup.keypair.public)
+
+            async def handle_connection(transport):
+                channel = AsyncFramedChannel(transport, codec())
+                session = protocol.provider_session(setup, ot_pool=pool)
+                await provider_pump.run_session(channel, "provider", session)
+
+            server = await AsyncTcpTransport.start_server(handle_connection, port=0)
+            port = server.sockets[0].getsockname()[1]
+
+            async def run_client(features):
+                transport = await AsyncTcpTransport.connect("127.0.0.1", port)
+                channel = AsyncFramedChannel(transport, codec())
+                session = protocol.client_session(setup, features, ot_pool=pool)
+                await client_pump.run_session(channel, "client", session)
+                verdict = session.is_spam
+                await channel.aclose()
+                return verdict, channel.total_bytes()
+
+            try:
+                outcomes = await asyncio.gather(
+                    *(run_client(features) for features in feature_sets)
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+            return outcomes, provider_pump.decrypt_batch_sizes
+
+        return asyncio.run(scenario())
+
+    def test_single_session_over_tcp_matches_plain(self, spam_setup, spam_truth):
+        protocol, setup = spam_setup
+        outcomes, batches = self._run_tcp_sessions(protocol, setup, SPAM_EMAILS[:1])
+        assert [verdict for verdict, _ in outcomes] == spam_truth[:1]
+        assert all(total_bytes > 0 for _, total_bytes in outcomes)
+        assert batches == [setup.encrypted_model.result_ciphertext_count()]
+
+    def test_concurrent_tcp_sessions_batch_decrypts(self, spam_setup, spam_truth):
+        protocol, setup = spam_setup
+        outcomes, batches = self._run_tcp_sessions(protocol, setup, SPAM_EMAILS[:3])
+        assert [verdict for verdict, _ in outcomes] == spam_truth[:3]
+        # All three connections' decrypts folded into one windowed batch.
+        per_email = setup.encrypted_model.result_ciphertext_count()
+        assert sum(batches) == 3 * per_email
+        assert max(batches) >= 2 * per_email
+
+    def test_invalid_pump_settings_rejected(self):
+        with pytest.raises(ProtocolError):
+            AsyncSessionPump(window_seconds=-0.1)
+        with pytest.raises(ProtocolError):
+            AsyncSessionPump(max_pending_ciphertexts=0)
