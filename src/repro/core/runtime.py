@@ -45,15 +45,32 @@ from __future__ import annotations
 import hashlib
 import itertools
 import multiprocessing
+import os
 import time
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.crypto.ot import OtExtensionPool
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, SnapshotError
 from repro.twopc.session import SessionJob, SessionLoop, _ParkedDecryption, decrypt_group_key
-from repro.twopc.spam import SpamFilterProtocol, SpamProtocolResult, SpamSetup
-from repro.twopc.topics import TopicExtractionProtocol, TopicProtocolResult, TopicSetup
+from repro.twopc.spam import (
+    SpamClientSession,
+    SpamFilterProtocol,
+    SpamProtocolResult,
+    SpamProviderSession,
+    SpamSetup,
+)
+from repro.twopc.topics import (
+    TopicClientSession,
+    TopicExtractionProtocol,
+    TopicProtocolResult,
+    TopicProviderSession,
+    TopicSetup,
+)
+from repro.twopc.wire import SessionState
+from repro.utils.serialization import canonical_dumps, canonical_loads
 
 SparseVector = Mapping[int, int]
 
@@ -159,6 +176,20 @@ class DecryptScheduler:
     def pending_sessions(self) -> int:
         return sum(len(window.entries) for window in self._windows.values())
 
+    def parked_requests(self) -> dict[int, Any]:
+        """``id(session) -> DecryptionRequest`` for every entry in an open window.
+
+        The scheduler owns a parked session's request (the session handed it
+        over when it parked), so checkpointing a session's complete state
+        means folding the request back in — this is the lookup the
+        checkpointer uses (see ``BufferedProviderSession.snapshot(pending=…)``).
+        """
+        requests: dict[int, Any] = {}
+        for window in self._windows.values():
+            for entry in window.entries:
+                requests[id(entry.session)] = entry.request
+        return requests
+
 
 class ProviderRuntime(SessionLoop):
     """The multi-user provider serving loop.
@@ -195,7 +226,8 @@ class ProviderRuntime(SessionLoop):
             parked: list[_ParkedDecryption] = []
             for name in (job.client_name, job.provider_name):
                 session = job.session(name)
-                job.dispatch(name, session.start())
+                if not session.started:
+                    job.dispatch(name, session.start())
                 self._collect_parked(job, name, session, parked)
             for entry in parked:
                 self.scheduler.enqueue(entry)
@@ -229,22 +261,269 @@ class ProviderRuntime(SessionLoop):
         return sum(1 for job in self._active if not job.finished)
 
     def _advance(self) -> None:
-        """Deliver all deliverable frames, servicing windows as triggers fire."""
+        """Deliver until quiescent, servicing windows as triggers fire.
+
+        Runs to a fixed point: a delivery pass visits each party once, so a
+        frame chain that hops back to an already-visited party (the topic
+        provider receiving the garbler's tables, for example) needs another
+        pass — returning after a single pass would strand deliverable frames
+        and trip the drain-time deadlock check.
+        """
         while True:
             parked: list[_ParkedDecryption] = []
-            self._deliver_all(self._active, parked)
+            progressed = self._deliver_all(self._active, parked)
             for entry in parked:
                 self.scheduler.enqueue(entry)
             due = self.scheduler.take_due()
-            if not due:
+            if due:
+                for entries in due:
+                    self._service_group(entries)
+                continue
+            if not progressed:
                 return
-            for entries in due:
-                self._service_group(entries)
 
     def _collect_finished(self) -> list[SessionJob]:
         finished = [job for job in self._active if job.finished]
         self._active = [job for job in self._active if not job.finished]
         return finished
+
+
+# ---------------------------------------------------------------------------
+# Session stores: where serialized SessionState snapshots live
+# ---------------------------------------------------------------------------
+class SessionStore(ABC):
+    """Keyed storage for serialized session snapshots and shard checkpoints.
+
+    The value is always *bytes* (a :class:`~repro.twopc.wire.SessionState`
+    encoding or a checkpoint blob of them) — the store never sees live
+    objects, which is the whole point of the persistence contract: anything
+    that outlives a process is explicit, versioned bytes.
+    """
+
+    @abstractmethod
+    def put(self, key: str, blob: bytes) -> None:
+        """Store *blob* under *key*, replacing any previous value."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes | None:
+        """The blob stored under *key*, or ``None``."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove *key* if present (idempotent)."""
+
+    @abstractmethod
+    def keys(self) -> list[str]:
+        """All stored keys, sorted."""
+
+
+class InMemorySessionStore(SessionStore):
+    """A dict-backed store: survives nothing, perfect for tests and handoffs."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def put(self, key: str, blob: bytes) -> None:
+        self._blobs[key] = bytes(blob)
+
+    def get(self, key: str) -> bytes | None:
+        return self._blobs.get(key)
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def keys(self) -> list[str]:
+        return sorted(self._blobs)
+
+
+class FileSessionStore(SessionStore):
+    """One file per key under a directory; writes are atomic (tmp + rename).
+
+    This is what lets a SIGKILLed shard worker come back: the checkpoint it
+    wrote at the last burst boundary is on disk, and the replacement process
+    (which shares nothing with the dead one) resumes from those bytes.
+    """
+
+    _SUFFIX = ".state"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _escape(key: str) -> str:
+        return "".join(
+            character
+            if (character.isalnum() or character in "._-") and character != "%"
+            else f"%{ord(character):02x}"
+            for character in key
+        )
+
+    @staticmethod
+    def _unescape(name: str) -> str:
+        pieces = name.split("%")
+        return pieces[0] + "".join(
+            chr(int(piece[:2], 16)) + piece[2:] for piece in pieces[1:]
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.directory / (self._escape(key) + self._SUFFIX)
+
+    def put(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        temp = path.with_suffix(path.suffix + ".tmp")
+        temp.write_bytes(blob)
+        os.replace(temp, path)
+
+    def get(self, key: str) -> bytes | None:
+        path = self._path(key)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def keys(self) -> list[str]:
+        return sorted(
+            self._unescape(path.name[: -len(self._SUFFIX)])
+            for path in self.directory.glob(f"*{self._SUFFIX}")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shard checkpoints: open decrypt windows as SessionState snapshots
+# ---------------------------------------------------------------------------
+CHECKPOINT_VERSION = 1
+
+
+def checkpoint_open_windows(
+    runtime: ProviderRuntime,
+    directory: "MailboxDirectory",
+    job_context: Mapping[int, tuple[str, str]],
+    incarnation: str = "",
+) -> bytes | None:
+    """Serialize every open-window job of *runtime* (plus its OT pools).
+
+    *job_context* maps job label -> (kind, address); jobs whose sessions
+    decline to snapshot (:class:`~repro.exceptions.SnapshotError`) are simply
+    left out — the parent recovers those by resubmission, so checkpointing
+    degrades to the recompute path instead of failing.  Returns ``None``
+    when there is nothing in flight (the caller clears the stored blob).
+
+    *incarnation* names the parent runtime that owns these job ids; restore
+    refuses a blob from a different incarnation, because job ids restart
+    from zero in every parent and a stale checkpoint's sessions would
+    otherwise be delivered under a fresh parent's colliding ids.
+    """
+    parked = runtime.scheduler.parked_requests()
+    jobs_payload: list[dict] = []
+    pool_keys: set[tuple[str, str]] = set()
+    for job in runtime._active:
+        if job.finished:
+            continue
+        kind, address = job_context[job.label]
+        try:
+            client_state = job.client.snapshot().to_bytes()
+            provider_state = job.provider.snapshot(
+                pending=parked.get(id(job.provider))
+            ).to_bytes()
+        except SnapshotError:
+            continue
+        jobs_payload.append(
+            {
+                "job_id": job.label,
+                "kind": kind,
+                "address": address,
+                "client": client_state,
+                "provider": provider_state,
+            }
+        )
+        pool_keys.add((kind, address))
+    if not jobs_payload:
+        return None
+    pools_payload: list[dict] = []
+    for kind, address in sorted(pool_keys):
+        pool = (
+            directory.spam_pool_of(address)
+            if kind == "spam"
+            else directory.topic_pool_of(address)
+        )
+        if pool is not None:
+            pools_payload.append(
+                {"kind": kind, "address": address, "state": pool.snapshot().to_bytes()}
+            )
+    return canonical_dumps(
+        {
+            "version": CHECKPOINT_VERSION,
+            "incarnation": incarnation,
+            "pools": pools_payload,
+            "jobs": jobs_payload,
+        }
+    )
+
+
+def restore_open_windows(
+    blob: bytes, directory: "MailboxDirectory", incarnation: str = ""
+) -> list[tuple[int, str, str, SessionJob]]:
+    """Rebuild the jobs of a checkpoint blob against *directory*'s setups.
+
+    Pools are restored *first* (overwriting any fresh pools registration
+    replay created) so the rebuilt sessions extend the exact pad cursors
+    their pre-crash frames were derived from.  Returns
+    ``(job_id, kind, address, job)`` tuples ready for a serving loop; the
+    caller admits them (their sessions are already started, so nothing
+    re-executes).
+    """
+    try:
+        data = canonical_loads(blob)
+    except Exception as error:
+        raise SnapshotError(f"malformed shard checkpoint: {error}") from error
+    if not isinstance(data, dict) or data.get("version") != CHECKPOINT_VERSION:
+        raise SnapshotError("unsupported shard checkpoint format")
+    if data.get("incarnation") != incarnation:
+        raise SnapshotError(
+            "shard checkpoint belongs to a different runtime incarnation "
+            "(its job ids would collide with this parent's)"
+        )
+    for record in data["pools"]:
+        pool = OtExtensionPool.restore(SessionState.from_bytes(record["state"]))
+        directory.set_pool(record["kind"], record["address"], pool)
+    restored: list[tuple[int, str, str, SessionJob]] = []
+    for record in data["jobs"]:
+        kind, address, job_id = record["kind"], record["address"], record["job_id"]
+        if kind == "spam":
+            protocol, setup = directory.spam_of(address)
+            pool = directory.spam_pool_of(address)
+            client: Any = SpamClientSession.restore(
+                protocol, setup, SessionState.from_bytes(record["client"]), ot_pool=pool
+            )
+            provider: Any = SpamProviderSession.restore(
+                protocol, setup, SessionState.from_bytes(record["provider"]), ot_pool=pool
+            )
+        elif kind == "topics":
+            protocol, setup = directory.topics_of(address)
+            pool = directory.topic_pool_of(address)
+            client = TopicClientSession.restore(
+                protocol, setup, SessionState.from_bytes(record["client"]), ot_pool=pool
+            )
+            provider = TopicProviderSession.restore(
+                protocol, setup, SessionState.from_bytes(record["provider"]), ot_pool=pool
+            )
+        else:
+            raise SnapshotError(f"unknown job kind {kind!r} in shard checkpoint")
+        job = SessionJob(
+            channel=protocol.make_channel(setup, name=f"resume[{job_id}]"),
+            client=client,
+            provider=provider,
+            label=job_id,
+        )
+        restored.append((job_id, kind, address, job))
+    return restored
 
 
 # ---------------------------------------------------------------------------
@@ -403,22 +682,50 @@ class MailboxDirectory:
         return entry
 
     def register_spam(
-        self, address: str, protocol: SpamFilterProtocol, setup: SpamSetup
+        self,
+        address: str,
+        protocol: SpamFilterProtocol,
+        setup: SpamSetup,
+        build_pool: bool = True,
     ) -> None:
+        """Store a mailbox's spam setup; ``build_pool=False`` defers the base OTs.
+
+        A restart that intends to restore a checkpoint defers pool building:
+        the restored pool replaces whatever registration would have built, so
+        paying the per-pair base-OT handshake just to discard it would be
+        pure recovery latency (:meth:`ensure_pools` backfills any mailbox the
+        checkpoint did not cover).
+        """
         entry = self._entry(address)
         setup.encrypted_model.ensure_stacks()
         entry.spam = (protocol, setup)
-        if protocol.ot_mode == "iknp":
+        if build_pool and protocol.ot_mode == "iknp":
             entry.spam_ot_pool = protocol.make_ot_pool(setup)
 
     def register_topics(
-        self, address: str, protocol: TopicExtractionProtocol, setup: TopicSetup
+        self,
+        address: str,
+        protocol: TopicExtractionProtocol,
+        setup: TopicSetup,
+        build_pool: bool = True,
     ) -> None:
         entry = self._entry(address)
         setup.encrypted_model.ensure_stacks()
         entry.topics = (protocol, setup)
-        if protocol.ot_mode == "iknp":
+        if build_pool and protocol.ot_mode == "iknp":
             entry.topic_ot_pool = protocol.make_ot_pool(setup)
+
+    def ensure_pools(self) -> None:
+        """Build the OT pool of every registered mailbox that still lacks one."""
+        for entry in self._mailboxes.values():
+            if entry.spam is not None and entry.spam_ot_pool is None:
+                protocol, setup = entry.spam
+                if protocol.ot_mode == "iknp":
+                    entry.spam_ot_pool = protocol.make_ot_pool(setup)
+            if entry.topics is not None and entry.topic_ot_pool is None:
+                protocol, setup = entry.topics
+                if protocol.ot_mode == "iknp":
+                    entry.topic_ot_pool = protocol.make_ot_pool(setup)
 
     def spam_of(self, address: str) -> tuple[SpamFilterProtocol, SpamSetup]:
         entry = self._mailboxes.get(address)
@@ -439,6 +746,22 @@ class MailboxDirectory:
     def topic_pool_of(self, address: str) -> OtExtensionPool | None:
         entry = self._mailboxes.get(address)
         return entry.topic_ot_pool if entry else None
+
+    def set_pool(self, kind: str, address: str, pool: OtExtensionPool) -> None:
+        """Install a restored OT pool, replacing whatever registration built.
+
+        Restoring a checkpoint must override the *fresh* pool that replaying
+        a registration created: the snapshotted sessions' frames were derived
+        from the old pool's seeds and pad cursors, and only the restored pool
+        continues them bit-identically.
+        """
+        entry = self._entry(address)
+        if kind == "spam":
+            entry.spam_ot_pool = pool
+        elif kind == "topics":
+            entry.topic_ot_pool = pool
+        else:
+            raise ProtocolError(f"unknown pool kind {kind!r}")
 
     def mailbox_count(self) -> int:
         return len(self._mailboxes)
@@ -510,12 +833,12 @@ def _worker_build_job(
 
 
 def _worker_results(
-    pending: dict[int, str], finished: Sequence[SessionJob]
+    pending: dict[int, tuple[str, str]], finished: Sequence[SessionJob]
 ) -> list[tuple[int, Any]]:
     results = []
     for job in finished:
         job_id = job.label
-        kind = pending.pop(job_id)
+        kind, _address = pending.pop(job_id)
         result = _spam_result(job) if kind == "spam" else _topic_result(job)
         results.append((job_id, result))
     return results
@@ -526,6 +849,9 @@ def _shard_worker_main(
     window_bursts: int,
     max_pending_ciphertexts: int | None,
     max_delay_seconds: float | None,
+    checkpoint_dir: str | None = None,
+    shard_index: int = 0,
+    incarnation: str = "",
 ) -> None:
     """One shard: its own directory, windowed runtime, and command loop.
 
@@ -533,6 +859,12 @@ def _shard_worker_main(
     command gets exactly one reply.  Errors are caught and shipped back as
     ``("error", message)`` so a protocol mistake in one shard surfaces in the
     parent instead of killing the worker silently.
+
+    With a *checkpoint_dir*, the worker writes its open decrypt windows to a
+    :class:`FileSessionStore` at every burst/drain boundary (before replying,
+    so an acked burst is always recoverable), and the ``restore`` command
+    resumes those sessions after the parent has replayed registrations — the
+    recovery path a SIGKILLed worker's replacement takes.
     """
     directory = MailboxDirectory()
     runtime = ProviderRuntime(
@@ -542,7 +874,20 @@ def _shard_worker_main(
             max_delay_seconds=max_delay_seconds,
         )
     )
-    pending: dict[int, str] = {}  # job_id -> kind, for jobs inside open windows
+    store = FileSessionStore(checkpoint_dir) if checkpoint_dir is not None else None
+    checkpoint_key = f"shard-{shard_index}"
+    pending: dict[int, tuple[str, str]] = {}  # job_id -> (kind, address), open jobs
+    restored_jobs = 0
+
+    def _write_checkpoint() -> None:
+        if store is None:
+            return
+        blob = checkpoint_open_windows(runtime, directory, pending, incarnation)
+        if blob is None:
+            store.delete(checkpoint_key)
+        else:
+            store.put(checkpoint_key, blob)
+
     while True:
         try:
             command, payload = connection.recv()
@@ -550,12 +895,19 @@ def _shard_worker_main(
             return
         try:
             if command == "register_spam":
-                address, protocol, setup = payload
-                directory.register_spam(address, protocol, setup)
+                address, protocol, setup, *options = payload
+                directory.register_spam(
+                    address, protocol, setup, build_pool=not (options and options[0])
+                )
                 reply = ("ok", None)
             elif command == "register_topics":
-                address, protocol, setup = payload
-                directory.register_topics(address, protocol, setup)
+                address, protocol, setup, *options = payload
+                directory.register_topics(
+                    address, protocol, setup, build_pool=not (options and options[0])
+                )
+                reply = ("ok", None)
+            elif command == "ensure_pools":
+                directory.ensure_pools()
                 reply = ("ok", None)
             elif command == "burst":
                 jobs = []
@@ -563,11 +915,39 @@ def _shard_worker_main(
                     jobs.append(
                         _worker_build_job(directory, kind, address, features, candidates, job_id)
                     )
-                    pending[job_id] = kind
+                    pending[job_id] = (kind, address)
                 finished = runtime.serve_burst(jobs)
-                reply = ("results", _worker_results(pending, finished))
+                results = _worker_results(pending, finished)
+                _write_checkpoint()
+                reply = ("results", results)
             elif command == "drain":
-                reply = ("results", _worker_results(pending, runtime.drain()))
+                results = _worker_results(pending, runtime.drain())
+                _write_checkpoint()
+                reply = ("results", results)
+            elif command == "restore":
+                resumed_ids: list[int] = []
+                jobs = []
+                blob = store.get(checkpoint_key) if store is not None else None
+                if blob is not None:
+                    try:
+                        restored = restore_open_windows(blob, directory, incarnation)
+                    except SnapshotError:
+                        # An unreadable checkpoint (older format, foreign
+                        # incarnation, corrupt bytes) must not fail recovery:
+                        # drop it and let the parent's resubmission recompute
+                        # the in-flight emails.  Delete so retries do not hit
+                        # the same poisoned blob.
+                        store.delete(checkpoint_key)
+                        restored = []
+                    for job_id, kind, address, job in restored:
+                        pending[job_id] = (kind, address)
+                        resumed_ids.append(job_id)
+                        jobs.append(job)
+                restored_jobs += len(jobs)
+                finished = runtime.serve_burst(jobs) if jobs else []
+                results = _worker_results(pending, finished)
+                _write_checkpoint()
+                reply = ("restored", (resumed_ids, results))
             elif command == "stats":
                 reply = (
                     "stats",
@@ -576,6 +956,7 @@ def _shard_worker_main(
                         "decrypt_batch_sizes": list(runtime.decrypt_batch_sizes),
                         "outstanding_jobs": runtime.outstanding_jobs(),
                         "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
+                        "restored_jobs": restored_jobs,
                     },
                 )
             elif command == "stop":
@@ -614,12 +995,16 @@ class ShardedRuntime:
     decrypt batching is per key pair, shards never need to coordinate — the
     partition is embarrassingly parallel, which is the §6.3 scaling story.
 
-    The parent keeps enough state to survive a worker loss: registrations are
-    replayed and in-flight emails resubmitted by :meth:`restart_shard`, so a
-    mid-window crash costs recomputation of the open window, never
-    correctness.  Results are collected by job id (:meth:`take_result`);
-    :meth:`run_spam_stream` is the submit/drain convenience the benchmarks
-    use.
+    The runtime survives worker loss two ways.  With a *checkpoint_dir*,
+    every worker persists its open decrypt windows as ``SessionState``
+    snapshots at each burst boundary, and :meth:`restart_shard` *resumes*
+    them — parked sessions come back bit-identically, with no re-execution
+    of completed protocol steps.  Without one (or for work the checkpoint
+    does not cover), the parent replays registrations and resubmits in-flight
+    emails from their features — the recompute fallback.  Either way a
+    mid-window crash never costs correctness.  Results are collected by job
+    id (:meth:`take_result`); :meth:`run_spam_stream` is the submit/drain
+    convenience the benchmarks use.
     """
 
     def __init__(
@@ -629,6 +1014,7 @@ class ShardedRuntime:
         max_pending_ciphertexts: int | None = None,
         max_delay_seconds: float | None = None,
         start_method: str | None = None,
+        checkpoint_dir: str | Path | None = None,
     ) -> None:
         if num_shards < 1:
             raise ProtocolError("a sharded runtime needs at least one shard")
@@ -638,6 +1024,12 @@ class ShardedRuntime:
             )
         self.num_shards = num_shards
         self._window = (window_bursts, max_pending_ciphertexts, max_delay_seconds)
+        self._checkpoint_dir = None if checkpoint_dir is None else str(checkpoint_dir)
+        # Job ids restart from zero in every parent, so checkpoints are bound
+        # to this runtime instance: a leftover blob from an earlier parent in
+        # the same directory is refused at restore (recompute fallback)
+        # instead of resumed under colliding ids.
+        self._incarnation = os.urandom(8).hex()
         self._context = multiprocessing.get_context(start_method)
         self._connections: list[Any] = []
         self._processes: list[Any] = []
@@ -647,21 +1039,28 @@ class ShardedRuntime:
         self._results: dict[int, Any] = {}
         self._job_ids = itertools.count()
         self._closed = False
-        for _ in range(num_shards):
-            self._spawn_worker()
+        for shard in range(num_shards):
+            connection, process = self._spawn_worker(shard)
+            self._connections.append(connection)
+            self._processes.append(process)
 
     # -- worker lifecycle ----------------------------------------------------
-    def _spawn_worker(self) -> None:
+    def _spawn_worker(self, shard: int) -> tuple[Any, Any]:
         parent_connection, child_connection = self._context.Pipe()
         process = self._context.Process(
             target=_shard_worker_main,
-            args=(child_connection, *self._window),
+            args=(
+                child_connection,
+                *self._window,
+                self._checkpoint_dir,
+                shard,
+                self._incarnation,
+            ),
             daemon=True,
         )
         process.start()
         child_connection.close()
-        self._connections.append(parent_connection)
-        self._processes.append(process)
+        return parent_connection, process
 
     def _send(self, shard: int, command: str, payload: Any) -> None:
         if self._closed:
@@ -686,18 +1085,30 @@ class ShardedRuntime:
             for job_id, result in body:
                 self._results[job_id] = result
                 self._outstanding.pop(job_id, None)
+        elif tag == "restored":
+            _resumed_ids, results = body
+            for job_id, result in results:
+                self._results[job_id] = result
+                self._outstanding.pop(job_id, None)
         return body
 
     def _request(self, shard: int, command: str, payload: Any) -> Any:
         self._send(shard, command, payload)
         return self._collect(shard, command)
 
-    def restart_shard(self, shard: int) -> int:
-        """Kill one worker and rebuild it: replay registrations, resubmit work.
+    def restart_shard(self, shard: int, resume: bool = True) -> int:
+        """Kill one worker and rebuild it: replay registrations, resume, resubmit.
 
         Models a provider process dying mid-window (§6.3 deployments restart
-        workers all the time).  Returns the number of in-flight emails that
-        were resubmitted to the fresh worker.
+        workers all the time).  With a checkpoint directory configured (and
+        *resume* left on), the fresh worker first restores the open-window
+        sessions from its :class:`FileSessionStore` snapshot — those emails
+        pick up exactly where they parked, with no re-execution of completed
+        protocol steps.  Anything not covered by the checkpoint (e.g. work
+        admitted after the last checkpointed boundary, or sessions that
+        declined to snapshot) is resubmitted from its features — the
+        recompute fallback.  Returns the number of resubmitted emails, so
+        ``0`` means every in-flight email was resumed from its snapshot.
         """
         if not 0 <= shard < self.num_shards:
             raise ProtocolError(f"no shard {shard} in a {self.num_shards}-shard runtime")
@@ -706,23 +1117,26 @@ class ShardedRuntime:
         process.join(timeout=10.0)
         self._connections[shard].close()
         # Rebuild in place so shard indices (and the address partition) hold.
-        parent_connection, child_connection = self._context.Pipe()
-        fresh = self._context.Process(
-            target=_shard_worker_main,
-            args=(child_connection, *self._window),
-            daemon=True,
-        )
-        fresh.start()
-        child_connection.close()
+        parent_connection, fresh = self._spawn_worker(shard)
         self._connections[shard] = parent_connection
         self._processes[shard] = fresh
+        resuming = resume and self._checkpoint_dir is not None
         for registered_shard, command, payload in self._registrations:
             if registered_shard == shard:
-                self._request(shard, command, payload)
+                # When a checkpoint will be restored, defer the per-pair OT
+                # handshakes: restored pools replace them for checkpointed
+                # mailboxes, and ensure_pools backfills the rest — paying
+                # base OTs only to overwrite them would be dead recovery time.
+                self._request(shard, command, (*payload, True) if resuming else payload)
+        resumed: set[int] = set()
+        if resuming:
+            resumed_ids, _results = self._request(shard, "restore", None)
+            resumed = set(resumed_ids)
+            self._request(shard, "ensure_pools", None)
         resubmit = [
             (job_id, item)
             for job_id, item in self._outstanding.items()
-            if item.shard == shard
+            if item.shard == shard and job_id not in resumed
         ]
         if resubmit:
             self._request(
@@ -757,6 +1171,16 @@ class ShardedRuntime:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def worker_pid(self, shard: int) -> int:
+        """The OS pid of one shard's worker (crash drills SIGKILL this)."""
+        if not 0 <= shard < self.num_shards:
+            raise ProtocolError(f"no shard {shard} in a {self.num_shards}-shard runtime")
+        return self._processes[shard].pid
+
+    def join_worker(self, shard: int, timeout: float = 10.0) -> None:
+        """Wait for one shard's worker process to exit (after a kill)."""
+        self._processes[shard].join(timeout=timeout)
 
     # -- registration --------------------------------------------------------
     def shard_of(self, address: str) -> int:

@@ -129,7 +129,12 @@ def _output_digest(label: bytes, wire: int) -> bytes:
 
 
 def garble(circuit: Circuit, seed: bytes | None = None) -> GarblingResult:
-    """Garble *circuit*; deterministic when *seed* is provided (tests only)."""
+    """Garble *circuit*; deterministic given *seed*.
+
+    A garbler session draws one secret PRG seed and garbles from it, so its
+    snapshot needs only the seed to reproduce every label and table
+    bit-identically on restore; ``None`` draws fresh system randomness.
+    """
     if seed is None:
         rand = lambda: secure_bytes(LABEL_BYTES)  # noqa: E731 - tiny closure
     else:

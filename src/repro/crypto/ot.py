@@ -26,13 +26,19 @@ byte costs of an OT batch are measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.dh import DHGroup
 from repro.crypto.hashes import hash_to_group_element, sha256
 from repro.crypto.prg import Prg, prf
 from repro.exceptions import OTError
-from repro.twopc.session import ProtocolSession, run_session_pair
+from repro.twopc.session import (
+    ProtocolSession,
+    _restore_base_fields,
+    decode_state_payload,
+    encode_state_payload,
+    run_session_pair,
+)
 from repro.twopc.transport import FramedChannel
 from repro.twopc.wire import (
     Frame,
@@ -41,6 +47,8 @@ from repro.twopc.wire import (
     OtExtPairsFrame,
     OtPublicsFrame,
     OtResponsesFrame,
+    SessionState,
+    SessionStateKind,
 )
 from repro.utils.bitops import bits_to_bytes, bytes_to_bits, xor_bytes
 from repro.utils.rand import secure_bytes
@@ -354,13 +362,47 @@ class OtExtensionSenderState:
     """The extension sender's half of the pair state (holds ``s`` + seeds).
 
     ``next_index`` is a high-water mark mirroring the receiver's allocation
-    counter (observability/tests only): concurrent batches may legitimately
-    arrive out of allocation order, so it is not an ordering check.
+    counter; ``claimed`` records every transfer-index range this sender has
+    already extended.  Both are pad cursors that must survive a process
+    restart (they ride in the pool's :class:`~repro.twopc.wire.SessionState`
+    snapshot): pads are bound to global transfer indices, and encrypting two
+    different message batches under the same index would hand an adversary
+    the XOR of the two — which is exactly what a replayed columns frame
+    tries to provoke, so :meth:`claim` rejects overlaps outright.
     """
 
     s_bits: list[int]
     seed_keys: list[bytes]
     next_index: int = 0
+    claimed: list[tuple[int, int]] = field(default_factory=list)
+
+    def claim(self, start: int, count: int) -> None:
+        """Reserve ``[start, start + count)``; reject any overlap as a replay."""
+        if start < 0:
+            raise OTError("IKNP extension batch starts at a negative transfer index")
+        if count <= 0:
+            return
+        end = start + count
+        for begin, length in self.claimed:
+            if start < begin + length and begin < end:
+                raise OTError(
+                    "IKNP extension batch overlaps already-extended transfer "
+                    "indices (replayed or forged columns would reuse pads)"
+                )
+        self.claimed.append((start, count))
+        self._coalesce()
+        self.next_index = max(self.next_index, end)
+
+    def _coalesce(self) -> None:
+        """Merge adjacent claimed ranges so the ledger stays O(holes)."""
+        self.claimed.sort()
+        merged: list[tuple[int, int]] = []
+        for begin, length in self.claimed:
+            if merged and merged[-1][0] + merged[-1][1] == begin:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((begin, length))
+        self.claimed = merged
 
 
 @dataclass
@@ -377,6 +419,9 @@ class OtExtensionReceiverState:
         return start
 
 
+OT_POOL_STATE_VERSION = 1
+
+
 @dataclass
 class OtExtensionPool:
     """Both halves of one directional pair's persistent extension state.
@@ -385,6 +430,12 @@ class OtExtensionPool:
     halves in one object mirrors the in-process arrangement of the rest of
     the repository.  ``ready`` becomes true after :func:`initialize_ot_pool`
     has run the one-time base OTs.
+
+    The pool is pair-level state exactly like the encrypted model, so it is
+    part of the session-persistence contract: :meth:`snapshot` captures the
+    seeds and pad cursors as an ``OT_POOL`` :class:`SessionState`, and
+    :meth:`restore` rebuilds a pool whose later extensions are bit-identical
+    — which is what lets in-flight Yao rounds survive a worker restart.
     """
 
     sender_state: OtExtensionSenderState | None = None
@@ -393,6 +444,51 @@ class OtExtensionPool:
     @property
     def ready(self) -> bool:
         return self.sender_state is not None and self.receiver_state is not None
+
+    def snapshot(self) -> SessionState:
+        sender = None
+        if self.sender_state is not None:
+            sender = {
+                "kappa": len(self.sender_state.s_bits),
+                "s_bits": bits_to_bytes(self.sender_state.s_bits),
+                "seed_keys": list(self.sender_state.seed_keys),
+                "next_index": self.sender_state.next_index,
+                "claimed": [[begin, length] for begin, length in self.sender_state.claimed],
+            }
+        receiver = None
+        if self.receiver_state is not None:
+            receiver = {
+                "seed_pairs": [
+                    [seed0, seed1] for seed0, seed1 in self.receiver_state.seed_pairs
+                ],
+                "next_index": self.receiver_state.next_index,
+            }
+        return SessionState(
+            kind=SessionStateKind.OT_POOL,
+            version=OT_POOL_STATE_VERSION,
+            payload=encode_state_payload(sender=sender, receiver=receiver),
+        )
+
+    @classmethod
+    def restore(cls, state: SessionState) -> "OtExtensionPool":
+        payload = decode_state_payload(state, SessionStateKind.OT_POOL, OT_POOL_STATE_VERSION)
+        sender_state = None
+        if payload["sender"] is not None:
+            sender = payload["sender"]
+            sender_state = OtExtensionSenderState(
+                s_bits=bytes_to_bits(sender["s_bits"], sender["kappa"]),
+                seed_keys=list(sender["seed_keys"]),
+                next_index=sender["next_index"],
+                claimed=[(begin, length) for begin, length in sender["claimed"]],
+            )
+        receiver_state = None
+        if payload["receiver"] is not None:
+            receiver = payload["receiver"]
+            receiver_state = OtExtensionReceiverState(
+                seed_pairs=[(seed0, seed1) for seed0, seed1 in receiver["seed_pairs"]],
+                next_index=receiver["next_index"],
+            )
+        return cls(sender_state=sender_state, receiver_state=receiver_state)
 
 
 def _pool_column(seed: bytes, start_index: int, column_bytes: int) -> bytes:
@@ -461,6 +557,35 @@ class PooledIknpSenderMachine(OtMachine):
             self.finished = True
         return []
 
+    POOLED_OT_STATE_VERSION = 1
+
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.POOLED_OT_SENDER,
+            version=self.POOLED_OT_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                message_pairs=[[m0, m1] for m0, m1 in self.message_pairs],
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls, group: DHGroup, state: SessionState, pool_state: OtExtensionSenderState
+    ) -> "PooledIknpSenderMachine":
+        payload = decode_state_payload(
+            state, SessionStateKind.POOLED_OT_SENDER, cls.POOLED_OT_STATE_VERSION
+        )
+        machine = cls(
+            group,
+            [(m0, m1) for m0, m1 in payload["message_pairs"]],
+            pool_state,
+        )
+        _restore_base_fields(machine, payload)
+        return machine
+
     def _handle(self, frame: Frame) -> list[Frame]:
         if not isinstance(frame, OtExtColumnsFrame):
             return self._unexpected(frame)
@@ -470,7 +595,7 @@ class PooledIknpSenderMachine(OtMachine):
         count = len(self.message_pairs)
         column_bytes = (count + 7) // 8
         start = frame.start_index
-        self.state.next_index = max(self.state.next_index, start + count)
+        self.state.claim(start, count)
         q_columns = []
         for j in range(kappa):
             column = _pool_column(self.state.seed_keys[j], start, column_bytes)
@@ -519,6 +644,48 @@ class PooledIknpReceiverMachine(OtMachine):
             self._t_columns.append(t_col)
             u_columns.append(xor_bytes(xor_bytes(t_col, g1), choice_vector))
         return [OtExtColumnsFrame(tuple(u_columns), start_index=self._start_index)]
+
+    POOLED_OT_STATE_VERSION = 1
+
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.POOLED_OT_RECEIVER,
+            version=self.POOLED_OT_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                count=len(self.choices),
+                choices=bits_to_bytes(self.choices) if self.choices else b"",
+                start_index=self._start_index,
+                result=None if self.result is None else list(self.result),
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls, group: DHGroup, state: SessionState, pool_state: OtExtensionReceiverState
+    ) -> "PooledIknpReceiverMachine":
+        payload = decode_state_payload(
+            state, SessionStateKind.POOLED_OT_RECEIVER, cls.POOLED_OT_STATE_VERSION
+        )
+        count = payload["count"]
+        choices = bytes_to_bits(payload["choices"], count) if count else []
+        machine = cls(group, choices, pool_state)
+        _restore_base_fields(machine, payload)
+        machine._start_index = payload["start_index"]
+        if payload["result"] is not None:
+            machine.result = list(payload["result"])
+        if machine.started and not machine.finished and machine.choices:
+            # Re-derive the T columns exactly as ``_start`` did — the pool
+            # seeds and the batch's start index pin them bit-identically,
+            # and the already-allocated index range must NOT be re-reserved.
+            column_bytes = (count + 7) // 8
+            for seed0, _ in pool_state.seed_pairs:
+                machine._t_columns.append(
+                    _pool_column(seed0, machine._start_index, column_bytes)
+                )
+        return machine
 
     def _handle(self, frame: Frame) -> list[Frame]:
         if not isinstance(frame, OtExtPairsFrame):

@@ -25,12 +25,43 @@ from dataclasses import dataclass
 from repro.crypto.circuits import Circuit
 from repro.crypto.dh import DHGroup
 from repro.crypto.garbled import GarblingResult, decode_outputs, evaluate, garble
-from repro.crypto.ot import OtExtensionPool, make_ot_receiver, make_ot_sender
-from repro.exceptions import ProtocolAbort
-from repro.twopc.session import ProtocolSession, run_session_pair
+from repro.crypto.ot import (
+    OtExtensionPool,
+    PooledIknpReceiverMachine,
+    PooledIknpSenderMachine,
+    make_ot_receiver,
+    make_ot_sender,
+)
+from repro.exceptions import ProtocolAbort, SnapshotError
+from repro.twopc.session import (
+    ProtocolSession,
+    _restore_base_fields,
+    decode_state_payload,
+    encode_state_payload,
+    run_session_pair,
+)
 from repro.twopc.transport import FramedChannel
-from repro.twopc.wire import Frame, GarbledCircuitFrame, OutputLabelsFrame
+from repro.twopc.wire import (
+    Frame,
+    GarbledCircuitFrame,
+    OutputLabelsFrame,
+    SessionState,
+    SessionStateKind,
+)
+from repro.utils.bitops import bits_to_bytes, bytes_to_bits
+from repro.utils.rand import secure_bytes
 from repro.utils.timing import Stopwatch
+
+GARBLE_SEED_BYTES = 32
+YAO_STATE_VERSION = 1
+
+
+def _require_pool(ot_pool: OtExtensionPool | None) -> OtExtensionPool:
+    if ot_pool is None or not ot_pool.ready:
+        raise SnapshotError(
+            "restoring a Yao session mid-round needs the restored per-pair OT pool"
+        )
+    return ot_pool
 
 
 @dataclass
@@ -60,6 +91,7 @@ class YaoGarblerSession(ProtocolSession):
         output_to: str = "evaluator",
         ot_mode: str = "iknp",
         ot_pool: OtExtensionPool | None = None,
+        garble_seed: bytes | None = None,
     ) -> None:
         super().__init__()
         _check_output_to(output_to)
@@ -69,13 +101,19 @@ class YaoGarblerSession(ProtocolSession):
         self.output_to = output_to
         self.ot_mode = ot_mode
         self.ot_pool = ot_pool
+        # The whole garbling is derived from one PRG seed, so a snapshot of
+        # the seed pins every label and table bit-identically on restore —
+        # the "Yao round position" is the seed plus the round flags below.
+        self._garble_seed = garble_seed if garble_seed is not None else secure_bytes(
+            GARBLE_SEED_BYTES
+        )
         self.output_bits: list[int] | None = None
         self._garbling: GarblingResult | None = None
         self._ot = None
         self._sent_tables = False
 
     def _start(self) -> list[Frame]:
-        self._garbling = garble(self.circuit)
+        self._garbling = garble(self.circuit, seed=self._garble_seed)
         label_pairs = self._garbling.label_pairs(self.circuit.evaluator_inputs)
         self._ot = make_ot_sender(self.group, label_pairs, self.ot_mode, pool=self.ot_pool)
         frames = self._ot.start()
@@ -113,6 +151,59 @@ class YaoGarblerSession(ProtocolSession):
                 decode_at_evaluator=decode_at_evaluator,
             )
         ]
+
+    # -- session persistence --------------------------------------------------
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.YAO_GARBLER,
+            version=YAO_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                seed=self._garble_seed,
+                garbler_count=len(self.garbler_bits),
+                garbler_bits=bits_to_bytes(self.garbler_bits) if self.garbler_bits else b"",
+                output_to=self.output_to,
+                ot_mode=self.ot_mode,
+                sent_tables=self._sent_tables,
+                output_bits=self.output_bits,
+                ot=None if self._ot is None else self._ot.snapshot().to_bytes(),
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        state: SessionState,
+        circuit: Circuit,
+        group: DHGroup,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> "YaoGarblerSession":
+        payload = decode_state_payload(state, SessionStateKind.YAO_GARBLER, YAO_STATE_VERSION)
+        count = payload["garbler_count"]
+        bits = bytes_to_bits(payload["garbler_bits"], count) if count else []
+        session = cls(
+            circuit,
+            bits,
+            group,
+            output_to=payload["output_to"],
+            ot_mode=payload["ot_mode"],
+            ot_pool=ot_pool,
+            garble_seed=payload["seed"],
+        )
+        _restore_base_fields(session, payload)
+        session._sent_tables = bool(payload["sent_tables"])
+        if payload["output_bits"] is not None:
+            session.output_bits = list(payload["output_bits"])
+        if session.started:
+            session._garbling = garble(circuit, seed=session._garble_seed)
+        if payload["ot"] is not None:
+            ot_state = SessionState.from_bytes(payload["ot"])
+            session._ot = PooledIknpSenderMachine.restore(
+                group, ot_state, _require_pool(ot_pool).sender_state
+            )
+        return session
 
 
 class YaoEvaluatorSession(ProtocolSession):
@@ -156,6 +247,51 @@ class YaoEvaluatorSession(ProtocolSession):
                 return []
             return [OutputLabelsFrame(tuple(output_labels))]
         return self._ot.handle(frame)
+
+    # -- session persistence --------------------------------------------------
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.YAO_EVALUATOR,
+            version=YAO_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                output_to=self.output_to,
+                output_bits=self.output_bits,
+                ot=self._ot.snapshot().to_bytes(),
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        state: SessionState,
+        circuit: Circuit,
+        group: DHGroup,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> "YaoEvaluatorSession":
+        payload = decode_state_payload(
+            state, SessionStateKind.YAO_EVALUATOR, YAO_STATE_VERSION
+        )
+        receiver = PooledIknpReceiverMachine.restore(
+            group,
+            SessionState.from_bytes(payload["ot"]),
+            _require_pool(ot_pool).receiver_state,
+        )
+        session = cls(
+            circuit,
+            receiver.choices,
+            group,
+            output_to=payload["output_to"],
+            ot_mode="iknp",
+            ot_pool=ot_pool,
+        )
+        session._ot = receiver
+        _restore_base_fields(session, payload)
+        if payload["output_bits"] is not None:
+            session.output_bits = list(payload["output_bits"])
+        return session
 
 
 def run_yao(

@@ -60,6 +60,10 @@ class TransportClosedError(ProtocolError):
     """The transport (or its peer) closed; no further frames can move."""
 
 
+class SnapshotError(ProtocolError):
+    """A session cannot be snapshotted or restored at its current position."""
+
+
 class CircuitError(PretzelError, ValueError):
     """A boolean circuit is malformed or used inconsistently."""
 

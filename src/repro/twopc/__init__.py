@@ -45,7 +45,11 @@ _EXPORTS = {
     "DecryptionRequest": "repro.twopc.session",
     "SessionJob": "repro.twopc.session",
     "SessionLoop": "repro.twopc.session",
+    "AsyncSessionPump": "repro.twopc.session",
     "run_session_pair": "repro.twopc.session",
+    "SessionState": "repro.twopc.wire",
+    "SessionStateFrame": "repro.twopc.wire",
+    "SessionStateKind": "repro.twopc.wire",
     "Transport": "repro.twopc.transport",
     "LoopbackTransport": "repro.twopc.transport",
     "SocketTransport": "repro.twopc.transport",

@@ -26,9 +26,23 @@ import numpy as np
 
 from repro.classify.model import LinearModel
 from repro.exceptions import ClassifierError
-from repro.twopc.session import ProtocolSession, run_session_pair
+from repro.twopc.session import (
+    ProtocolSession,
+    _restore_base_fields,
+    decode_state_payload,
+    encode_state_payload,
+    run_session_pair,
+)
 from repro.twopc.transport import FramedChannel
-from repro.twopc.wire import ClassifyResultFrame, FeaturesFrame, Frame
+from repro.twopc.wire import (
+    ClassifyResultFrame,
+    FeaturesFrame,
+    Frame,
+    SessionState,
+    SessionStateKind,
+)
+
+SESSION_STATE_VERSION = 1
 
 SparseVector = Mapping[int, int]
 
@@ -100,6 +114,32 @@ class NoPrivClientSession(ProtocolSession):
         self.finished = True
         return []
 
+    # -- session persistence --------------------------------------------------
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.NOPRV_CLIENT,
+            version=SESSION_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                features=[
+                    [int(index), int(count)] for index, count in sorted(self.features.items())
+                ],
+                predicted_category=self.predicted_category,
+            ),
+        )
+
+    @classmethod
+    def restore(cls, state: SessionState) -> "NoPrivClientSession":
+        payload = decode_state_payload(
+            state, SessionStateKind.NOPRV_CLIENT, SESSION_STATE_VERSION
+        )
+        session = cls({int(index): int(count) for index, count in payload["features"]})
+        _restore_base_fields(session, payload)
+        session.predicted_category = payload["predicted_category"]
+        return session
+
 
 class NoPrivProviderSession(ProtocolSession):
     """The provider half: one classification per features frame, stateless after."""
@@ -115,6 +155,43 @@ class NoPrivProviderSession(ProtocolSession):
         self.result = self.classifier.classify(dict(frame.features))
         self.finished = True
         return [ClassifyResultFrame(self.result.predicted_category)]
+
+    # -- session persistence --------------------------------------------------
+    def snapshot(self) -> SessionState:
+        result = None
+        if self.result is not None:
+            result = {
+                "predicted_category": self.result.predicted_category,
+                "provider_seconds": self.result.provider_seconds,
+                "features_used": self.result.features_used,
+            }
+        return SessionState(
+            kind=SessionStateKind.NOPRV_PROVIDER,
+            version=SESSION_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                result=result,
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls, classifier: NoPrivClassifier, state: SessionState
+    ) -> "NoPrivProviderSession":
+        payload = decode_state_payload(
+            state, SessionStateKind.NOPRV_PROVIDER, SESSION_STATE_VERSION
+        )
+        session = cls(classifier)
+        _restore_base_fields(session, payload)
+        if payload["result"] is not None:
+            session.result = NoPrivResult(
+                predicted_category=int(payload["result"]["predicted_category"]),
+                provider_seconds=float(payload["result"]["provider_seconds"]),
+                features_used=int(payload["result"]["features_used"]),
+            )
+        return session
 
 
 def run_noprv_session(

@@ -32,9 +32,10 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.crypto.ahe import AHECiphertext, AHEKeyPair, AHEScheme
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, SnapshotError
 from repro.twopc.transport import FramedChannel
-from repro.twopc.wire import Frame
+from repro.twopc.wire import Frame, SessionState, WireCodec
+from repro.utils.serialization import canonical_dumps, canonical_loads
 
 
 class ProtocolSession(ABC):
@@ -47,11 +48,20 @@ class ProtocolSession(ABC):
 
     def __init__(self) -> None:
         self.finished = False
+        self.started = False
         self.seconds = 0.0
 
     # -- driver-facing API --------------------------------------------------
     def start(self) -> list[Frame]:
-        """Frames this party sends before having received anything."""
+        """Frames this party sends before having received anything.
+
+        Runs at most once: a session restored from a snapshot comes back with
+        ``started`` already set, and every driver gates on it, so restoring
+        never re-executes the (possibly expensive) opening step.
+        """
+        if self.started:
+            raise ProtocolError(f"{type(self).__name__} was started twice")
+        self.started = True
         begin = time.perf_counter()
         frames = self._start()
         self.seconds += time.perf_counter() - begin
@@ -78,6 +88,50 @@ class ProtocolSession(ABC):
         raise ProtocolError(
             f"{type(self).__name__} cannot handle a {type(frame).__name__} in its current state"
         )
+
+    # -- session persistence (the SessionState contract) ---------------------
+    def snapshot(self) -> SessionState:
+        """Capture this party's resumable state as a :class:`SessionState`.
+
+        Subclasses that support persistence override this (and provide a
+        ``restore(...)`` classmethod taking the state plus the shared context
+        — protocol, setup, circuit, pool — that is never serialized).  The
+        default refuses: a session that cannot be snapshotted is recovered by
+        re-running it from its inputs, never by silently dropping state.
+        """
+        raise SnapshotError(f"{type(self).__name__} does not support snapshots")
+
+
+def encode_state_payload(**fields: Any) -> bytes:
+    """Canonically encode a session-state payload (sorted keys, stable bytes)."""
+    return canonical_dumps(dict(fields))
+
+
+def decode_state_payload(state: SessionState, kind: int, version: int) -> dict:
+    """Validate *state*'s kind/version and decode its canonical payload."""
+    if state.kind != kind:
+        raise SnapshotError(
+            f"session state of kind 0x{state.kind:02x} given to a 0x{kind:02x} restore"
+        )
+    if state.version != version:
+        raise SnapshotError(
+            f"unsupported session-state version {state.version} "
+            f"(this build reads version {version})"
+        )
+    try:
+        payload = canonical_loads(state.payload)
+    except Exception as error:
+        raise SnapshotError(f"malformed session-state payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise SnapshotError("session-state payload must decode to a mapping")
+    return payload
+
+
+def _restore_base_fields(session: ProtocolSession, payload: dict) -> None:
+    """Apply the progress fields every session payload carries."""
+    session.started = bool(payload["started"])
+    session.finished = bool(payload["finished"])
+    session.seconds = float(payload["seconds"])
 
 
 @dataclass
@@ -190,6 +244,98 @@ class BufferedProviderSession(DecryptingSession):
     def _inner_finished(self, inner: ProtocolSession) -> None:
         """Harvest the inner session's output (default: nothing to harvest)."""
 
+    # -- session persistence --------------------------------------------------
+    # The whole park/buffer/replay skeleton snapshots here exactly once;
+    # subclasses contribute their kind byte, the ciphertext-capable codec,
+    # protocol-specific extras, and the inner-session rebuild.
+    STATE_VERSION = 1
+
+    _state_kind: int | None = None  # subclasses set a SessionStateKind value
+
+    def snapshot(self, pending: DecryptionRequest | None = None) -> SessionState:
+        """Snapshot the provider half, optionally folding back *pending*.
+
+        A parked session's :class:`DecryptionRequest` is owned by the driver
+        (the scheduler window), not the session — the checkpointing driver
+        passes it back in so the snapshot captures the complete cross-party
+        state.
+        """
+        if self._state_kind is None:
+            return super().snapshot()
+        codec = self._state_codec()
+        if pending is None:
+            pending = self._decryption_request
+        scheme = self._pending_scheme()
+        return SessionState(
+            kind=self._state_kind,
+            version=self.STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                awaiting_request=self._awaiting_request,
+                buffered=[codec.encode(frame) for frame in self._buffered],
+                pending=(
+                    None
+                    if pending is None
+                    else [
+                        scheme.serialize_ciphertext(ciphertext)
+                        for ciphertext in pending.ciphertexts
+                    ]
+                ),
+                inner=None if self._inner is None else self._inner.snapshot().to_bytes(),
+                extra=self._snapshot_extra(),
+            ),
+        )
+
+    def _restore_common(self, state: SessionState) -> None:
+        """Apply a snapshot produced by :meth:`snapshot` to this fresh session."""
+        payload = decode_state_payload(state, self._state_kind, self.STATE_VERSION)
+        _restore_base_fields(self, payload)
+        self._awaiting_request = bool(payload["awaiting_request"])
+        codec = self._state_codec()
+        self._buffered = [codec.decode(encoded) for encoded in payload["buffered"]]
+        if payload["pending"] is not None:
+            scheme = self._pending_scheme()
+            self._decryption_request = DecryptionRequest(
+                scheme=scheme,
+                keypair=self._pending_keypair(),
+                ciphertexts=[
+                    scheme.deserialize_ciphertext(
+                        encoded, public_key=self._pending_keypair().public
+                    )
+                    for encoded in payload["pending"]
+                ],
+            )
+        # Extras first: rebuilding the inner session may depend on them
+        # (e.g. the topic provider's candidate count selects the circuit).
+        self._apply_extra(payload["extra"])
+        if payload["inner"] is not None:
+            self._inner = self._restore_inner(SessionState.from_bytes(payload["inner"]))
+
+    def _snapshot_extra(self) -> dict:
+        """Protocol-specific extra payload fields (default: none)."""
+        return {}
+
+    def _apply_extra(self, extra: dict) -> None:
+        """Restore counterpart of :meth:`_snapshot_extra`."""
+
+    def _state_codec(self) -> WireCodec:
+        """The codec that can carry this protocol's buffered frames."""
+        raise SnapshotError(f"{type(self).__name__} does not support snapshots")
+
+    def _pending_scheme(self):
+        """The AHE scheme of this provider's parked ciphertexts."""
+        raise SnapshotError(f"{type(self).__name__} does not support snapshots")
+
+    def _pending_keypair(self):
+        """The key pair of this provider's parked ciphertexts."""
+        raise SnapshotError(f"{type(self).__name__} does not support snapshots")
+
+    def _restore_inner(self, state: SessionState) -> ProtocolSession:
+        """Rebuild the inner (Yao) session from its nested snapshot."""
+        raise SnapshotError(f"{type(self).__name__} does not support snapshots")
+
 
 # ---------------------------------------------------------------------------
 # The session loop: the one frame pump every driver uses
@@ -261,7 +407,8 @@ class SessionLoop:
         for job in jobs:
             for name in (job.client_name, job.provider_name):
                 session = job.session(name)
-                job.dispatch(name, session.start())
+                if not session.started:
+                    job.dispatch(name, session.start())
                 self._collect_parked(job, name, session, parked)
         while True:
             progressed = self._deliver_all(jobs, parked)
@@ -429,8 +576,9 @@ class AsyncSessionPump:
         frames from the peer are received and handled; parked decryptions
         await the pump's shared windowed flusher.
         """
-        for frame in session.start():
-            await channel.send(party, frame)
+        if not session.started:
+            for frame in session.start():
+                await channel.send(party, frame)
         await self._service_parked(channel, party, session)
         while not session.finished:
             frame = await channel.receive(party)

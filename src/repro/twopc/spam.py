@@ -46,10 +46,21 @@ from repro.twopc.session import (
     BufferedProviderSession,
     DecryptionRequest,
     ProtocolSession,
+    _restore_base_fields,
+    decode_state_payload,
+    encode_state_payload,
     run_session_pair,
 )
 from repro.twopc.transport import FramedChannel
-from repro.twopc.wire import BlindedScoresFrame, Frame
+from repro.twopc.wire import (
+    BlindedScoresFrame,
+    Frame,
+    SessionState,
+    SessionStateKind,
+    WireCodec,
+)
+
+SESSION_STATE_VERSION = 1
 
 SparseVector = Mapping[int, int]
 
@@ -141,6 +152,54 @@ class SpamClientSession(ProtocolSession):
             self.finished = True
         return frames
 
+    # -- session persistence --------------------------------------------------
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.SPAM_CLIENT,
+            version=SESSION_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                features=[
+                    [int(index), int(count)] for index, count in sorted(self.features.items())
+                ],
+                is_spam=self.is_spam,
+                yao_and_gates=self.yao_and_gates,
+                yao=None if self._yao is None else self._yao.snapshot().to_bytes(),
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        protocol: "SpamFilterProtocol",
+        setup: SpamSetup,
+        state: SessionState,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> "SpamClientSession":
+        payload = decode_state_payload(
+            state, SessionStateKind.SPAM_CLIENT, SESSION_STATE_VERSION
+        )
+        session = cls(
+            protocol,
+            setup,
+            {int(index): int(count) for index, count in payload["features"]},
+            ot_pool=ot_pool,
+        )
+        _restore_base_fields(session, payload)
+        session.is_spam = payload["is_spam"]
+        session.yao_and_gates = int(payload["yao_and_gates"])
+        if payload["yao"] is not None:
+            circuit = protocol._spam_circuit(protocol.scheme.slot_bits)
+            session._yao = YaoEvaluatorSession.restore(
+                SessionState.from_bytes(payload["yao"]),
+                circuit.circuit,
+                protocol.group,
+                ot_pool=ot_pool,
+            )
+        return session
+
 
 class SpamProviderSession(BufferedProviderSession):
     """The provider half: a reactive, reentrant request/response handler.
@@ -194,6 +253,36 @@ class SpamProviderSession(BufferedProviderSession):
             ot_mode=protocol.ot_mode,
             ot_pool=self.ot_pool,
         )
+
+    # -- session persistence (hooks for the shared provider snapshot) ---------
+    _state_kind = SessionStateKind.SPAM_PROVIDER
+
+    def _state_codec(self) -> WireCodec:
+        return WireCodec(self.protocol.scheme, self.setup.keypair.public)
+
+    def _pending_scheme(self):
+        return self.protocol.scheme
+
+    def _pending_keypair(self):
+        return self.setup.keypair
+
+    def _restore_inner(self, state: SessionState) -> YaoGarblerSession:
+        circuit = self.protocol._spam_circuit(self.protocol.scheme.slot_bits)
+        return YaoGarblerSession.restore(
+            state, circuit.circuit, self.protocol.group, ot_pool=self.ot_pool
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        protocol: "SpamFilterProtocol",
+        setup: SpamSetup,
+        state: SessionState,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> "SpamProviderSession":
+        session = cls(protocol, setup, ot_pool=ot_pool)
+        session._restore_common(state)
+        return session
 
 
 class SpamFilterProtocol:

@@ -43,16 +43,28 @@ from repro.crypto.dh import DHGroup
 from repro.crypto.ot import OtExtensionPool, initialize_ot_pool
 from repro.crypto.packing import PackedLinearModel
 from repro.crypto.yao import YaoEvaluatorSession, YaoGarblerSession
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, SnapshotError
 from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
 from repro.twopc.session import (
     BufferedProviderSession,
     DecryptionRequest,
     ProtocolSession,
+    _restore_base_fields,
+    decode_state_payload,
+    encode_state_payload,
     run_session_pair,
 )
 from repro.twopc.transport import FramedChannel
-from repro.twopc.wire import BlindedScoresFrame, ExtractedCandidatesFrame, Frame
+from repro.twopc.wire import (
+    BlindedScoresFrame,
+    ExtractedCandidatesFrame,
+    Frame,
+    SessionState,
+    SessionStateKind,
+    WireCodec,
+)
+
+SESSION_STATE_VERSION = 1
 
 SparseVector = Mapping[int, int]
 
@@ -163,6 +175,61 @@ class TopicClientSession(ProtocolSession):
             self.finished = True
         return frames
 
+    # -- session persistence --------------------------------------------------
+    def snapshot(self) -> SessionState:
+        return SessionState(
+            kind=SessionStateKind.TOPIC_CLIENT,
+            version=SESSION_STATE_VERSION,
+            payload=encode_state_payload(
+                started=self.started,
+                finished=self.finished,
+                seconds=self.seconds,
+                features=[
+                    [int(index), int(count)] for index, count in sorted(self.features.items())
+                ],
+                candidates=[int(candidate) for candidate in self.candidates],
+                decomposed=self.decomposed,
+                yao_and_gates=self.yao_and_gates,
+                yao=None if self._yao is None else self._yao.snapshot().to_bytes(),
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        protocol: "TopicExtractionProtocol",
+        setup: TopicSetup,
+        state: SessionState,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> "TopicClientSession":
+        payload = decode_state_payload(
+            state, SessionStateKind.TOPIC_CLIENT, SESSION_STATE_VERSION
+        )
+        candidates = [int(candidate) for candidate in payload["candidates"]]
+        session = cls(
+            protocol,
+            setup,
+            {int(index): int(count) for index, count in payload["features"]},
+            candidates,
+            bool(payload["decomposed"]),
+            ot_pool=ot_pool,
+        )
+        _restore_base_fields(session, payload)
+        session.yao_and_gates = int(payload["yao_and_gates"])
+        if payload["yao"] is not None:
+            circuit = protocol._topic_circuit(
+                protocol.scheme.slot_bits,
+                len(candidates),
+                _topic_index_bits(setup.quantized_model.num_categories),
+            )
+            session._yao = YaoGarblerSession.restore(
+                SessionState.from_bytes(payload["yao"]),
+                circuit.circuit,
+                protocol.group,
+                ot_pool=ot_pool,
+            )
+        return session
+
 
 class TopicProviderSession(BufferedProviderSession):
     """The provider half: reactive handler, separable decrypt, Yao evaluator.
@@ -187,6 +254,7 @@ class TopicProviderSession(BufferedProviderSession):
         self.ot_pool = ot_pool
         self.extracted_topic: int | None = None
         self._decomposed = False
+        self._inner_candidates: int | None = None
 
     def _is_request(self, frame: Frame) -> bool:
         return isinstance(frame, (BlindedScoresFrame, ExtractedCandidatesFrame))
@@ -232,6 +300,7 @@ class TopicProviderSession(BufferedProviderSession):
         circuit = protocol._topic_circuit(
             protocol.scheme.slot_bits, len(blinded_scores), _topic_index_bits(num_topics)
         )
+        self._inner_candidates = len(blinded_scores)
         return YaoEvaluatorSession(
             circuit.circuit,
             circuit.evaluator_bits(blinded_scores),
@@ -244,6 +313,54 @@ class TopicProviderSession(BufferedProviderSession):
     def _inner_finished(self, inner: ProtocolSession) -> None:
         assert inner.output_bits is not None
         self.extracted_topic = TopicCircuit.decode_output(inner.output_bits)
+
+    # -- session persistence (hooks for the shared provider snapshot) ---------
+    _state_kind = SessionStateKind.TOPIC_PROVIDER
+
+    def _state_codec(self) -> WireCodec:
+        return WireCodec(self.protocol.scheme, self.setup.keypair.public)
+
+    def _pending_scheme(self):
+        return self.protocol.scheme
+
+    def _pending_keypair(self):
+        return self.setup.keypair
+
+    def _snapshot_extra(self) -> dict:
+        return {
+            "decomposed": self._decomposed,
+            "extracted_topic": self.extracted_topic,
+            "inner_candidates": self._inner_candidates,
+        }
+
+    def _apply_extra(self, extra: dict) -> None:
+        self._decomposed = bool(extra["decomposed"])
+        self.extracted_topic = extra["extracted_topic"]
+        self._inner_candidates = extra["inner_candidates"]
+
+    def _restore_inner(self, state: SessionState) -> YaoEvaluatorSession:
+        if self._inner_candidates is None:
+            raise SnapshotError("topic provider snapshot carries an inner session but no candidate count")
+        circuit = self.protocol._topic_circuit(
+            self.protocol.scheme.slot_bits,
+            self._inner_candidates,
+            _topic_index_bits(self.setup.quantized_model.num_categories),
+        )
+        return YaoEvaluatorSession.restore(
+            state, circuit.circuit, self.protocol.group, ot_pool=self.ot_pool
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        protocol: "TopicExtractionProtocol",
+        setup: TopicSetup,
+        state: SessionState,
+        ot_pool: OtExtensionPool | None = None,
+    ) -> "TopicProviderSession":
+        session = cls(protocol, setup, ot_pool=ot_pool)
+        session._restore_common(state)
+        return session
 
 
 class TopicExtractionProtocol:

@@ -9,6 +9,10 @@ boundary once:
 * each protocol message — blinded AHE scores, candidate extractions, the four
   OT message kinds, garbled tables, output labels, and the NoPriv plaintext
   exchange — is a small frozen dataclass (*frame*);
+* session persistence rides the same boundary: a snapshotted party machine is
+  a :class:`SessionState` record (kind + version + canonical payload) carried
+  by a :class:`SessionStateFrame`, so checkpoints, shard handoffs and wire
+  transfers of live sessions all share one golden-pinned format;
 * :class:`WireCodec` turns frames into bytes and back.  Every frame starts
   with a fixed header (magic, version, type); ciphertext-bearing frames
   delegate to the scheme codecs (:meth:`AHEScheme.serialize_ciphertext`),
@@ -52,6 +56,7 @@ class FrameType:
     OUTPUT_LABELS = 0x09         # evaluator -> garbler: output labels for decoding
     FEATURES = 0x0A              # NoPriv: the plaintext feature vector (the email)
     CLASSIFY_RESULT = 0x0B       # NoPriv: the provider's category verdict
+    SESSION_STATE = 0x0C         # a snapshotted party state (session persistence)
 
 
 @dataclass(frozen=True, eq=False)
@@ -162,6 +167,91 @@ class ClassifyResultFrame:
     frame_type = FrameType.CLASSIFY_RESULT
 
 
+# ---------------------------------------------------------------------------
+# Session-state snapshots (the persistence format of resumable sessions)
+# ---------------------------------------------------------------------------
+class SessionStateKind:
+    """Kind byte of a :class:`SessionState`: which party machine it captures."""
+
+    OT_POOL = 0x01             # persistent per-pair IKNP extension state
+    POOLED_OT_SENDER = 0x02    # a PooledIknpSenderMachine mid-batch
+    POOLED_OT_RECEIVER = 0x03  # a PooledIknpReceiverMachine mid-batch
+    YAO_GARBLER = 0x10         # a YaoGarblerSession (seed + round position)
+    YAO_EVALUATOR = 0x11       # a YaoEvaluatorSession (OT position + output)
+    SPAM_CLIENT = 0x20
+    SPAM_PROVIDER = 0x21
+    TOPIC_CLIENT = 0x22
+    TOPIC_PROVIDER = 0x23
+    NOPRV_CLIENT = 0x24
+    NOPRV_PROVIDER = 0x25
+
+
+KNOWN_SESSION_STATE_KINDS = frozenset(
+    value
+    for name, value in vars(SessionStateKind).items()
+    if not name.startswith("_")
+)
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """A typed, versioned, byte-serializable snapshot of one party machine.
+
+    This is the session-persistence contract: everything a killed worker
+    needs to *resume* a parked session — buffered frames, parked decryption
+    requests, OT-pool pad cursors, Yao round position — travels as one of
+    these records, never as a pickled object graph.  ``kind`` names the
+    party machine, ``version`` the kind-specific payload format (bumped on
+    any payload change, together with the pinned golden bytes), and
+    ``payload`` is the kind's canonically-encoded body.  Key material that
+    both ends of a restore already share (setups, circuits, schemes) is
+    *context*, supplied to ``restore(...)``, and never serialized.
+    """
+
+    kind: int
+    version: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_SESSION_STATE_KINDS:
+            raise WireFormatError(f"unknown session-state kind 0x{self.kind:02x}")
+        if not 0 <= self.version < 256:
+            raise WireFormatError(f"session-state version {self.version} out of range")
+
+    def to_bytes(self) -> bytes:
+        """Standalone encoding (kind, version, payload) without the frame header."""
+        return ByteWriter().u8(self.kind).u8(self.version).blob(self.payload).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SessionState":
+        reader = ByteReader(data)
+        state = cls._read(reader)
+        reader.expect_end()
+        return state
+
+    @classmethod
+    def _read(cls, reader: ByteReader) -> "SessionState":
+        kind = reader.u8()
+        if kind not in KNOWN_SESSION_STATE_KINDS:
+            raise WireFormatError(f"unknown session-state kind 0x{kind:02x}")
+        version = reader.u8()
+        return cls(kind=kind, version=version, payload=reader.blob())
+
+
+@dataclass(frozen=True)
+class SessionStateFrame:
+    """A :class:`SessionState` on the wire — snapshots are just frames.
+
+    Shipping state as a frame is what makes the persistence layer compose
+    with everything else: a checkpoint file, a shard handoff to another host,
+    and a wire transfer all use the same golden-pinned bytes.
+    """
+
+    state: SessionState
+
+    frame_type = FrameType.SESSION_STATE
+
+
 Frame = (
     BlindedScoresFrame
     | ExtractedCandidatesFrame
@@ -174,6 +264,7 @@ Frame = (
     | OutputLabelsFrame
     | FeaturesFrame
     | ClassifyResultFrame
+    | SessionStateFrame
 )
 
 
@@ -232,6 +323,8 @@ class WireCodec:
                 writer.u32(frequency)
         elif isinstance(frame, ClassifyResultFrame):
             writer.u32(frame.category)
+        elif isinstance(frame, SessionStateFrame):
+            writer.raw(frame.state.to_bytes())
         else:
             raise WireFormatError(f"no encoder for frame type {type(frame)!r}")
         return writer.getvalue()
@@ -300,6 +393,8 @@ class WireCodec:
             )
         if frame_type == FrameType.CLASSIFY_RESULT:
             return ClassifyResultFrame(reader.u32())
+        if frame_type == FrameType.SESSION_STATE:
+            return SessionStateFrame(SessionState._read(reader))
         raise WireFormatError(f"unknown frame type 0x{frame_type:02x}")
 
     def _decode_ciphertexts(self, reader: ByteReader) -> tuple[AHECiphertext, ...]:

@@ -1,0 +1,281 @@
+"""Adversarial frame *sequences* against the provider state machines.
+
+The wire codec is fuzz-hardened (``test_wire_fuzz``); this suite attacks one
+layer up: a malicious client that sends well-formed frames in hostile
+*orders* — duplicated, out-of-order, replayed from another session — at the
+spam/topic provider halves.  The contract under test:
+
+* every hostile sequence either raises a :class:`~repro.exceptions.PretzelError`
+  subclass (``ProtocolError``/``OTError``/``ProtocolAbort``) or leaves the
+  protocol's outputs exactly what an honest run produces — never a hang, a
+  non-protocol exception, or corrupted state;
+* a replayed IKNP columns frame must be *rejected* (``OTError``), because
+  extending the same transfer indices twice would encrypt two different
+  message batches under the same pads — the classic pad-reuse leak the
+  sender-side ``claim()`` ledger exists to prevent;
+* frames that merely arrive early are buffered and replayed — reordering an
+  honest sequence is tolerated, not punished.
+
+The seeded sweep is marked ``fuzz`` (CI runs it in the adversarial job with a
+fresh seed; reproduce failures with ``WIRE_FUZZ_SEED=<seed>``).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.crypto.ot import OtExtensionSenderState
+from repro.exceptions import OTError, PretzelError, ProtocolError
+from repro.twopc.spam import SpamFilterProtocol
+from repro.twopc.topics import TopicExtractionProtocol
+from repro.twopc.wire import BlindedScoresFrame, ExtractedCandidatesFrame
+
+FUZZ_SEED = int(os.environ.get("WIRE_FUZZ_SEED", "20260728"))
+
+SPAM_FEATURES = {1: 1, 5: 1, 9: 2}
+TOPIC_FEATURES = {2: 1, 3: 2, 77: 1}
+
+
+@pytest.fixture(scope="module")
+def spam_setup(bv_scheme, dh_group, small_spam_model):
+    protocol = SpamFilterProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_spam_model)
+
+
+@pytest.fixture(scope="module")
+def topic_setup(bv_scheme, dh_group, small_topic_model):
+    protocol = TopicExtractionProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_topic_model)
+
+
+def _drive_provider(protocol, setup, provider, frames):
+    """Feed *frames* at a provider half, servicing its decrypt parks inline.
+
+    Returns the provider's response frames.  This is the adversarial stand-in
+    for the serving loop: the "client" is whatever frame list the test built.
+    """
+    responses = []
+    for frame in frames:
+        responses += provider.handle(frame)
+        request = provider.decryption_request()
+        if request is not None:
+            slots = protocol.scheme.decrypt_slots_many(setup.keypair, request.ciphertexts)
+            responses += provider.supply_decrypted(slots)
+    return responses
+
+
+def _honest_exchange(protocol, setup, kind, features, pool, candidates=None):
+    """Run one honest session; returns (provider_bound_frames, client_session).
+
+    The recorded frames are exactly what a hostile client could capture and
+    replay; the returned client's verdict doubles as the honest baseline.
+    """
+    if kind == "spam":
+        client = protocol.client_session(setup, features, ot_pool=pool)
+        provider = protocol.provider_session(setup, ot_pool=pool)
+    else:
+        client = protocol.client_session(setup, features, candidates, ot_pool=pool)
+        provider = protocol.provider_session(setup, ot_pool=pool)
+    to_provider = list(client.start())
+    recorded = []
+    while to_provider:
+        frame = to_provider.pop(0)
+        recorded.append(frame)
+        for response in _drive_provider(protocol, setup, provider, [frame]):
+            if not client.finished:
+                to_provider += client.handle(response)
+    assert client.finished and provider.finished
+    return recorded, client, provider
+
+
+class TestOtPadCursorLedger:
+    """Unit coverage of the sender-side claim ledger behind replay rejection."""
+
+    def _state(self):
+        return OtExtensionSenderState(s_bits=[0, 1], seed_keys=[b"\x00" * 16, b"\x01" * 16])
+
+    def test_overlap_rejected(self):
+        state = self._state()
+        state.claim(0, 8)
+        with pytest.raises(OTError, match="replay|overlap"):
+            state.claim(4, 8)
+        with pytest.raises(OTError):
+            state.claim(0, 8)  # exact duplicate
+        with pytest.raises(OTError):
+            state.claim(7, 1)  # fully inside
+
+    def test_disjoint_out_of_order_batches_accepted(self):
+        state = self._state()
+        state.claim(8, 4)   # a later allocation lands first
+        state.claim(0, 8)   # the earlier one arrives second — legitimate
+        state.claim(12, 2)
+        assert state.next_index == 14
+        assert state.claimed == [(0, 14)]  # coalesced into one range
+
+    def test_negative_and_empty_claims(self):
+        state = self._state()
+        with pytest.raises(OTError):
+            state.claim(-1, 4)
+        state.claim(3, 0)  # empty batches reserve nothing
+        assert state.claimed == []
+
+
+class TestHostileSequencesSpam:
+    def test_duplicate_request_rejected(self, spam_setup):
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        frames, _, _ = _honest_exchange(protocol, setup, "spam", SPAM_FEATURES, pool)
+        request = next(f for f in frames if isinstance(f, BlindedScoresFrame))
+        provider = protocol.provider_session(setup, ot_pool=pool)
+        _drive_provider(protocol, setup, provider, [request])
+        with pytest.raises(ProtocolError):
+            _drive_provider(protocol, setup, provider, [request])
+
+    def test_duplicated_ot_columns_rejected(self, spam_setup):
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        frames, _, _ = _honest_exchange(protocol, setup, "spam", SPAM_FEATURES, pool)
+        provider = protocol.provider_session(setup, ot_pool=pool)
+        # Duplicate every non-request frame: the first copies are buffered and
+        # replayed after the decrypt; the duplicates must then be rejected —
+        # either as a pad-reuse replay (OTError) or as frames after finish.
+        hostile = [frames[0]] + [f for f in frames[1:] for _ in (0, 1)]
+        with pytest.raises((OTError, ProtocolError)):
+            _drive_provider(protocol, setup, provider, hostile)
+
+    def test_cross_session_replay_rejected_by_pad_ledger(self, spam_setup):
+        # Session A completes; a hostile client replays A's OT columns inside
+        # session B against the same per-pair pool.  The provider's sender
+        # state must refuse to extend indices it already consumed — otherwise
+        # B's Yao labels would be encrypted under pads A's client knows.
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        frames_a, _, _ = _honest_exchange(protocol, setup, "spam", SPAM_FEATURES, pool)
+        replayed_columns = [f for f in frames_a if not isinstance(f, BlindedScoresFrame)]
+        client_b = protocol.client_session(setup, {4: 1, 8: 1}, ot_pool=pool)
+        request_b = [f for f in client_b.start() if isinstance(f, BlindedScoresFrame)]
+        provider_b = protocol.provider_session(setup, ot_pool=pool)
+        with pytest.raises(OTError, match="replay|overlap"):
+            _drive_provider(
+                protocol, setup, provider_b, request_b + replayed_columns
+            )
+
+    def test_early_frames_are_buffered_not_lost(self, spam_setup):
+        # Reordering an honest sequence (OT columns before the request) must
+        # still produce the honest verdict: that is what the buffer exists for.
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        client = protocol.client_session(setup, SPAM_FEATURES, ot_pool=pool)
+        provider = protocol.provider_session(setup, ot_pool=pool)
+        opening = client.start()
+        reordered = [f for f in opening if not isinstance(f, BlindedScoresFrame)] + [
+            f for f in opening if isinstance(f, BlindedScoresFrame)
+        ]
+        to_client = _drive_provider(protocol, setup, provider, reordered)
+        while to_client and not client.finished:
+            follow_ups = []
+            for frame in to_client:
+                follow_ups += client.handle(frame)
+            to_client = _drive_provider(protocol, setup, provider, follow_ups)
+        assert client.finished and client.is_spam is not None
+
+    def test_frames_after_finish_rejected(self, spam_setup):
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        frames, _, provider = _honest_exchange(protocol, setup, "spam", SPAM_FEATURES, pool)
+        with pytest.raises(ProtocolError):
+            provider.handle(frames[-1])
+
+
+class TestHostileSequencesTopics:
+    def test_duplicate_request_rejected(self, topic_setup):
+        protocol, setup = topic_setup
+        pool = protocol.make_ot_pool(setup)
+        frames, _, _ = _honest_exchange(
+            protocol, setup, "topics", TOPIC_FEATURES, pool, candidates=[0, 1, 2]
+        )
+        request = next(f for f in frames if isinstance(f, ExtractedCandidatesFrame))
+        provider = protocol.provider_session(setup, ot_pool=pool)
+        _drive_provider(protocol, setup, provider, [request])
+        with pytest.raises(ProtocolError):
+            _drive_provider(protocol, setup, provider, [request])
+
+    def test_cross_session_replay_never_leaks_the_argmax(self, topic_setup):
+        # Replaying session A's post-request frames into session B: every
+        # outcome must be an error — the provider must never finish B's
+        # protocol from A's frames (its argmax would then be attacker-steered).
+        protocol, setup = topic_setup
+        pool = protocol.make_ot_pool(setup)
+        frames_a, _, _ = _honest_exchange(
+            protocol, setup, "topics", TOPIC_FEATURES, pool, candidates=[0, 1, 2]
+        )
+        client_b = protocol.client_session(setup, {9: 1}, [0, 1, 2], ot_pool=pool)
+        request_b = [
+            f for f in client_b.start() if isinstance(f, ExtractedCandidatesFrame)
+        ]
+        provider_b = protocol.provider_session(setup, ot_pool=pool)
+        replayed = [f for f in frames_a if not isinstance(f, ExtractedCandidatesFrame)]
+        with pytest.raises(PretzelError):
+            _drive_provider(protocol, setup, provider_b, request_b + replayed)
+        assert provider_b.extracted_topic is None
+
+
+@pytest.mark.fuzz
+class TestSeededSequenceFuzz:
+    """Seeded sweep: shuffled/duplicated/dropped honest frames, no escapes."""
+
+    CASES = 60
+
+    def _sequence_never_escapes(self, protocol, setup, provider, frames, context):
+        try:
+            _drive_provider(protocol, setup, provider, frames)
+        except PretzelError:
+            return  # rejection is a correct outcome
+        except Exception as error:  # noqa: BLE001 — the assertion is the point
+            raise AssertionError(
+                f"{context}: non-protocol escape {type(error).__name__}: {error} "
+                f"(reproduce with WIRE_FUZZ_SEED={FUZZ_SEED})"
+            ) from error
+
+    def test_spam_provider_survives_hostile_orders(self, spam_setup):
+        protocol, setup = spam_setup
+        rng = random.Random(FUZZ_SEED)
+        pool = protocol.make_ot_pool(setup)
+        frames, _, _ = _honest_exchange(protocol, setup, "spam", SPAM_FEATURES, pool)
+        for case in range(self.CASES):
+            hostile = list(frames)
+            mutation = rng.choice(("shuffle", "duplicate", "drop", "stutter"))
+            if mutation == "shuffle":
+                rng.shuffle(hostile)
+            elif mutation == "duplicate":
+                hostile.insert(
+                    rng.randrange(len(hostile) + 1), hostile[rng.randrange(len(hostile))]
+                )
+            elif mutation == "drop":
+                hostile.pop(rng.randrange(len(hostile)))
+            else:
+                hostile = [frame for frame in hostile for _ in (0, 1)]
+            provider = protocol.provider_session(setup, ot_pool=protocol.make_ot_pool(setup))
+            self._sequence_never_escapes(
+                protocol, setup, provider, hostile, f"spam case {case} ({mutation})"
+            )
+
+    def test_topic_provider_survives_hostile_orders(self, topic_setup):
+        protocol, setup = topic_setup
+        rng = random.Random(FUZZ_SEED + 1)
+        pool = protocol.make_ot_pool(setup)
+        frames, _, _ = _honest_exchange(
+            protocol, setup, "topics", TOPIC_FEATURES, pool, candidates=[0, 1, 2]
+        )
+        for case in range(self.CASES):
+            hostile = list(frames)
+            rng.shuffle(hostile)
+            if rng.random() < 0.5 and hostile:
+                hostile.insert(
+                    rng.randrange(len(hostile) + 1), hostile[rng.randrange(len(hostile))]
+                )
+            provider = protocol.provider_session(setup, ot_pool=protocol.make_ot_pool(setup))
+            self._sequence_never_escapes(
+                protocol, setup, provider, hostile, f"topics case {case}"
+            )

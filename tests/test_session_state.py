@@ -1,0 +1,591 @@
+"""Session persistence: golden bytes, restore roundtrips, stores, crash recovery.
+
+The :class:`~repro.twopc.wire.SessionState` contract is what lets a killed
+worker *resume* parked sessions instead of re-running them, so these tests pin
+it from three directions:
+
+* **golden bytes** — one pinned encoding per state kind (spam, topic, noprv,
+  OT pool, pooled OT machines, Yao sessions — including mid-round), mirroring
+  the wire-frame golden tests: any payload drift fails review-visibly and
+  must ride a version bump;
+* **restore roundtrips** — ``restore(state).snapshot() == state`` for every
+  pinned variant, so the two directions of the contract cannot diverge;
+* **recovery behaviour** — mid-window checkpoint/restore in-process for spam
+  and topics, and a real ``SIGKILL`` of a shard worker whose replacement
+  resumes from the :class:`~repro.core.runtime.FileSessionStore` checkpoint
+  with zero resubmissions and bit-identical outputs.
+
+Timing (``seconds``) is the one payload field wall clocks touch; the golden
+builders zero it after driving a session mid-round.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.core.runtime import (
+    DecryptScheduler,
+    FileSessionStore,
+    InMemorySessionStore,
+    MailboxDirectory,
+    ProviderRuntime,
+    ShardedRuntime,
+    checkpoint_open_windows,
+    restore_open_windows,
+    spam_job,
+    topic_job,
+)
+from repro.crypto.circuits import SpamCircuit
+from repro.crypto.ot import (
+    SECURITY_PARAMETER,
+    OtExtensionPool,
+    OtExtensionReceiverState,
+    OtExtensionSenderState,
+    PooledIknpReceiverMachine,
+)
+from repro.crypto.yao import YaoEvaluatorSession, YaoGarblerSession
+from repro.exceptions import SnapshotError, WireFormatError
+from repro.twopc.noprv import NoPrivClassifier, NoPrivClientSession, NoPrivProviderSession
+from repro.twopc.spam import SpamClientSession, SpamFilterProtocol, SpamProviderSession
+from repro.twopc.topics import (
+    TopicClientSession,
+    TopicExtractionProtocol,
+    TopicProviderSession,
+)
+from repro.twopc.wire import (
+    OtPublicsFrame,
+    SessionState,
+    SessionStateFrame,
+    SessionStateKind,
+    WireCodec,
+)
+from repro.utils.bitops import bytes_to_bits
+
+SPAM_EMAILS = [
+    {1: 1, 5: 1, 9: 1},
+    {100: 1, 150: 1, 199: 1, 42: 1},
+    {i: 1 for i in range(0, 200, 7)},
+]
+
+TOPIC_EMAILS = [
+    {2: 1, 3: 2, 77: 1},
+    {150: 4, 151: 1, 10: 2},
+]
+
+
+@pytest.fixture(scope="module")
+def spam_setup(bv_scheme, dh_group, small_spam_model):
+    protocol = SpamFilterProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_spam_model)
+
+
+@pytest.fixture(scope="module")
+def topic_setup(bv_scheme, dh_group, small_topic_model):
+    protocol = TopicExtractionProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_topic_model)
+
+
+@pytest.fixture(scope="module")
+def spam_truth(small_spam_model):
+    return [small_spam_model.predict_is_spam(features) for features in SPAM_EMAILS]
+
+
+def _deterministic_pool() -> OtExtensionPool:
+    """A full-size (kappa=128) pool built from fixed bytes, for golden states."""
+    kappa = SECURITY_PARAMETER
+    return OtExtensionPool(
+        sender_state=OtExtensionSenderState(
+            s_bits=bytes_to_bits(bytes(range(16)), kappa),
+            seed_keys=[bytes([j % 256]) * 16 for j in range(kappa)],
+        ),
+        receiver_state=OtExtensionReceiverState(
+            seed_pairs=[
+                (bytes([j % 256]) * 16, bytes([(j + 1) % 256]) * 16) for j in range(kappa)
+            ],
+        ),
+    )
+
+
+def _small_pool() -> OtExtensionPool:
+    """A tiny (4-transfer) pool whose golden encoding stays a short literal."""
+    return OtExtensionPool(
+        sender_state=OtExtensionSenderState(
+            s_bits=[1, 0, 1, 1],
+            seed_keys=[bytes([j]) * 4 for j in range(4)],
+            next_index=8,
+            claimed=[(0, 8)],
+        ),
+        receiver_state=OtExtensionReceiverState(
+            seed_pairs=[(bytes([j]) * 4, bytes([j + 1]) * 4) for j in range(4)],
+            next_index=8,
+        ),
+    )
+
+
+def _zeroed(session):
+    """Zero the wall-clock fields so mid-round snapshots are deterministic."""
+    session.seconds = 0.0
+    machine = getattr(session, "_ot", None)
+    if machine is not None:
+        machine.seconds = 0.0
+    return session
+
+
+# Pinned encodings: regenerate ONLY together with a state-version bump.
+GOLDEN_STATES = {
+    "ot_pool": "0101000001d34d000000000000000253000000000000000872656365697665724d000000000000000253000000000000000a6e6578745f696e6465784900000000000000010853000000000000000a736565645f70616972734c00000000000000044c000000000000000242000000000000000400000000420000000000000004010101014c000000000000000242000000000000000401010101420000000000000004020202024c000000000000000242000000000000000402020202420000000000000004030303034c0000000000000002420000000000000004030303034200000000000000040404040453000000000000000673656e6465724d0000000000000005530000000000000007636c61696d65644c00000000000000014c000000000000000249000000000000000100490000000000000001085300000000000000056b617070614900000000000000010453000000000000000a6e6578745f696e64657849000000000000000108530000000000000006735f626974734200000000000000010d530000000000000009736565645f6b6579734c000000000000000442000000000000000400000000420000000000000004010101014200000000000000040202020242000000000000000403030303",  # noqa: E501
+    "pooled_ot_receiver_midround": "0301000000a54d000000000000000753000000000000000763686f696365734200000000000000010d530000000000000005636f756e744900000000000000010453000000000000000866696e697368656446530000000000000006726573756c744e5300000000000000077365636f6e647344000000000000000053000000000000000b73746172745f696e646578490000000000000001005300000000000000077374617274656454",  # noqa: E501
+    "yao_garbler": "1001000001314d000000000000000b53000000000000000866696e69736865644653000000000000000c676172626c65725f626974734200000000000000015353000000000000000d676172626c65725f636f756e74490000000000000001085300000000000000026f744e5300000000000000076f745f6d6f6465530000000000000004696b6e7053000000000000000b6f75747075745f626974734e5300000000000000096f75747075745f746f5300000000000000096576616c7561746f725300000000000000077365636f6e647344000000000000000053000000000000000473656564420000000000000020111111111111111111111111111111111111111111111111111111111111111153000000000000000b73656e745f7461626c6573465300000000000000077374617274656446",  # noqa: E501
+    "yao_garbler_midround": "10010000037b4d000000000000000b53000000000000000866696e69736865644653000000000000000c676172626c65725f626974734200000000000000015353000000000000000d676172626c65725f636f756e74490000000000000001085300000000000000026f7442000000000000024202010000023c4d000000000000000453000000000000000866696e69736865644653000000000000000d6d6573736167655f70616972734c00000000000000084c000000000000000242000000000000001031b78b9bf8a61f04a262b61e31e525994200000000000000108636ca6d57855da0960617ea8bf12ab84c0000000000000002420000000000000010b1d29c6b8c8258051b34d4259f43c1e94200000000000000100653dd9d23a11aa12f5075d12557cec84c00000000000000024200000000000000108aa21875de8357cbe6773fcd24a2c8444200000000000000103d23598371a0156fd2139e399eb6c7654c00000000000000024200000000000000103c226e3a4430077cd64ea643d45676204200000000000000108ba32fcceb1345d8e22a07b76e4279014c00000000000000024200000000000000106463407278a9126ea66f21b846fe7123420000000000000010d3e20184d78a50ca920b804cfcea7e024c0000000000000002420000000000000010267243ed5de565069ad69727eedcac9442000000000000001091f3021bf2c627a2aeb236d354c8a3b54c000000000000000242000000000000001096f26bda47880f22eb17d9f312e1b8e442000000000000001021732a2ce8ab4d86df737807a8f5b7c54c0000000000000002420000000000000010fb4f3c062dd585543997ebfbeb14445e4200000000000000104cce7df082f6c7f00df34a0f51004b7f5300000000000000077365636f6e647344000000000000000053000000000000000773746172746564545300000000000000076f745f6d6f6465530000000000000004696b6e7053000000000000000b6f75747075745f626974734e5300000000000000096f75747075745f746f5300000000000000096576616c7561746f725300000000000000077365636f6e647344000000000000000053000000000000000473656564420000000000000020111111111111111111111111111111111111111111111111111111111111111153000000000000000b73656e745f7461626c6573465300000000000000077374617274656454",  # noqa: E501
+    "yao_evaluator_midround": "11010000013d4d000000000000000653000000000000000866696e6973686564465300000000000000026f744200000000000000ab0301000000a54d000000000000000753000000000000000763686f6963657342000000000000000162530000000000000005636f756e744900000000000000010853000000000000000866696e697368656446530000000000000006726573756c744e5300000000000000077365636f6e647344000000000000000053000000000000000b73746172745f696e64657849000000000000000100530000000000000007737461727465645453000000000000000b6f75747075745f626974734e5300000000000000096f75747075745f746f5300000000000000096576616c7561746f725300000000000000077365636f6e64734400000000000000005300000000000000077374617274656454",  # noqa: E501
+    "spam_client": "2001000000d74d000000000000000753000000000000000866656174757265734c00000000000000024c000000000000000249000000000000000103490000000000000001014c0000000000000002490000000000000001074900000000000000010253000000000000000866696e69736865644653000000000000000769735f7370616d4e5300000000000000077365636f6e6473440000000000000000530000000000000007737461727465644653000000000000000379616f4e53000000000000000d79616f5f616e645f676174657349000000000000000100",  # noqa: E501
+    "spam_provider": "2101000000c54d00000000000000085300000000000000106177616974696e675f726571756573744653000000000000000862756666657265644c000000000000000142000000000000000c5a010300000001000000010553000000000000000565787472614d000000000000000053000000000000000866696e697368656446530000000000000005696e6e65724e53000000000000000770656e64696e674e5300000000000000077365636f6e64734400000000000000005300000000000000077374617274656446",  # noqa: E501
+    "topic_client": "22010000010a4d000000000000000853000000000000000a63616e646964617465734c0000000000000002490000000000000001004900000000000000010253000000000000000a6465636f6d706f7365645453000000000000000866656174757265734c00000000000000024c000000000000000249000000000000000101490000000000000001014c0000000000000002490000000000000001024900000000000000010353000000000000000866696e6973686564465300000000000000077365636f6e6473440000000000000000530000000000000007737461727465644653000000000000000379616f4e53000000000000000d79616f5f616e645f676174657349000000000000000100",  # noqa: E501
+    "topic_provider": "2301000001004d00000000000000085300000000000000106177616974696e675f726571756573744653000000000000000862756666657265644c000000000000000053000000000000000565787472614d000000000000000353000000000000000a6465636f6d706f7365645453000000000000000f6578747261637465645f746f7069634e530000000000000010696e6e65725f63616e646964617465734900000000000000010253000000000000000866696e697368656446530000000000000005696e6e65724e53000000000000000770656e64696e674e5300000000000000077365636f6e64734400000000000000005300000000000000077374617274656446",  # noqa: E501
+    "noprv_client": "2401000000b54d000000000000000553000000000000000866656174757265734c00000000000000024c000000000000000249000000000000000101490000000000000001014c0000000000000002490000000000000001094900000000000000010253000000000000000866696e6973686564465300000000000000127072656469637465645f63617465676f72794e5300000000000000077365636f6e64734400000000000000005300000000000000077374617274656446",  # noqa: E501
+    "noprv_provider": "2501000000554d000000000000000453000000000000000866696e697368656446530000000000000006726573756c744e5300000000000000077365636f6e64734400000000000000005300000000000000077374617274656446",  # noqa: E501
+}
+
+
+@pytest.fixture(scope="module")
+def golden_circuit():
+    return SpamCircuit.build(4)
+
+
+@pytest.fixture(scope="module")
+def noprv_model():
+    import numpy as np
+
+    from repro.classify.model import LinearModel
+
+    rng = np.random.default_rng(7)
+    return LinearModel(
+        weights=rng.normal(size=(20, 2)),
+        biases=np.zeros(2),
+        category_names=["spam", "ham"],
+    )
+
+
+class _GoldenContext:
+    """Builds each golden variant and restores each pinned encoding."""
+
+    def __init__(self, dh_group, spam_setup, topic_setup, circuit, noprv_model):
+        self.group = dh_group
+        self.spam_protocol, self.spam_setup = spam_setup
+        self.topic_protocol, self.topic_setup = topic_setup
+        self.circuit = circuit
+        self.classifier = NoPrivClassifier(noprv_model)
+
+    def build(self, name):
+        if name == "ot_pool":
+            return _small_pool()
+        if name == "pooled_ot_receiver_midround":
+            machine = PooledIknpReceiverMachine(
+                self.group, [1, 0, 1, 1], _deterministic_pool().receiver_state
+            )
+            machine.start()
+            return _zeroed(machine)
+        if name in ("yao_garbler", "yao_garbler_midround"):
+            garbler = YaoGarblerSession(
+                self.circuit.circuit,
+                self.circuit.garbler_bits(3, 5),
+                self.group,
+                output_to="evaluator",
+                ot_pool=_deterministic_pool(),
+                garble_seed=b"\x11" * 32,
+            )
+            if name.endswith("midround"):
+                garbler.start()
+            return _zeroed(garbler)
+        if name == "yao_evaluator_midround":
+            evaluator = YaoEvaluatorSession(
+                self.circuit.circuit,
+                self.circuit.evaluator_bits(2, 6),
+                self.group,
+                output_to="evaluator",
+                ot_pool=_deterministic_pool(),
+            )
+            evaluator.start()
+            return _zeroed(evaluator)
+        if name == "spam_client":
+            return self.spam_protocol.client_session(self.spam_setup, {3: 1, 7: 2})
+        if name == "spam_provider":
+            provider = self.spam_protocol.provider_session(self.spam_setup)
+            provider._awaiting_request = False
+            provider._buffered = [OtPublicsFrame((5,))]
+            return provider
+        if name == "topic_client":
+            return self.topic_protocol.client_session(
+                self.topic_setup, {1: 1, 2: 3}, candidate_topics=[0, 2]
+            )
+        if name == "topic_provider":
+            provider = self.topic_protocol.provider_session(self.topic_setup)
+            provider._awaiting_request = False
+            provider._decomposed = True
+            provider._inner_candidates = 2
+            return provider
+        if name == "noprv_client":
+            return NoPrivClientSession({1: 1, 9: 2})
+        if name == "noprv_provider":
+            return NoPrivProviderSession(self.classifier)
+        raise AssertionError(name)
+
+    def restore(self, name, state):
+        if name == "ot_pool":
+            return OtExtensionPool.restore(state)
+        if name == "pooled_ot_receiver_midround":
+            return PooledIknpReceiverMachine.restore(
+                self.group, state, _deterministic_pool().receiver_state
+            )
+        if name in ("yao_garbler", "yao_garbler_midround"):
+            return YaoGarblerSession.restore(
+                state, self.circuit.circuit, self.group, ot_pool=_deterministic_pool()
+            )
+        if name == "yao_evaluator_midround":
+            return YaoEvaluatorSession.restore(
+                state, self.circuit.circuit, self.group, ot_pool=_deterministic_pool()
+            )
+        if name == "spam_client":
+            return SpamClientSession.restore(self.spam_protocol, self.spam_setup, state)
+        if name == "spam_provider":
+            return SpamProviderSession.restore(self.spam_protocol, self.spam_setup, state)
+        if name == "topic_client":
+            return TopicClientSession.restore(self.topic_protocol, self.topic_setup, state)
+        if name == "topic_provider":
+            return TopicProviderSession.restore(self.topic_protocol, self.topic_setup, state)
+        if name == "noprv_client":
+            return NoPrivClientSession.restore(state)
+        if name == "noprv_provider":
+            return NoPrivProviderSession.restore(self.classifier, state)
+        raise AssertionError(name)
+
+
+@pytest.fixture(scope="module")
+def golden_context(dh_group, spam_setup, topic_setup, golden_circuit, noprv_model):
+    return _GoldenContext(dh_group, spam_setup, topic_setup, golden_circuit, noprv_model)
+
+
+class TestGoldenSessionStates:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_STATES))
+    def test_pinned_encoding(self, golden_context, name):
+        assert golden_context.build(name).snapshot().to_bytes().hex() == GOLDEN_STATES[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_STATES))
+    def test_restore_roundtrip(self, golden_context, name):
+        state = SessionState.from_bytes(bytes.fromhex(GOLDEN_STATES[name]))
+        restored = golden_context.restore(name, state)
+        assert restored.snapshot().to_bytes().hex() == GOLDEN_STATES[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_STATES))
+    def test_state_rides_the_wire_as_a_frame(self, name):
+        codec = WireCodec()
+        state = SessionState.from_bytes(bytes.fromhex(GOLDEN_STATES[name]))
+        encoded = codec.encode(SessionStateFrame(state))
+        decoded = codec.decode(encoded)
+        assert isinstance(decoded, SessionStateFrame)
+        assert decoded.state == state
+
+
+class TestSessionStateValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireFormatError):
+            SessionState(kind=0x7F, version=1, payload=b"")
+        blob = SessionState(
+            kind=SessionStateKind.OT_POOL, version=1, payload=b""
+        ).to_bytes()
+        with pytest.raises(WireFormatError):
+            SessionState.from_bytes(b"\x7f" + blob[1:])
+
+    def test_version_mismatch_refused_at_restore(self):
+        state = SessionState(kind=SessionStateKind.NOPRV_CLIENT, version=99, payload=b"")
+        with pytest.raises(SnapshotError, match="version"):
+            NoPrivClientSession.restore(state)
+
+    def test_wrong_kind_refused_at_restore(self):
+        state = SessionState.from_bytes(bytes.fromhex(GOLDEN_STATES["noprv_provider"]))
+        with pytest.raises(SnapshotError, match="kind"):
+            NoPrivClientSession.restore(state)
+
+    def test_malformed_payload_refused_at_restore(self):
+        state = SessionState(
+            kind=SessionStateKind.NOPRV_CLIENT, version=1, payload=b"\xff\xff"
+        )
+        with pytest.raises(SnapshotError):
+            NoPrivClientSession.restore(state)
+
+    def test_unsupported_sessions_refuse_to_snapshot(self, dh_group):
+        from repro.crypto.ot import IknpReceiverMachine
+
+        with pytest.raises(SnapshotError):
+            IknpReceiverMachine(dh_group, [0, 1]).snapshot()
+
+
+class TestSessionStores:
+    @pytest.mark.parametrize("make_store", [InMemorySessionStore, None], ids=["memory", "file"])
+    def test_put_get_delete_keys(self, make_store, tmp_path):
+        store = make_store() if make_store else FileSessionStore(tmp_path)
+        assert store.get("a") is None
+        store.put("a", b"one")
+        store.put("b", b"two")
+        assert store.get("a") == b"one"
+        assert store.keys() == ["a", "b"]
+        store.put("a", b"overwritten")
+        assert store.get("a") == b"overwritten"
+        store.delete("a")
+        store.delete("a")  # idempotent
+        assert store.get("a") is None
+        assert store.keys() == ["b"]
+
+    def test_file_store_sanitizes_keys(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.put("shard/0:spam", b"blob")
+        assert store.get("shard/0:spam") == b"blob"
+        assert all(os.sep not in key for key in os.listdir(tmp_path))
+
+    def test_file_store_keys_roundtrip_escaped_names(self, tmp_path):
+        # keys() must return the *stored* keys (same contract as the
+        # in-memory store), not the escaped filenames — get(keys()[i]) works.
+        store = FileSessionStore(tmp_path)
+        hostile = ["user@example.com", "a%2fb", "shard/1", "plain"]
+        for key in hostile:
+            store.put(key, key.encode())
+        assert store.keys() == sorted(hostile)
+        for key in store.keys():
+            assert store.get(key) == key.encode()
+
+    def test_file_store_survives_reopen(self, tmp_path):
+        FileSessionStore(tmp_path).put("k", b"persisted")
+        assert FileSessionStore(tmp_path).get("k") == b"persisted"
+
+
+def _park_jobs(directory, kind, address, feature_sets, candidates=None):
+    """Admit jobs into a wide-open window; returns (runtime, jobs, context)."""
+    runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+    if kind == "spam":
+        protocol, setup = directory.spam_of(address)
+        jobs = [
+            spam_job(protocol, setup, features, label=index,
+                     ot_pool=directory.spam_pool_of(address))
+            for index, features in enumerate(feature_sets)
+        ]
+    else:
+        protocol, setup = directory.topics_of(address)
+        jobs = [
+            topic_job(protocol, setup, features, candidates, label=index,
+                      ot_pool=directory.topic_pool_of(address))
+            for index, features in enumerate(feature_sets)
+        ]
+    finished = runtime.serve_burst(jobs)
+    assert finished == []  # everything is parked inside the open window
+    context = {job.label: (kind, address) for job in jobs}
+    return runtime, jobs, context
+
+
+class TestMidWindowCheckpointRestore:
+    """In-process checkpoint/restore of open decrypt windows, per protocol."""
+
+    def test_spam_resumes_bit_identically(self, spam_setup, spam_truth):
+        protocol, setup = spam_setup
+        directory = MailboxDirectory()
+        directory.register_spam("inproc@example.com", protocol, setup)
+        runtime, jobs, context = _park_jobs(
+            directory, "spam", "inproc@example.com", SPAM_EMAILS
+        )
+        blob = checkpoint_open_windows(runtime, directory, context)
+        assert blob is not None
+
+        # A "fresh process": new directory (so registration builds a *fresh*
+        # pool, which the restore must override), new runtime, state from bytes.
+        fresh = MailboxDirectory()
+        fresh.register_spam("inproc@example.com", protocol, setup)
+        restored = restore_open_windows(blob, fresh)
+        assert [job_id for job_id, _, _, _ in restored] == [0, 1, 2]
+        runtime2 = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+        restored_jobs = [job for _, _, _, job in restored]
+        for job in restored_jobs:
+            assert job.client.started and job.provider.started  # no re-execution
+        runtime2.serve_burst(restored_jobs)
+        finished = runtime2.drain()
+        verdicts = {job.label: job.client.is_spam for job in finished}
+        assert [verdicts[index] for index in range(len(SPAM_EMAILS))] == spam_truth
+
+    def test_topics_resume_bit_identically(self, topic_setup, small_topic_model):
+        protocol, setup = topic_setup
+        truths = [small_topic_model.predict(features) for features in TOPIC_EMAILS]
+        candidates = sorted(set(truths) | {0, 1, 2})
+        directory = MailboxDirectory()
+        directory.register_topics("inproc-topics@example.com", protocol, setup)
+        runtime, jobs, context = _park_jobs(
+            directory, "topics", "inproc-topics@example.com", TOPIC_EMAILS, candidates
+        )
+        blob = checkpoint_open_windows(runtime, directory, context)
+        fresh = MailboxDirectory()
+        fresh.register_topics("inproc-topics@example.com", protocol, setup)
+        restored = restore_open_windows(blob, fresh)
+        runtime2 = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+        runtime2.serve_burst([job for _, _, _, job in restored])
+        finished = runtime2.drain()
+        extracted = {job.label: job.provider.extracted_topic for job in finished}
+        assert [extracted[index] for index in range(len(TOPIC_EMAILS))] == truths
+
+    def test_empty_runtime_checkpoints_to_none(self, spam_setup):
+        protocol, setup = spam_setup
+        directory = MailboxDirectory()
+        runtime = ProviderRuntime()
+        assert checkpoint_open_windows(runtime, directory, {}) is None
+
+
+class TestCrashRecovery:
+    """A SIGKILLed shard worker resumes from its FileSessionStore checkpoint."""
+
+    def test_sigkill_mid_window_resumes_bit_identical(
+        self, spam_setup, spam_truth, tmp_path
+    ):
+        protocol, setup = spam_setup
+        address = "sigkill@example.com"
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            job_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS])
+            assert runtime.outstanding_count() == len(SPAM_EMAILS)
+            # SIGKILL: the worker gets no chance to do anything at death; the
+            # only state that survives is the checkpoint it wrote when it
+            # acked the burst.
+            os.kill(runtime.worker_pid(0), signal.SIGKILL)
+            runtime.join_worker(0)
+            resubmitted = runtime.restart_shard(0)
+            # Zero resubmissions == every in-flight email resumed from its
+            # snapshot; nothing recomputed from features.
+            assert resubmitted == 0
+            runtime.drain()
+            verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
+            stats = runtime.shard_stats()
+        assert verdicts == spam_truth
+        assert stats[0]["restored_jobs"] == len(SPAM_EMAILS)
+        assert stats[0]["outstanding_jobs"] == 0
+
+    def test_sigkill_recovery_for_topics(
+        self, topic_setup, small_topic_model, tmp_path
+    ):
+        protocol, setup = topic_setup
+        truths = [small_topic_model.predict(features) for features in TOPIC_EMAILS]
+        candidates = sorted(set(truths) | {0, 1})
+        address = "sigkill-topics@example.com"
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as runtime:
+            runtime.register_topics(address, protocol, setup)
+            job_ids = runtime.submit_topics(
+                [(address, features, candidates) for features in TOPIC_EMAILS]
+            )
+            os.kill(runtime.worker_pid(0), signal.SIGKILL)
+            runtime.join_worker(0)
+            assert runtime.restart_shard(0) == 0
+            runtime.drain()
+            extracted = [
+                runtime.take_result(job_id).extracted_topic for job_id in job_ids
+            ]
+        assert extracted == truths
+
+    def test_restart_without_checkpoint_still_recomputes(self, spam_setup, spam_truth):
+        # No checkpoint_dir: the legacy recompute path must keep working.
+        protocol, setup = spam_setup
+        address = "recompute@example.com"
+        with ShardedRuntime(num_shards=1, window_bursts=100) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            job_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS])
+            resubmitted = runtime.restart_shard(0)
+            assert resubmitted == len(SPAM_EMAILS)
+            runtime.drain()
+            verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
+        assert verdicts == spam_truth
+
+    def test_checkpoint_cleared_after_drain(self, spam_setup, tmp_path):
+        protocol, setup = spam_setup
+        address = "clears@example.com"
+        store = FileSessionStore(tmp_path)
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            runtime.submit_spam([(address, SPAM_EMAILS[0])])
+            assert store.get("shard-0") is not None
+            runtime.drain()
+            assert store.get("shard-0") is None
+
+    def test_stale_checkpoint_from_another_parent_is_refused(
+        self, spam_setup, spam_truth, tmp_path
+    ):
+        # A leftover checkpoint from an earlier ShardedRuntime in the same
+        # directory must NOT be resumed by a new parent: its job ids would
+        # collide with the new parent's, delivering another run's verdicts.
+        protocol, setup = spam_setup
+        address = "stale@example.com"
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as old_parent:
+            old_parent.register_spam(address, protocol, setup)
+            old_parent.submit_spam([(address, SPAM_EMAILS[0])])
+            # Kill the worker so close() cannot drain the window: the
+            # checkpoint survives the old parent.
+            os.kill(old_parent.worker_pid(0), signal.SIGKILL)
+            old_parent.join_worker(0)
+        store = FileSessionStore(tmp_path)
+        assert store.get("shard-0") is not None
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as new_parent:
+            new_parent.register_spam(address, protocol, setup)
+            # Restart while the stale blob is still on disk and the new
+            # parent has nothing outstanding: the foreign-incarnation blob
+            # must be refused (and dropped), not resumed as phantom jobs.
+            assert new_parent.restart_shard(0) == 0
+            assert store.get("shard-0") is None
+            assert all(
+                stat["restored_jobs"] == 0 for stat in new_parent.shard_stats()
+            )
+            job_ids = new_parent.submit_spam([(address, f) for f in SPAM_EMAILS])
+            new_parent.drain()
+            verdicts = [new_parent.take_result(job_id).is_spam for job_id in job_ids]
+        assert verdicts == spam_truth
+
+    def test_poisoned_checkpoint_falls_back_to_recompute(
+        self, spam_setup, spam_truth, tmp_path
+    ):
+        # An unreadable checkpoint must degrade to resubmission, not fail
+        # recovery — and must be deleted so retries do not re-hit it.
+        protocol, setup = spam_setup
+        address = "poisoned@example.com"
+        store = FileSessionStore(tmp_path)
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            job_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS])
+            os.kill(runtime.worker_pid(0), signal.SIGKILL)
+            runtime.join_worker(0)
+            store.put("shard-0", b"\xff not a checkpoint \xff")
+            resubmitted = runtime.restart_shard(0)
+            assert resubmitted == len(SPAM_EMAILS)  # recompute fallback
+            assert store.get("shard-0") != b"\xff not a checkpoint \xff"
+            runtime.drain()
+            verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
+        assert verdicts == spam_truth
+
+
+class TestNoPrivResultFidelity:
+    def test_provider_result_survives_roundtrip_field_for_field(self, noprv_model):
+        classifier = NoPrivClassifier(noprv_model)
+        provider = NoPrivProviderSession(classifier)
+        provider.started = True
+        from repro.twopc.wire import FeaturesFrame
+
+        provider.handle(FeaturesFrame(((1, 2), (4, 1))))
+        restored = NoPrivProviderSession.restore(classifier, provider.snapshot())
+        assert restored.result is not None
+        assert restored.result.predicted_category == provider.result.predicted_category
+        assert restored.result.provider_seconds == provider.result.provider_seconds
+        assert restored.result.features_used == provider.result.features_used
+        assert restored.snapshot() == provider.snapshot()

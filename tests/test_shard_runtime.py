@@ -207,6 +207,34 @@ class TestWindowedServing:
         assert runtime.drain() == []
         assert runtime.outstanding_jobs() == 0
 
+    def test_time_window_through_serving_loop_pinned_to_fake_clock(
+        self, spam_setup, spam_truth
+    ):
+        # The wall-clock trigger end-to-end, with zero real time involved: the
+        # window must hold while the injected clock is short of the deadline
+        # and close (finishing the parked jobs) the poll after it passes.
+        protocol, setup = spam_setup
+        clock = _FakeClock()
+        runtime = ProviderRuntime(
+            scheduler=DecryptScheduler(
+                window_bursts=100, max_delay_seconds=5.0, clock=clock
+            )
+        )
+        pool = protocol.make_ot_pool(setup)
+        jobs = [
+            spam_job(protocol, setup, features, label=index, ot_pool=pool)
+            for index, features in enumerate(SPAM_EMAILS[:2])
+        ]
+        assert runtime.serve_burst(jobs) == []  # parked; clock at 0.0
+        clock.now = 4.999
+        assert runtime.serve_burst([]) == []  # still inside the window
+        clock.now = 5.0
+        finished = runtime.serve_burst([])
+        assert sorted(job.label for job in finished) == [0, 1]
+        verdicts = {job.label: job.client.is_spam for job in finished}
+        assert [verdicts[0], verdicts[1]] == spam_truth[:2]
+        assert runtime.outstanding_jobs() == 0
+
 
 class TestShardedRuntime:
     def test_partition_is_stable_and_total(self):

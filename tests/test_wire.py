@@ -26,6 +26,9 @@ from repro.twopc.wire import (
     OtPublicsFrame,
     OtResponsesFrame,
     OutputLabelsFrame,
+    SessionState,
+    SessionStateFrame,
+    SessionStateKind,
     WireCodec,
 )
 
@@ -226,6 +229,7 @@ GOLDEN_FRAMES = {
     "output_labels": "5a010900000001000102030405060708090a0b0c0d0e0f",
     "features": "5a010a0000000200000001000000020000000300000004",
     "classify_result": "5a010b00000005",
+    "session_state": "5a010c210100000003010203",
     "garbled_circuit": "5a01080000006c00000001000000030000000000000000000000000000000001010101010101010101010101010101020202020202020202020202020202020303030303030303030303030303030300000001aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb00000001cccccccccccccccccccccccccccccccc01",  # noqa: E501
 }
 
@@ -243,6 +247,12 @@ def _golden_frame(name):
         return FeaturesFrame(((1, 2), (3, 4)))
     if name == "classify_result":
         return ClassifyResultFrame(5)
+    if name == "session_state":
+        return SessionStateFrame(
+            SessionState(
+                kind=SessionStateKind.SPAM_PROVIDER, version=1, payload=b"\x01\x02\x03"
+            )
+        )
     if name == "garbled_circuit":
         return GarbledCircuitFrame(
             tables=GarbledTables(

@@ -40,6 +40,9 @@ from repro.twopc.wire import (
     OtPublicsFrame,
     OtResponsesFrame,
     OutputLabelsFrame,
+    SessionState,
+    SessionStateFrame,
+    SessionStateKind,
     WireCodec,
 )
 
@@ -77,6 +80,11 @@ def _valid_frames():
             ),
             garbler_labels=(b"\xcc" * LABEL_BYTES,),
             decode_at_evaluator=True,
+        ),
+        SessionStateFrame(
+            SessionState(
+                kind=SessionStateKind.OT_POOL, version=1, payload=b"\x01\x02\x03\x04"
+            )
         ),
     ]
 
