@@ -15,9 +15,17 @@ with a warm :class:`MailboxDirectory`, and a 4-worker
 with an open decrypt window and the recovery latency is timed twice —
 resuming from the worker's ``SessionState`` checkpoint versus recomputing
 the in-flight emails from their features.
+``--suite chaos`` measures goodput under degraded networks: the same spam
+stream classified over a clean pipe and over seeded fault cocktails (1% and
+5% drop/corrupt/reorder/duplicate per frame) with the
+:class:`repro.twopc.reliable.ReliableChannel` ack/retransmit layer in
+between, plus a raw (unreliable) control arm driven through the identical
+cocktails.
 The shard suite **hard-fails** if sharded throughput drops below the PR 2
-single-loop drive, and the restart suite hard-fails if snapshot resume is
-not faster than recompute.  Each suite writes its medians to a
+single-loop drive, the restart suite hard-fails if snapshot resume is
+not faster than recompute, and the chaos suite hard-fails if any reliable
+run fails to complete or its verdict diverges from the clean run.  Each
+suite writes its medians to a
 ``BENCH_*.json`` file, so successive PRs can track the performance
 trajectory instead of re-deriving it from one-off pytest-benchmark runs.
 
@@ -28,6 +36,7 @@ Usage::
     PYTHONPATH=src python benchmarks/regress.py --suite runtime
     PYTHONPATH=src python benchmarks/regress.py --suite shard
     PYTHONPATH=src python benchmarks/regress.py --suite restart
+    PYTHONPATH=src python benchmarks/regress.py --suite chaos
     PYTHONPATH=src python benchmarks/regress.py --output BENCH_smoke.json
 
 The JSON schema is flat on purpose: ``{"meta": {...}, "results": {name: ...}}``.
@@ -516,18 +525,137 @@ def run_restart(ring_degree: int, repeat: int) -> dict:
     }
 
 
+CHAOS_EMAILS = 6
+CHAOS_RATES = (0.01, 0.05)
+CHAOS_SEED_BASE = 20170814  # deterministic by default; CI varies it per run
+
+
+def run_chaos(ring_degree: int, repeat: int) -> dict:
+    """Goodput under seeded fault cocktails: reliable arm vs raw control.
+
+    One spam stream, three network conditions.  CHAOS_EMAILS emails are
+    classified over (a) a clean loopback pipe, (b) pipes injecting the 1% and
+    5% loss cocktails (drop/corrupt/reorder/duplicate, each at the named rate
+    per frame) with :class:`~repro.twopc.reliable.ReliableChannel` providing
+    exactly-once in-order delivery, and (c) the same cocktails over the bare
+    :class:`~repro.twopc.transport.FaultyTransport` with no reliability layer
+    — the control that shows the damage is real.
+
+    The reliable arms **hard-fail** if any run does not complete or any
+    verdict diverges from the clean run; the raw arm merely reports its
+    completion rate (it is expected to fail on seeds where faults land).
+    Goodput ratios (chaotic emails/s over clean emails/s) are the headline
+    rows: they price what resilience costs at each damage level.
+    """
+    import os
+
+    from repro.exceptions import ProtocolError
+    from repro.twopc.reliable import chaos_channel
+    from repro.twopc.transport import FaultSpec, FaultyTransport, LoopbackTransport
+    from repro.twopc.transport import FramedChannel
+    from repro.twopc.wire import WireCodec
+
+    seed_base = int(os.environ.get("CHAOS_SEED", str(CHAOS_SEED_BASE)))
+    parameters = BVParameters(ring_degree=ring_degree)
+    scheme = BVScheme(parameters)
+    group = generate_group(RUNTIME_DH_BITS)
+    rng = np.random.default_rng(17)
+    linear = LinearModel(
+        weights=rng.normal(size=(SPAM_FEATURE_ROWS, 2)),
+        biases=np.array([0.25, -0.25]),
+        category_names=["spam", "ham"],
+    )
+    quantized = QuantizedLinearModel.from_linear_model(
+        linear, value_bits=10, frequency_bits=4, max_features_per_email=4096
+    )
+    protocol = SpamFilterProtocol(scheme, group)
+    setup = protocol.setup(quantized)
+    emails = [
+        {int(row): 1 for row in rng.choice(SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False)}
+        for _ in range(CHAOS_EMAILS)
+    ]
+    # Uninterrupted truth (also warms the circuits/stacks every arm shares).
+    truth = [protocol.classify_email(setup, features).is_spam for features in emails]
+
+    clean_rates: list[float] = []
+    reliable_rates: dict[float, list[float]] = {rate: [] for rate in CHAOS_RATES}
+    retransmissions: dict[float, int] = {rate: 0 for rate in CHAOS_RATES}
+    faults_injected: dict[float, int] = {rate: 0 for rate in CHAOS_RATES}
+    raw_completed = 0
+    raw_attempted = 0
+    for round_index in range(repeat):
+        start = time.perf_counter()
+        clean = [protocol.classify_email(setup, features).is_spam for features in emails]
+        clean_rates.append(CHAOS_EMAILS / (time.perf_counter() - start))
+        if clean != truth:
+            raise AssertionError("clean verdicts drifted between rounds")
+
+        for rate in CHAOS_RATES:
+            start = time.perf_counter()
+            for index, features in enumerate(emails):
+                seed = seed_base + 1000 * round_index + index
+                spec = FaultSpec.loss_cocktail(rate, seed=seed)
+                channel, faulty, reliable = chaos_channel(
+                    spec, scheme=scheme, public_key=setup.keypair.public
+                )
+                result = protocol.classify_email(setup, features, channel=channel)
+                # The suite's reason to exist: under these cocktails the
+                # reliable arm must complete with bit-identical verdicts.
+                # Fail loudly (CI-visible, seed in the message) if not.
+                if result.is_spam != truth[index]:
+                    raise AssertionError(
+                        f"chaos verdict diverged at rate={rate} seed={seed} "
+                        f"(rerun with CHAOS_SEED={seed_base})"
+                    )
+                retransmissions[rate] += reliable.stats["retransmissions"]
+                faults_injected[rate] += len(faulty.fault_log)
+            reliable_rates[rate].append(CHAOS_EMAILS / (time.perf_counter() - start))
+
+        # Raw control arm at the heavy rate: same cocktail, no reliability.
+        for index, features in enumerate(emails):
+            seed = seed_base + 1000 * round_index + index
+            faulty = FaultyTransport(
+                LoopbackTransport(parties=("client", "provider")),
+                FaultSpec.loss_cocktail(CHAOS_RATES[-1], seed=seed),
+            )
+            codec = WireCodec(scheme=scheme, public_key=setup.keypair.public)
+            raw_attempted += 1
+            try:
+                result = protocol.classify_email(
+                    setup, features, channel=FramedChannel(faulty, codec)
+                )
+            except ProtocolError:
+                continue
+            if result.is_spam == truth[index]:
+                raw_completed += 1
+
+    clean_rate = statistics.median(clean_rates)
+    results = {"chaos_clean_emails_per_s": clean_rate}
+    for rate in CHAOS_RATES:
+        label = f"{rate * 100:g}pct"
+        chaotic_rate = statistics.median(reliable_rates[rate])
+        results[f"chaos_reliable_{label}_emails_per_s"] = chaotic_rate
+        results[f"chaos_goodput_ratio_{label}"] = chaotic_rate / clean_rate
+        results[f"chaos_retransmissions_{label}"] = retransmissions[rate]
+        results[f"chaos_faults_injected_{label}"] = faults_injected[rate]
+    results["chaos_raw_5pct_completion_rate"] = raw_completed / raw_attempted
+    results["chaos_stream_emails"] = CHAOS_EMAILS
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ring-degree", type=int, default=1024)
     parser.add_argument("--repeat", type=int, default=9, help="samples per op (median reported)")
     parser.add_argument(
         "--suite",
-        choices=("hotpath", "runtime", "shard", "restart"),
+        choices=("hotpath", "runtime", "shard", "restart", "chaos"),
         default="hotpath",
         help=(
             "hotpath = BV micro/protocol ops; runtime = serving-loop throughput; "
             "shard = sharded serving stack vs the single-loop drive; "
-            "restart = crash-recovery latency, snapshot resume vs recompute"
+            "restart = crash-recovery latency, snapshot resume vs recompute; "
+            "chaos = goodput under seeded fault cocktails, reliable vs raw"
         ),
     )
     parser.add_argument(
@@ -544,6 +672,7 @@ def main() -> None:
         "runtime": "runtime",
         "shard": "shard",
         "restart": "restart",
+        "chaos": "chaos",
     }[args.suite]
     output = args.output or Path(__file__).parent / f"BENCH_{stem}_n{args.ring_degree}.json"
 
@@ -553,6 +682,8 @@ def main() -> None:
         results = run_runtime(args.ring_degree, args.repeat)
     elif args.suite == "restart":
         results = run_restart(args.ring_degree, args.repeat)
+    elif args.suite == "chaos":
+        results = run_chaos(args.ring_degree, args.repeat)
     else:
         results = run_shard(args.ring_degree, args.repeat)
     payload = {

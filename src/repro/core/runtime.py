@@ -52,8 +52,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.crypto.chacha import open_sealed, seal
 from repro.crypto.ot import OtExtensionPool
-from repro.exceptions import ProtocolError, SnapshotError
+from repro.exceptions import IntegrityError, ProtocolError, SnapshotError
 from repro.twopc.session import SessionJob, SessionLoop, _ParkedDecryption, decrypt_group_key
 from repro.twopc.spam import (
     SpamClientSession,
@@ -170,6 +171,32 @@ class DecryptScheduler:
         windows, self._windows = list(self._windows.values()), {}
         return [window.entries for window in windows]
 
+    def detach_job(self, job: SessionJob) -> list[_ParkedDecryption]:
+        """Pull every parked entry belonging to *job* out of its window.
+
+        The reconnect-resume path: a disconnecting client's provider session
+        must leave the batching machinery (its decrypt may otherwise fire
+        while the client is away and try to send frames into a dead channel).
+        The detached entries are handed back verbatim so
+        :meth:`ProviderRuntime.reconnect_job` can re-enqueue them — the
+        parked decrypt window re-attaches, it is never recomputed.  Windows
+        emptied by the detach are closed.
+        """
+        detached: list[_ParkedDecryption] = []
+        for key in list(self._windows):
+            window = self._windows[key]
+            kept: list[_ParkedDecryption] = []
+            for entry in window.entries:
+                if entry.job is job:
+                    detached.append(entry)
+                    window.ciphertext_count -= len(entry.request.ciphertexts)
+                else:
+                    kept.append(entry)
+            window.entries = kept
+            if not kept:
+                del self._windows[key]
+        return detached
+
     def pending_ciphertexts(self) -> int:
         return sum(window.ciphertext_count for window in self._windows.values())
 
@@ -189,6 +216,14 @@ class DecryptScheduler:
             for entry in window.entries:
                 requests[id(entry.session)] = entry.request
         return requests
+
+
+@dataclass
+class _DisconnectedJob:
+    """A job whose client went away: the provider session parked server-side."""
+
+    job: SessionJob
+    entries: list[_ParkedDecryption]
 
 
 class ProviderRuntime(SessionLoop):
@@ -212,6 +247,71 @@ class ProviderRuntime(SessionLoop):
         super().__init__()
         self.scheduler = scheduler or DecryptScheduler()
         self._active: list[SessionJob] = []
+        self._disconnected: dict[Any, _DisconnectedJob] = {}
+
+    # -- reconnect-resume ----------------------------------------------------
+    def disconnect_job(self, label: Any) -> SessionState:
+        """Detach the client of job *label*; returns its session snapshot.
+
+        The degraded-network story's server half: when a client's connection
+        dies mid-protocol, the provider does not abandon the job.  The loop is
+        first pumped to quiescence (so no frame is stranded inside the dead
+        channel), the client session is snapshotted — these are the bytes the
+        client device carries across the reconnect — and the provider session
+        is parked server-side together with any decrypt-window entries it had
+        in the scheduler.  The job stops counting as active until
+        :meth:`reconnect_job` revives it; nothing about it is re-executed.
+
+        Raises :class:`~repro.exceptions.ProtocolError` for an unknown or
+        already-finished job, and propagates
+        :class:`~repro.exceptions.SnapshotError` if the client session is at
+        a position that cannot be snapshotted (the job stays active).
+        """
+        self._advance()
+        job = next((item for item in self._active if item.label == label), None)
+        if job is None:
+            raise ProtocolError(f"no active job {label!r} to disconnect")
+        if job.finished:
+            raise ProtocolError(f"job {label!r} already finished; nothing to resume")
+        if any(job._inbound.values()):
+            raise ProtocolError(f"job {label!r} still has frames in flight")
+        state = job.client.snapshot()  # may raise SnapshotError; job stays active
+        entries = self.scheduler.detach_job(job)
+        self._active.remove(job)
+        self._disconnected[label] = _DisconnectedJob(job=job, entries=entries)
+        return state
+
+    def reconnect_job(self, label: Any, channel: Any, client: Any) -> SessionJob:
+        """Re-attach a disconnected job on a fresh channel with a restored client.
+
+        *client* is the session the returning device rebuilt from the
+        snapshot :meth:`disconnect_job` handed out; *channel* is the fresh
+        transport the reconnect arrived on.  The provider session (and its
+        parked decrypt entries) re-attach exactly where they left off — the
+        entries rejoin the scheduler, so the next burst, trigger, or drain
+        closes their window and the protocol resumes with zero re-execution.
+        """
+        parked = self._disconnected.pop(label, None)
+        if parked is None:
+            raise ProtocolError(f"no disconnected job {label!r} to reconnect")
+        old = parked.job
+        job = SessionJob(
+            channel=channel,
+            client=client,
+            provider=old.provider,
+            label=label,
+            client_name=old.client_name,
+            provider_name=old.provider_name,
+        )
+        self._active.append(job)
+        for entry in parked.entries:
+            entry.job = job
+            self.scheduler.enqueue(entry)
+        return job
+
+    def disconnected_jobs(self) -> int:
+        """Jobs whose clients are away (parked server-side, awaiting reconnect)."""
+        return len(self._disconnected)
 
     # -- windowed serving ----------------------------------------------------
     def serve_burst(self, jobs: Sequence[SessionJob]) -> list[SessionJob]:
@@ -342,13 +442,38 @@ class FileSessionStore(SessionStore):
     This is what lets a SIGKILLed shard worker come back: the checkpoint it
     wrote at the last burst boundary is on disk, and the replacement process
     (which shares nothing with the dead one) resumes from those bytes.
+
+    Blobs are sealed at rest (ChaCha20 + HMAC-SHA256, encrypt-then-MAC):
+    session snapshots carry garble and OT secrets, so the checkpoint files
+    must not be plaintext (the ROADMAP's checkpoint-hygiene item).  By
+    default the store keeps its 32-byte key in a ``store.key`` file beside
+    the blobs — every opener of the same directory (a replacement worker, a
+    reopened store) transparently shares it — or callers pass ``key=`` to
+    keep it elsewhere.  :meth:`get` authenticates before returning: a
+    tampered blob, a blob sealed under a different key, or a pre-existing
+    *plaintext* checkpoint (no version byte) raises
+    :class:`~repro.exceptions.SnapshotError` — refused, never misparsed.
     """
 
     _SUFFIX = ".state"
+    _KEY_FILE = "store.key"
+    _INFO = b"pretzel-session-store"
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, key: bytes | None = None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._key = bytes(key) if key is not None else self._load_or_create_key()
+
+    def _load_or_create_key(self) -> bytes:
+        path = self.directory / self._KEY_FILE
+        try:
+            # O_EXCL create: exactly one concurrent opener mints the key,
+            # everyone else reads the winner's.
+            with open(path, "xb") as handle:
+                handle.write(os.urandom(32))
+        except FileExistsError:
+            pass
+        return path.read_bytes()
 
     @staticmethod
     def _escape(key: str) -> str:
@@ -372,15 +497,19 @@ class FileSessionStore(SessionStore):
     def put(self, key: str, blob: bytes) -> None:
         path = self._path(key)
         temp = path.with_suffix(path.suffix + ".tmp")
-        temp.write_bytes(blob)
+        temp.write_bytes(seal(self._key, bytes(blob), info=self._INFO))
         os.replace(temp, path)
 
     def get(self, key: str) -> bytes | None:
         path = self._path(key)
         try:
-            return path.read_bytes()
+            sealed = path.read_bytes()
         except FileNotFoundError:
             return None
+        try:
+            return open_sealed(self._key, sealed, info=self._INFO)
+        except IntegrityError as error:
+            raise SnapshotError(f"checkpoint {key!r} refused: {error}") from error
 
     def delete(self, key: str) -> None:
         try:
@@ -927,7 +1056,15 @@ def _shard_worker_main(
             elif command == "restore":
                 resumed_ids: list[int] = []
                 jobs = []
-                blob = store.get(checkpoint_key) if store is not None else None
+                try:
+                    blob = store.get(checkpoint_key) if store is not None else None
+                except SnapshotError:
+                    # The blob itself is unreadable (tampered, sealed under a
+                    # lost key, or a legacy plaintext file): same recovery as
+                    # a malformed checkpoint below.
+                    if store is not None:
+                        store.delete(checkpoint_key)
+                    blob = None
                 if blob is not None:
                     try:
                         restored = restore_open_windows(blob, directory, incarnation)
@@ -948,6 +1085,30 @@ def _shard_worker_main(
                 results = _worker_results(pending, finished)
                 _write_checkpoint()
                 reply = ("restored", (resumed_ids, results))
+            elif command == "disconnect":
+                state = runtime.disconnect_job(payload)
+                _write_checkpoint()
+                reply = ("state", state.to_bytes())
+            elif command == "reconnect":
+                job_id, blob = payload
+                if job_id not in pending:
+                    raise ProtocolError(f"no open job {job_id} on this shard")
+                kind, address = pending[job_id]
+                client_state = SessionState.from_bytes(blob)
+                if kind == "spam":
+                    protocol, setup = directory.spam_of(address)
+                    client: Any = SpamClientSession.restore(
+                        protocol, setup, client_state, ot_pool=directory.spam_pool_of(address)
+                    )
+                else:
+                    protocol, setup = directory.topics_of(address)
+                    client = TopicClientSession.restore(
+                        protocol, setup, client_state, ot_pool=directory.topic_pool_of(address)
+                    )
+                channel = protocol.make_channel(setup, name=f"reconnect[{job_id}]")
+                runtime.reconnect_job(job_id, channel, client)
+                _write_checkpoint()
+                reply = ("ok", None)
             elif command == "stats":
                 reply = (
                     "stats",
@@ -955,6 +1116,7 @@ def _shard_worker_main(
                         "mailboxes": directory.mailbox_count(),
                         "decrypt_batch_sizes": list(runtime.decrypt_batch_sizes),
                         "outstanding_jobs": runtime.outstanding_jobs(),
+                        "disconnected_jobs": runtime.disconnected_jobs(),
                         "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
                         "restored_jobs": restored_jobs,
                     },
@@ -1269,6 +1431,36 @@ class ShardedRuntime:
             self._send(shard, "drain", None)
         for shard in range(self.num_shards):
             self._collect(shard, "drain")
+
+    # -- reconnect-resume ----------------------------------------------------
+    def disconnect_client(self, job_id: int) -> bytes:
+        """Detach the client of an in-flight email; returns its snapshot bytes.
+
+        Models a mail client losing its connection mid-protocol: the owning
+        shard parks the provider session (and its decrypt-window entries)
+        server-side and hands back the serialized client ``SessionState`` —
+        the bytes the device carries offline.  The job stays outstanding (its
+        result will land only after :meth:`reconnect_client`), and nothing is
+        recomputed on either side.
+        """
+        item = self._outstanding.get(job_id)
+        if item is None:
+            raise ProtocolError(f"job {job_id} is not outstanding (finished or unknown)")
+        return self._request(item.shard, "disconnect", job_id)
+
+    def reconnect_client(self, job_id: int, state: bytes) -> None:
+        """Resume a disconnected email from its snapshot on a fresh channel.
+
+        The owning shard restores the client session from *state*, opens a
+        fresh channel, and re-attaches the parked provider session — the
+        protocol picks up exactly where it stopped, with zero resubmissions.
+        The result lands with the next burst or :meth:`drain` that closes the
+        job's decrypt window.
+        """
+        item = self._outstanding.get(job_id)
+        if item is None:
+            raise ProtocolError(f"job {job_id} is not outstanding (finished or unknown)")
+        self._request(item.shard, "reconnect", (job_id, bytes(state)))
 
     def take_result(self, job_id: int) -> Any:
         """Pop the protocol result for *job_id* (drain first if still open)."""

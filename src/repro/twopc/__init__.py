@@ -21,6 +21,10 @@ provider halves multiplex across many concurrent email sessions.
   argmax reveals only the winning topic index to the provider (§4.3, Fig. 5).
 * :mod:`repro.twopc.noprv` — the NoPriv baseline: the provider classifies
   plaintext directly (the status quo the paper compares against).
+* :mod:`repro.twopc.reliable` — the ack/retransmit layer: exactly-once
+  in-order frames over lossy transports (sequence numbers, CRC32, cumulative
+  acks), plus :class:`FaultyTransport` in :mod:`repro.twopc.transport`, the
+  seeded fault injector the chaos suite drives it with.
 * :mod:`repro.twopc.channel` — a legacy untyped in-process channel kept for
   tests and ad-hoc size estimates.
 """
@@ -54,6 +58,13 @@ _EXPORTS = {
     "LoopbackTransport": "repro.twopc.transport",
     "SocketTransport": "repro.twopc.transport",
     "FramedChannel": "repro.twopc.transport",
+    "FaultSpec": "repro.twopc.transport",
+    "FaultEvent": "repro.twopc.transport",
+    "FaultKind": "repro.twopc.transport",
+    "FaultyTransport": "repro.twopc.transport",
+    "AsyncFaultyTransport": "repro.twopc.transport",
+    "ReliableChannel": "repro.twopc.reliable",
+    "AsyncReliableTransport": "repro.twopc.reliable",
     "WireCodec": "repro.twopc.wire",
 }
 

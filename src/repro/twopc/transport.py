@@ -37,14 +37,21 @@ from __future__ import annotations
 
 import asyncio
 import queue
+import random
 import socket
 import struct
 import threading
 from abc import ABC, abstractmethod
 from collections import deque
+from dataclasses import dataclass
 
 from repro.crypto.ahe import AHEPublicKey, AHEScheme
-from repro.exceptions import ProtocolError, TransportClosedError, WireFormatError
+from repro.exceptions import (
+    ProtocolError,
+    TransportClosedError,
+    TransportTimeoutError,
+    WireFormatError,
+)
 from repro.twopc.wire import Frame, WireCodec
 
 #: Every byte-stream transport prefixes each frame with its u32 length.
@@ -132,8 +139,16 @@ class Transport(ABC):
         """Accept *data* from *sender* for delivery to the peer; returns len(data)."""
 
     @abstractmethod
-    def receive(self, receiver: str) -> bytes:
-        """Return the oldest undelivered frame addressed to *receiver*."""
+    def receive(self, receiver: str, timeout_seconds: float | None = None) -> bytes:
+        """Return the oldest undelivered frame addressed to *receiver*.
+
+        *timeout_seconds* bounds how long a blocking transport waits for a
+        frame before raising :class:`~repro.exceptions.TransportTimeoutError`
+        — without it, a silent peer hangs the receiver forever, which is what
+        the ack/retransmit layer (:mod:`repro.twopc.reliable`) polls against.
+        In-process transports have nothing to wait on, so they raise the
+        timeout immediately when the queue is empty.
+        """
 
     @abstractmethod
     def pending(self) -> int:
@@ -169,11 +184,13 @@ class LoopbackTransport(Transport):
         self._queues[self.peer_of(sender)].append(bytes(data))
         return len(data)
 
-    def receive(self, receiver: str) -> bytes:
+    def receive(self, receiver: str, timeout_seconds: float | None = None) -> bytes:
         self._check_party(receiver)
         pending = self._queues[receiver]
         if not pending:
-            raise ProtocolError(
+            # Nothing can arrive while the caller holds the only thread, so
+            # an empty queue is an immediate timeout regardless of deadline.
+            raise TransportTimeoutError(
                 f"no pending frame for {receiver!r} on transport {self.name!r}"
             )
         return pending.popleft()
@@ -200,6 +217,7 @@ class SocketTransport(Transport):
         timeout: float = 30.0,
     ) -> None:
         super().__init__(parties, name)
+        self.timeout = timeout
         left, right = socket.socketpair()
         for sock in (left, right):
             sock.settimeout(timeout)
@@ -242,11 +260,13 @@ class SocketTransport(Transport):
         self._outboxes[sender].put(self._LENGTH.pack(len(data)) + data)
         return len(data)
 
-    def receive(self, receiver: str) -> bytes:
+    def receive(self, receiver: str, timeout_seconds: float | None = None) -> bytes:
         self._check_party(receiver)
         if self._closed:
             raise TransportClosedError(f"transport {self.name!r} is closed")
         sock = self._sockets[receiver]
+        if timeout_seconds is not None:
+            sock.settimeout(timeout_seconds)
         try:
             header = self._read_exact(sock, self._LENGTH.size)
             length = self._LENGTH.unpack(header)[0]
@@ -256,13 +276,16 @@ class SocketTransport(Transport):
                 )
             data = self._read_exact(sock, length)
         except socket.timeout as timeout:
-            raise ProtocolError(
+            raise TransportTimeoutError(
                 f"timed out waiting for a frame for {receiver!r} on {self.name!r}"
             ) from timeout
         except OSError as error:
             raise TransportClosedError(
                 f"transport {self.name!r} socket failed while receiving: {error}"
             ) from error
+        finally:
+            if timeout_seconds is not None and not self._closed:
+                sock.settimeout(self.timeout)
         with self._lock:
             self._in_flight[receiver] -= 1
         return data
@@ -394,16 +417,17 @@ class AsyncTcpTransport(Transport):
             ) from error
         return len(data)
 
-    async def receive(self, receiver: str) -> bytes:
+    async def receive(self, receiver: str, timeout_seconds: float | None = None) -> bytes:
         self._local_only(receiver)
         peer = self.peer_of(receiver)
+        deadline = timeout_seconds if timeout_seconds is not None else self.timeout
         while not self._inbound:
             if self._closed:
                 raise TransportClosedError(f"transport {self.name!r} is closed")
             try:
-                chunk = await asyncio.wait_for(self._reader.read(65536), self.timeout)
+                chunk = await asyncio.wait_for(self._reader.read(65536), deadline)
             except asyncio.TimeoutError as timeout:
-                raise ProtocolError(
+                raise TransportTimeoutError(
                     f"timed out waiting for a frame for {receiver!r} on {self.name!r}"
                 ) from timeout
             except (ConnectionError, OSError) as error:
@@ -444,6 +468,336 @@ class AsyncTcpTransport(Transport):
             self._writer.close()
         except (ConnectionError, OSError, RuntimeError):
             pass
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: a seeded, deterministic degraded-network simulator
+# ---------------------------------------------------------------------------
+class FaultKind:
+    """Names of the injectable faults (the ledger's vocabulary)."""
+
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    REORDER = "reorder"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+    DISCONNECT = "disconnect"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-fault injection rates for a :class:`FaultyTransport`, plus the seed.
+
+    Rates are per-frame probabilities drawn from one seeded RNG in a fixed
+    order, so a (spec, call-sequence) pair replays bit-identically — the same
+    seeded-chaos discipline as the wire fuzz suite.  At most one fault is
+    injected per frame (the rates must sum to at most 1).
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: How many later sends a delayed frame waits before being released.
+    delay_frames: int = 3
+    #: Hard mid-stream hangup: the Nth accepted frame (and everything after
+    #: it) raises :class:`~repro.exceptions.TransportClosedError` on both ends.
+    disconnect_after_frames: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.drop_rate,
+            self.corrupt_rate,
+            self.reorder_rate,
+            self.duplicate_rate,
+            self.delay_rate,
+        )
+        if any(not 0.0 <= rate <= 1.0 for rate in rates):
+            raise ProtocolError("fault rates must lie in [0, 1]")
+        if sum(rates) > 1.0 + 1e-9:
+            raise ProtocolError("fault rates must sum to at most 1")
+        if self.delay_frames < 1:
+            raise ProtocolError("delay_frames must be at least 1")
+        if self.disconnect_after_frames is not None and self.disconnect_after_frames < 0:
+            raise ProtocolError("disconnect_after_frames must be non-negative")
+
+    @classmethod
+    def loss_cocktail(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        """The chaos suite's standard mix: *rate* each of drop/corrupt/reorder/duplicate."""
+        return cls(
+            drop_rate=rate,
+            corrupt_rate=rate,
+            reorder_rate=rate,
+            duplicate_rate=rate,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: which frame (by global send index), what, to whom."""
+
+    index: int
+    kind: str
+    sender: str
+    size: int
+
+
+class _FaultInjector:
+    """Seeded fault decisions + the holdback queue, shared by sync/async wrappers."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self.sends = 0
+        self.disconnected = False
+        self.fault_log: list[FaultEvent] = []
+        #: Frames being reordered/delayed: (release_after_send_index, sender, frame).
+        self.held: list[tuple[int, str, bytes]] = []
+
+    def record(self, kind: str, sender: str, size: int) -> None:
+        self.fault_log.append(FaultEvent(self.sends, kind, sender, size))
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for event in self.fault_log:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    def check_disconnect(self, sender: str, size: int) -> None:
+        after = self.spec.disconnect_after_frames
+        if self.disconnected:
+            raise TransportClosedError("injected disconnect: the peer hung up")
+        if after is not None and self.sends >= after:
+            self.disconnected = True
+            self.record(FaultKind.DISCONNECT, sender, size)
+            raise TransportClosedError(
+                f"injected disconnect after {after} frames (mid-stream hangup)"
+            )
+
+    def decide(self, sender: str, data: bytes) -> tuple[str | None, bytes]:
+        """Draw the fault (if any) for one frame; returns (kind, frame bytes)."""
+        self.sends += 1
+        spec = self.spec
+        draw = self._rng.random()
+        for kind, rate in (
+            (FaultKind.DROP, spec.drop_rate),
+            (FaultKind.CORRUPT, spec.corrupt_rate),
+            (FaultKind.REORDER, spec.reorder_rate),
+            (FaultKind.DUPLICATE, spec.duplicate_rate),
+            (FaultKind.DELAY, spec.delay_rate),
+        ):
+            if draw < rate:
+                if kind == FaultKind.CORRUPT and not data:
+                    return None, data  # an empty frame has no bit to flip
+                self.record(kind, sender, len(data))
+                if kind == FaultKind.CORRUPT:
+                    data = self.flip_bit(data)
+                return kind, data
+            draw -= rate
+        return None, data
+
+    def flip_bit(self, data: bytes) -> bytes:
+        position = self._rng.randrange(len(data) * 8)
+        corrupted = bytearray(data)
+        corrupted[position // 8] ^= 1 << (position % 8)
+        return bytes(corrupted)
+
+    def release_after(self, kind: str) -> int:
+        if kind == FaultKind.REORDER:
+            return self.sends + 1  # the very next send overtakes this frame
+        return self.sends + self.spec.delay_frames
+
+    def take_due(self, peer_of, force_receiver: str | None = None) -> list[tuple[str, bytes]]:
+        """Held frames whose deadline passed (or destined to *force_receiver*)."""
+        due: list[tuple[str, bytes]] = []
+        still: list[tuple[int, str, bytes]] = []
+        for release_at, sender, frame in self.held:
+            if release_at <= self.sends or (
+                force_receiver is not None and peer_of(sender) == force_receiver
+            ):
+                due.append((sender, frame))
+            else:
+                still.append((release_at, sender, frame))
+        self.held = still
+        return due
+
+
+class FaultyTransport(Transport):
+    """Wrap any synchronous :class:`Transport` and inject seeded faults.
+
+    Frames accepted from a sender may be dropped, bit-flipped, reordered
+    (overtaken by the next frame), duplicated, delayed (held for
+    ``delay_frames`` later sends) or cut off entirely by a mid-stream
+    disconnect — each with its own configured rate, all drawn from one seeded
+    RNG so a chaos run replays exactly.  Every injected fault is recorded in
+    :attr:`fault_log`, so tests assert against what *actually* happened, not
+    against probabilities.
+
+    The wrapper keeps the standard :class:`Transport` ledger for the frames it
+    *accepts* (the bytes a sender put on the wire); the inner transport's
+    ledger shows what survived injection.  Held (reordered/delayed) frames are
+    flushed into the inner transport as their deadlines pass — and, to keep a
+    quiet tail from wedging the pipe, any frame still held when the receiver's
+    poll times out is released then.
+    """
+
+    def __init__(self, inner: Transport, spec: FaultSpec, name: str | None = None) -> None:
+        super().__init__(inner.parties, name or f"faulty[{inner.name}]")
+        self.inner = inner
+        self.spec = spec
+        self._injector = _FaultInjector(spec)
+
+    @property
+    def fault_log(self) -> list[FaultEvent]:
+        return self._injector.fault_log
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault tally by kind (the ledger tests assert against)."""
+        return self._injector.counts()
+
+    def send(self, sender: str, data: bytes) -> int:
+        self._check_party(sender)
+        data = bytes(data)
+        self._injector.check_disconnect(sender, len(data))
+        self._account(sender, len(data))
+        kind, frame = self._injector.decide(sender, data)
+        if kind == FaultKind.DROP:
+            pass
+        elif kind == FaultKind.DUPLICATE:
+            self.inner.send(sender, frame)
+            self.inner.send(sender, frame)
+        elif kind in (FaultKind.REORDER, FaultKind.DELAY):
+            self._injector.held.append((self._injector.release_after(kind), sender, frame))
+        else:
+            self.inner.send(sender, frame)
+        self._flush_due()
+        return len(data)
+
+    def _flush_due(self, force_receiver: str | None = None) -> None:
+        for sender, frame in self._injector.take_due(self.peer_of, force_receiver):
+            self.inner.send(sender, frame)
+
+    def receive(self, receiver: str, timeout_seconds: float | None = None) -> bytes:
+        self._check_party(receiver)
+        if self._injector.disconnected:
+            raise TransportClosedError("injected disconnect: the peer hung up")
+        self._flush_due()
+        try:
+            return self.inner.receive(receiver, timeout_seconds)
+        except TransportTimeoutError:
+            # The stream dried up with frames still held back — release
+            # anything destined to this receiver and try once more, otherwise
+            # a delayed final frame could never be delivered.
+            held_for_receiver = any(
+                self.peer_of(sender) == receiver for _, sender, _ in self._injector.held
+            )
+            if not held_for_receiver:
+                raise
+            self._flush_due(force_receiver=receiver)
+            return self.inner.receive(receiver, timeout_seconds)
+
+    def pending(self) -> int:
+        return self.inner.pending() + len(self._injector.held)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class AsyncFaultyTransport:
+    """The asyncio twin of :class:`FaultyTransport`: wraps one async endpoint.
+
+    Faults are injected on this endpoint's *outbound* frames (each endpoint of
+    a TCP pair wraps its own side, mirroring where real damage happens), with
+    the same seeded decision stream and fault ledger as the sync wrapper.
+    Exposes the async :class:`Transport` calling convention plus the ledger
+    delegation :class:`AsyncFramedChannel` expects.
+    """
+
+    def __init__(self, inner, spec: FaultSpec, name: str | None = None) -> None:
+        self.inner = inner
+        self.spec = spec
+        self.name = name or f"faulty[{inner.name}]"
+        self._injector = _FaultInjector(spec)
+
+    @property
+    def parties(self) -> tuple[str, str]:
+        return self.inner.parties
+
+    @property
+    def local_party(self) -> str:
+        return self.inner.local_party
+
+    @property
+    def bytes_by_sender(self) -> dict[str, int]:
+        return self.inner.bytes_by_sender
+
+    @property
+    def messages_by_sender(self) -> dict[str, int]:
+        return self.inner.messages_by_sender
+
+    @property
+    def fault_log(self) -> list[FaultEvent]:
+        return self._injector.fault_log
+
+    def fault_counts(self) -> dict[str, int]:
+        return self._injector.counts()
+
+    def peer_of(self, party: str) -> str:
+        return self.inner.peer_of(party)
+
+    async def send(self, sender: str, data: bytes) -> int:
+        data = bytes(data)
+        self._injector.check_disconnect(sender, len(data))
+        kind, frame = self._injector.decide(sender, data)
+        if kind == FaultKind.DROP:
+            pass
+        elif kind == FaultKind.DUPLICATE:
+            await self.inner.send(sender, frame)
+            await self.inner.send(sender, frame)
+        elif kind in (FaultKind.REORDER, FaultKind.DELAY):
+            self._injector.held.append((self._injector.release_after(kind), sender, frame))
+        else:
+            await self.inner.send(sender, frame)
+        await self._flush_due()
+        return len(data)
+
+    async def _flush_due(self, force: bool = False) -> None:
+        for sender, frame in self._injector.take_due(
+            self.peer_of, force_receiver=self.local_party if force else None
+        ):
+            await self.inner.send(sender, frame)
+
+    async def receive(self, receiver: str, timeout_seconds: float | None = None) -> bytes:
+        if self._injector.disconnected:
+            raise TransportClosedError("injected disconnect: the peer hung up")
+        try:
+            return await self.inner.receive(receiver, timeout_seconds)
+        except TransportTimeoutError:
+            if not self._injector.held:
+                raise
+            await self._flush_due(force=True)
+            return await self.inner.receive(receiver, timeout_seconds)
+
+    def total_bytes(self) -> int:
+        return self.inner.total_bytes()
+
+    def total_messages(self) -> int:
+        return self.inner.total_messages()
+
+    def rounds(self) -> int:
+        return self.inner.rounds()
+
+    def pending(self) -> int:
+        return self.inner.pending() + len(self._injector.held)
+
+    async def aclose(self) -> None:
+        await self.inner.aclose()
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 class FramedChannel:

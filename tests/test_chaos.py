@@ -1,0 +1,417 @@
+"""Chaos suite: full protocol runs over seeded fault cocktails.
+
+The degraded-network contract, end to end: with the ack/retransmit layer in
+place, a spam or topic protocol run over a pipe injecting seeded
+drop/corrupt/reorder/duplicate faults (the 1% and 5% cocktails of the
+acceptance bar) must produce *bit-identical* results to a clean run — and a
+client killed mid-protocol must resume via snapshot + reconnect with zero
+resubmissions.  The raw (unreliable) transport is driven through the same
+cocktails as a control: runs the bare pipe cannot complete, the reliable
+layer must.
+
+Seeded sweeps (``@pytest.mark.chaos``) honour ``CHAOS_SEED`` so CI can run
+each build under a fresh seed (the run id) while any failure stays exactly
+reproducible — the same discipline as the wire-fuzz suite.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.core.runtime import (
+    DecryptScheduler,
+    FileSessionStore,
+    ProviderRuntime,
+    ShardedRuntime,
+    spam_job,
+)
+from repro.crypto.chacha import open_sealed, seal
+from repro.exceptions import (
+    IntegrityError,
+    ProtocolError,
+    SnapshotError,
+    TransportClosedError,
+)
+from repro.twopc.reliable import AsyncReliableTransport, chaos_channel
+from repro.twopc.session import AsyncSessionPump
+from repro.twopc.spam import SpamClientSession, SpamFilterProtocol
+from repro.twopc.topics import TopicExtractionProtocol
+from repro.twopc.transport import (
+    AsyncFaultyTransport,
+    AsyncFramedChannel,
+    AsyncTcpTransport,
+    FaultSpec,
+    FaultyTransport,
+    FramedChannel,
+    LoopbackTransport,
+)
+from repro.twopc.wire import SessionState, WireCodec
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "20170814"))
+
+SPAM_EMAILS = [
+    {1: 1, 5: 1, 9: 1},
+    {100: 1, 150: 1, 199: 1, 42: 1},
+    {i: 1 for i in range(0, 200, 7)},
+]
+
+TOPIC_EMAILS = [
+    {2: 1, 3: 2, 77: 1},
+    {150: 4, 151: 1, 10: 2},
+]
+
+#: The acceptance-bar loss rates: light damage and heavy damage.
+COCKTAIL_RATES = (0.01, 0.05)
+
+
+@pytest.fixture(scope="module")
+def spam_setup(bv_scheme, dh_group, small_spam_model):
+    protocol = SpamFilterProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_spam_model)
+
+
+@pytest.fixture(scope="module")
+def topic_setup(bv_scheme, dh_group, small_topic_model):
+    protocol = TopicExtractionProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_topic_model)
+
+
+def _spam_chaos_channel(protocol, setup, spec):
+    return chaos_channel(spec, scheme=protocol.scheme, public_key=setup.keypair.public)
+
+
+# ---------------------------------------------------------------------------
+# Full protocol runs through the fault cocktails
+# ---------------------------------------------------------------------------
+class TestChaosSpamRuns:
+    def test_cocktails_produce_bit_identical_verdicts(self, spam_setup, small_spam_model):
+        protocol, setup = spam_setup
+        clean = [protocol.classify_email(setup, features) for features in SPAM_EMAILS]
+        assert [r.is_spam for r in clean] == [
+            small_spam_model.predict_is_spam(features) for features in SPAM_EMAILS
+        ]
+        for rate in COCKTAIL_RATES:
+            for index, features in enumerate(SPAM_EMAILS):
+                spec = FaultSpec.loss_cocktail(rate, seed=CHAOS_SEED + index)
+                channel, faulty, reliable = _spam_chaos_channel(protocol, setup, spec)
+                chaotic = protocol.classify_email(setup, features, channel=channel)
+                assert chaotic.is_spam == clean[index].is_spam
+                assert chaotic.yao_and_gates == clean[index].yao_and_gates
+                # The protocol-level ledger is unchanged by retransmissions:
+                # the reliable layer charges each logical frame exactly once.
+                assert chaotic.network_messages == clean[index].network_messages
+
+    def test_heavy_damage_is_actually_injected_and_recovered(self, spam_setup):
+        # At a 20% cocktail the ledger must show real faults; the run still
+        # completes identically (this is the load-bearing resilience claim).
+        protocol, setup = spam_setup
+        clean = protocol.classify_email(setup, SPAM_EMAILS[0])
+        injected_any = False
+        for attempt in range(8):
+            spec = FaultSpec.loss_cocktail(0.2, seed=CHAOS_SEED + attempt)
+            channel, faulty, reliable = _spam_chaos_channel(protocol, setup, spec)
+            chaotic = protocol.classify_email(setup, SPAM_EMAILS[0], channel=channel)
+            assert chaotic.is_spam == clean.is_spam
+            injected_any = injected_any or bool(faulty.fault_log)
+        assert injected_any, "eight 20% cocktails injected nothing — injector is dead"
+
+
+class TestChaosTopicRuns:
+    def test_cocktails_produce_bit_identical_topics(self, topic_setup):
+        protocol, setup = topic_setup
+        clean = [
+            protocol.extract_topic(setup, features, candidate_topics=[0, 2, 5])
+            for features in TOPIC_EMAILS
+        ]
+        for rate in COCKTAIL_RATES:
+            for index, features in enumerate(TOPIC_EMAILS):
+                spec = FaultSpec.loss_cocktail(rate, seed=CHAOS_SEED + 100 + index)
+                channel, _, _ = chaos_channel(
+                    spec, scheme=protocol.scheme, public_key=setup.keypair.public
+                )
+                chaotic = protocol.extract_topic(
+                    setup, features, candidate_topics=[0, 2, 5], channel=channel
+                )
+                assert chaotic.extracted_topic == clean[index].extracted_topic
+                assert chaotic.candidates_used == clean[index].candidates_used
+
+
+class TestRawTransportControl:
+    """The control arm: the bare faulty pipe must fail where reliable succeeds."""
+
+    def _raw_channel(self, protocol, setup, spec):
+        faulty = FaultyTransport(LoopbackTransport(parties=("client", "provider")), spec)
+        codec = WireCodec(scheme=protocol.scheme, public_key=setup.keypair.public)
+        return FramedChannel(faulty, codec), faulty
+
+    def test_raw_pipe_fails_where_reliable_completes(self, spam_setup):
+        protocol, setup = spam_setup
+        # Find a seed whose cocktail demonstrably damages this run, then show
+        # the asymmetry: reliable completes, raw raises.
+        for seed in range(CHAOS_SEED, CHAOS_SEED + 64):
+            spec = FaultSpec(drop_rate=0.25, corrupt_rate=0.25, seed=seed)
+            channel, faulty, _ = _spam_chaos_channel(protocol, setup, spec)
+            result = protocol.classify_email(setup, SPAM_EMAILS[0], channel=channel)
+            if not faulty.fault_log:
+                continue
+            raw_channel, raw_faulty = self._raw_channel(
+                protocol, setup, FaultSpec(drop_rate=0.25, corrupt_rate=0.25, seed=seed)
+            )
+            with pytest.raises(ProtocolError):
+                protocol.classify_email(setup, SPAM_EMAILS[0], channel=raw_channel)
+            return
+        pytest.fail("no seed in the sweep injected a fault — injector is dead")
+
+
+# ---------------------------------------------------------------------------
+# Reconnect-resume: snapshot, go away, come back on a fresh channel
+# ---------------------------------------------------------------------------
+class TestReconnectResume:
+    def test_in_process_disconnect_resume_matches_clean(self, spam_setup):
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        clean = protocol.classify_email(setup, SPAM_EMAILS[0])
+
+        runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+        job = spam_job(protocol, setup, SPAM_EMAILS[0], label=7, ot_pool=pool)
+        assert runtime.serve_burst([job]) == []  # parked inside the open window
+
+        state = runtime.disconnect_job(7)
+        assert runtime.outstanding_jobs() == 0
+        assert runtime.disconnected_jobs() == 1
+        blob = state.to_bytes()  # the bytes the device carries offline
+
+        client = SpamClientSession.restore(
+            protocol, setup, SessionState.from_bytes(blob), ot_pool=pool
+        )
+        channel = protocol.make_channel(setup, name="reconnect")
+        runtime.reconnect_job(7, channel, client)
+        assert runtime.disconnected_jobs() == 0
+        finished = runtime.drain()
+        assert [j.label for j in finished] == [7]
+        assert finished[0].client.is_spam == clean.is_spam
+
+    def test_disconnect_unknown_or_finished_job_rejected(self, spam_setup):
+        protocol, setup = spam_setup
+        runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+        with pytest.raises(ProtocolError):
+            runtime.disconnect_job("nope")
+        with pytest.raises(ProtocolError):
+            runtime.reconnect_job("nope", None, None)
+
+    def test_reconnected_window_still_batches(self, spam_setup):
+        # Two jobs park in one window; one client disconnects and returns.
+        # The window must still fold both decrypts into one batched call.
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+        jobs = [
+            spam_job(protocol, setup, features, label=index, ot_pool=pool)
+            for index, features in enumerate(SPAM_EMAILS[:2])
+        ]
+        assert runtime.serve_burst(jobs) == []
+        state = runtime.disconnect_job(0)
+        client = SpamClientSession.restore(
+            protocol, setup, SessionState.from_bytes(state.to_bytes()), ot_pool=pool
+        )
+        runtime.reconnect_job(0, protocol.make_channel(setup, name="rc"), client)
+        finished = runtime.drain()
+        assert sorted(j.label for j in finished) == [0, 1]
+        per_email = setup.encrypted_model.result_ciphertext_count()
+        assert max(runtime.decrypt_batch_sizes) >= 2 * per_email
+
+    def test_sharded_disconnect_resume_zero_resubmissions(self, spam_setup):
+        protocol, setup = spam_setup
+        clean = protocol.classify_email(setup, SPAM_EMAILS[0])
+        with ShardedRuntime(num_shards=1, window_bursts=100) as runtime:
+            runtime.register_spam("mobile@example.com", protocol, setup)
+            (job_id,) = runtime.submit_spam([("mobile@example.com", SPAM_EMAILS[0])])
+            blob = runtime.disconnect_client(job_id)
+            assert isinstance(blob, bytes) and blob
+            stats = runtime.shard_stats()[0]
+            assert stats["disconnected_jobs"] == 1
+            runtime.reconnect_client(job_id, blob)
+            runtime.drain()
+            result = runtime.take_result(job_id)
+            assert result.is_spam == clean.is_spam
+            stats = runtime.shard_stats()[0]
+            # Zero resubmissions: nothing was recomputed, nothing restored
+            # from checkpoint — the parked session simply re-attached.
+            assert stats["disconnected_jobs"] == 0
+            assert stats["restored_jobs"] == 0
+
+    def test_sharded_disconnect_unknown_job_rejected(self, spam_setup):
+        protocol, setup = spam_setup
+        with ShardedRuntime(num_shards=1, window_bursts=100) as runtime:
+            runtime.register_spam("mobile@example.com", protocol, setup)
+            with pytest.raises(ProtocolError):
+                runtime.disconnect_client(999)
+
+
+# ---------------------------------------------------------------------------
+# Async arrangement: faulty + reliable endpoints over real TCP
+# ---------------------------------------------------------------------------
+class TestAsyncChaos:
+    def _run_chaotic_tcp_session(self, protocol, setup, features, rate, seed):
+        async def scenario():
+            provider_pump = AsyncSessionPump(window_seconds=0.02)
+            client_pump = AsyncSessionPump()
+            pool = protocol.make_ot_pool(setup)
+
+            def codec():
+                return WireCodec(scheme=protocol.scheme, public_key=setup.keypair.public)
+
+            async def handle_connection(transport):
+                wrapped = AsyncReliableTransport(
+                    AsyncFaultyTransport(transport, FaultSpec.loss_cocktail(rate, seed=seed))
+                )
+                channel = AsyncFramedChannel(wrapped, codec())
+                session = protocol.provider_session(setup, ot_pool=pool)
+                await provider_pump.run_session(channel, "provider", session)
+
+            server = await AsyncTcpTransport.start_server(handle_connection, port=0)
+            port = server.sockets[0].getsockname()[1]
+            transport = await AsyncTcpTransport.connect("127.0.0.1", port)
+            faulty = AsyncFaultyTransport(
+                transport, FaultSpec.loss_cocktail(rate, seed=seed + 1)
+            )
+            reliable = AsyncReliableTransport(faulty)
+            channel = AsyncFramedChannel(reliable, codec())
+            session = protocol.client_session(setup, features, ot_pool=pool)
+            try:
+                await client_pump.run_session(channel, "client", session)
+                return session.is_spam, faulty.fault_counts()
+            finally:
+                await channel.aclose()
+                server.close()
+                await server.wait_closed()
+
+        return asyncio.run(scenario())
+
+    def test_tcp_session_survives_cocktails(self, spam_setup):
+        protocol, setup = spam_setup
+        clean = protocol.classify_email(setup, SPAM_EMAILS[0])
+        for rate in COCKTAIL_RATES:
+            verdict, _faults = self._run_chaotic_tcp_session(
+                protocol, setup, SPAM_EMAILS[0], rate, CHAOS_SEED
+            )
+            assert verdict == clean.is_spam
+
+
+# ---------------------------------------------------------------------------
+# Sealed checkpoints (the AEAD satellite)
+# ---------------------------------------------------------------------------
+class TestSealedBlobs:
+    def test_seal_round_trip(self):
+        key = bytes(range(32))
+        blob = seal(key, b"checkpoint payload")
+        assert open_sealed(key, blob) == b"checkpoint payload"
+
+    def test_ciphertext_hides_plaintext(self):
+        blob = seal(bytes(32), b"garble seeds live here")
+        assert b"garble seeds" not in blob
+
+    def test_wrong_key_refused(self):
+        blob = seal(bytes(32), b"data")
+        with pytest.raises(IntegrityError):
+            open_sealed(bytes([1]) * 32, blob)
+
+    def test_every_flipped_bit_refused(self):
+        key = bytes(range(32))
+        blob = seal(key, b"short")
+        for position in range(0, len(blob) * 8, 7):  # stride keeps it fast
+            damaged = bytearray(blob)
+            damaged[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(IntegrityError):
+                open_sealed(key, bytes(damaged))
+
+    def test_legacy_plaintext_version_byte_refused(self):
+        with pytest.raises(IntegrityError):
+            open_sealed(bytes(32), b"\x00" + bytes(60))
+        with pytest.raises(IntegrityError):
+            open_sealed(bytes(32), b"too short")
+
+
+class TestSealedFileStore:
+    def test_blobs_are_sealed_on_disk(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.put("window", b"secret session bytes")
+        on_disk = (tmp_path / "window.state").read_bytes()
+        assert b"secret session bytes" not in on_disk
+        assert store.get("window") == b"secret session bytes"
+
+    def test_reopened_store_shares_the_key_file(self, tmp_path):
+        FileSessionStore(tmp_path).put("k", b"persisted")
+        assert FileSessionStore(tmp_path).get("k") == b"persisted"
+
+    def test_explicit_key_overrides_key_file(self, tmp_path):
+        key = bytes(range(32))
+        FileSessionStore(tmp_path, key=key).put("k", b"v")
+        assert FileSessionStore(tmp_path, key=key).get("k") == b"v"
+        with pytest.raises(SnapshotError):
+            FileSessionStore(tmp_path, key=bytes(32)).get("k")
+
+    def test_legacy_plaintext_checkpoint_refused_not_misparsed(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        (tmp_path / "legacy.state").write_bytes(b"pre-AEAD plaintext checkpoint")
+        with pytest.raises(SnapshotError):
+            store.get("legacy")
+        store.delete("legacy")
+        assert store.get("legacy") is None
+
+    def test_tampered_checkpoint_refused(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.put("k", b"authentic")
+        path = tmp_path / "k.state"
+        sealed = bytearray(path.read_bytes())
+        sealed[-1] ^= 1
+        path.write_bytes(bytes(sealed))
+        with pytest.raises(SnapshotError):
+            store.get("k")
+
+
+# ---------------------------------------------------------------------------
+# Seeded sweep: many cocktails per build (CI passes the run id as CHAOS_SEED)
+# ---------------------------------------------------------------------------
+@pytest.mark.chaos
+class TestSeededChaosSweep:
+    def test_spam_sweep_across_seeds_and_rates(self, spam_setup):
+        protocol, setup = spam_setup
+        clean = protocol.classify_email(setup, SPAM_EMAILS[1])
+        for offset in range(6):
+            for rate in COCKTAIL_RATES:
+                spec = FaultSpec.loss_cocktail(rate, seed=CHAOS_SEED + 1000 + offset)
+                channel, _, _ = _spam_chaos_channel(protocol, setup, spec)
+                chaotic = protocol.classify_email(setup, SPAM_EMAILS[1], channel=channel)
+                assert chaotic.is_spam == clean.is_spam, (
+                    f"divergence at rate={rate} seed={CHAOS_SEED + 1000 + offset} "
+                    f"(rerun with CHAOS_SEED={CHAOS_SEED})"
+                )
+
+    def test_disconnect_mid_cocktail_then_resume(self, spam_setup):
+        # Chaos + reconnect composed: the job parks, the client goes away,
+        # comes back, and the verdict still matches the clean run.
+        protocol, setup = spam_setup
+        pool = protocol.make_ot_pool(setup)
+        clean = protocol.classify_email(setup, SPAM_EMAILS[2])
+        for offset in range(3):
+            runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+            job = spam_job(protocol, setup, SPAM_EMAILS[2], label=offset, ot_pool=pool)
+            assert runtime.serve_burst([job]) == []
+            state = runtime.disconnect_job(offset)
+            client = SpamClientSession.restore(
+                protocol, setup, SessionState.from_bytes(state.to_bytes()), ot_pool=pool
+            )
+            runtime.reconnect_job(offset, protocol.make_channel(setup), client)
+            finished = runtime.drain()
+            assert finished[0].client.is_spam == clean.is_spam
+
+    def test_disconnect_fault_surfaces_cleanly(self, spam_setup):
+        # A mid-stream hangup (the disconnect fault) kills the run with
+        # TransportClosedError — the signal the reconnect path starts from.
+        protocol, setup = spam_setup
+        spec = FaultSpec(disconnect_after_frames=3, seed=CHAOS_SEED)
+        channel, _, _ = _spam_chaos_channel(protocol, setup, spec)
+        with pytest.raises(TransportClosedError):
+            protocol.classify_email(setup, SPAM_EMAILS[0], channel=channel)

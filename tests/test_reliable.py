@@ -1,0 +1,210 @@
+"""Unit tests for the ack/retransmit layer (:mod:`repro.twopc.reliable`).
+
+Chaos runs over full protocols live in ``test_chaos.py``; these tests pin the
+reliability mechanics in isolation — header codec, CRC verification, dedup,
+in-order reassembly, retransmit-on-timeout, and the give-up bound.
+"""
+
+import pytest
+
+from repro.exceptions import (
+    ProtocolError,
+    ReliabilityError,
+    TransportTimeoutError,
+    WireFormatError,
+)
+from repro.twopc.reliable import (
+    RELIABLE_HEADER,
+    TYPE_ACK,
+    TYPE_DATA,
+    ReliableChannel,
+    decode_reliable,
+    encode_reliable,
+)
+from repro.twopc.transport import FaultSpec, FaultyTransport, LoopbackTransport
+
+
+def _lossy(spec: FaultSpec, parties=("client", "provider")) -> tuple[FaultyTransport, ReliableChannel]:
+    faulty = FaultyTransport(LoopbackTransport(parties=parties), spec)
+    return faulty, ReliableChannel(faulty)
+
+
+class TestReliabilityHeader:
+    def test_data_frame_round_trip(self):
+        blob = encode_reliable(TYPE_DATA, 42, b"payload bytes")
+        assert decode_reliable(blob) == (TYPE_DATA, 42, b"payload bytes")
+
+    def test_ack_frame_round_trip(self):
+        blob = encode_reliable(TYPE_ACK, 7)
+        assert decode_reliable(blob) == (TYPE_ACK, 7, b"")
+
+    def test_header_is_ten_bytes(self):
+        assert RELIABLE_HEADER.size == 10
+        assert len(encode_reliable(TYPE_ACK, 0)) == 10
+
+    def test_every_flipped_bit_is_detected(self):
+        blob = encode_reliable(TYPE_DATA, 3, b"abc")
+        for position in range(len(blob) * 8):
+            damaged = bytearray(blob)
+            damaged[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(WireFormatError):
+                decode_reliable(bytes(damaged))
+
+    def test_truncated_frame_rejected(self):
+        blob = encode_reliable(TYPE_DATA, 1, b"x")
+        for cut in range(RELIABLE_HEADER.size):
+            with pytest.raises(WireFormatError):
+                decode_reliable(blob[:cut])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode_reliable(0x99, 1, b"")
+
+    def test_sequence_must_fit_u32(self):
+        with pytest.raises(WireFormatError):
+            encode_reliable(TYPE_DATA, 1 << 32, b"")
+
+
+class TestReliableChannelCleanPipe:
+    def test_frames_pass_through_in_order(self):
+        _, channel = _lossy(FaultSpec())
+        frames = [bytes([index]) * 20 for index in range(10)]
+        for frame in frames:
+            channel.send("client", frame)
+        assert [channel.receive("provider") for _ in frames] == frames
+
+    def test_ledger_counts_payload_bytes_once(self):
+        faulty, channel = _lossy(FaultSpec())
+        channel.send("client", b"12345")
+        channel.receive("provider")
+        # The reliable ledger charges the logical payload exactly once; the
+        # wire underneath carries the 10-byte header (and the ack).
+        assert channel.bytes_by_sender["client"] == 5
+        assert faulty.bytes_by_sender["client"] == 15
+
+    def test_empty_receive_raises_timeout_like_bare_transport(self):
+        _, channel = _lossy(FaultSpec())
+        with pytest.raises(TransportTimeoutError):
+            channel.receive("provider")
+
+    def test_invalid_max_attempts_rejected(self):
+        with pytest.raises(ProtocolError):
+            ReliableChannel(LoopbackTransport(), max_attempts=0)
+
+
+class TestReliableChannelUnderFaults:
+    def test_dropped_frame_is_retransmitted(self):
+        faulty, channel = _lossy(FaultSpec(drop_rate=0.5, seed=2))
+        frames = [bytes([index]) * 8 for index in range(30)]
+        for frame in frames:
+            channel.send("client", frame)
+            assert channel.receive("provider") == frame
+        assert faulty.fault_counts().get("drop", 0) > 0
+        assert channel.stats["retransmissions"] > 0
+
+    def test_corrupt_frame_dropped_and_recovered(self):
+        faulty, channel = _lossy(FaultSpec(corrupt_rate=0.5, seed=3))
+        frames = [bytes([index]) * 8 for index in range(30)]
+        for frame in frames:
+            channel.send("client", frame)
+            assert channel.receive("provider") == frame
+        assert faulty.fault_counts().get("corrupt", 0) > 0
+        assert channel.stats["corrupt_dropped"] > 0
+
+    def test_duplicates_are_deduplicated(self):
+        faulty, channel = _lossy(FaultSpec(duplicate_rate=1.0, seed=4))
+        frames = [bytes([index]) * 8 for index in range(10)]
+        for frame in frames:
+            channel.send("client", frame)
+        assert [channel.receive("provider") for _ in frames] == frames
+        assert channel.stats["duplicates_dropped"] > 0
+        with pytest.raises(TransportTimeoutError):
+            channel.receive("provider")  # no ninth frame materialises
+
+    def test_reordered_frames_reassemble_in_order(self):
+        faulty, channel = _lossy(FaultSpec(reorder_rate=0.5, seed=5))
+        frames = [bytes([index]) * 8 for index in range(30)]
+        for frame in frames:
+            channel.send("client", frame)
+        assert [channel.receive("provider") for _ in frames] == frames
+        assert faulty.fault_counts().get("reorder", 0) > 0
+
+    def test_cocktail_bidirectional_ping_pong(self):
+        for seed in range(10):
+            _, channel = _lossy(FaultSpec.loss_cocktail(0.05, seed=seed))
+            for index in range(20):
+                ping = b"ping%d" % index
+                pong = b"pong%d" % index
+                channel.send("client", ping)
+                assert channel.receive("provider") == ping
+                channel.send("provider", pong)
+                assert channel.receive("client") == pong
+
+    def test_gives_up_after_max_attempts(self):
+        # A pipe that drops everything: the receiver can never make progress
+        # on a frame that was sent, so the layer must raise, not spin.
+        faulty, _ = _lossy(FaultSpec())
+        inner = LoopbackTransport(parties=("client", "provider"))
+        black_hole = FaultyTransport(inner, FaultSpec(drop_rate=1.0, seed=6))
+        channel = ReliableChannel(black_hole, max_attempts=4)
+        channel.send("client", b"never arrives")
+        with pytest.raises(ReliabilityError):
+            channel.receive("provider")
+
+    def test_mid_stream_disconnect_surfaces_to_sender(self):
+        from repro.exceptions import TransportClosedError
+
+        _, channel = _lossy(FaultSpec(disconnect_after_frames=2, seed=7))
+        channel.send("client", b"one")
+        channel.send("client", b"two")
+        with pytest.raises(TransportClosedError):
+            channel.send("client", b"three")
+
+
+class TestFaultSpecValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ProtocolError):
+            FaultSpec(drop_rate=1.5)
+        with pytest.raises(ProtocolError):
+            FaultSpec(corrupt_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ProtocolError):
+            FaultSpec(drop_rate=0.6, corrupt_rate=0.6)
+
+    def test_delay_frames_positive(self):
+        with pytest.raises(ProtocolError):
+            FaultSpec(delay_frames=0)
+
+    def test_loss_cocktail_rates(self):
+        spec = FaultSpec.loss_cocktail(0.05, seed=9)
+        assert spec.drop_rate == spec.corrupt_rate == 0.05
+        assert spec.reorder_rate == spec.duplicate_rate == 0.05
+        assert spec.seed == 9
+
+
+class TestFaultDeterminism:
+    def _ledger(self, seed: int):
+        faulty, channel = _lossy(FaultSpec.loss_cocktail(0.2, seed=seed))
+        for index in range(25):
+            channel.send("client", bytes([index]) * 12)
+            channel.receive("provider")
+        return faulty.fault_log
+
+    def test_same_seed_same_ledger(self):
+        assert self._ledger(11) == self._ledger(11)
+
+    def test_different_seed_different_ledger(self):
+        assert self._ledger(11) != self._ledger(12)
+
+    def test_ledger_matches_counts(self):
+        faulty, channel = _lossy(FaultSpec.loss_cocktail(0.2, seed=13))
+        for index in range(25):
+            channel.send("client", bytes([index]) * 12)
+            channel.receive("provider")
+        counts = faulty.fault_counts()
+        assert counts == {
+            kind: sum(1 for event in faulty.fault_log if event.kind == kind)
+            for kind in counts
+        }
+        assert all(event.size > 0 for event in faulty.fault_log)

@@ -15,7 +15,12 @@ import struct
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.exceptions import ProtocolError, TransportClosedError, WireFormatError
+from repro.exceptions import (
+    ProtocolError,
+    TransportClosedError,
+    TransportTimeoutError,
+    WireFormatError,
+)
 from repro.twopc.transport import (
     FRAME_LENGTH_PREFIX,
     AsyncFramedChannel,
@@ -81,6 +86,35 @@ class TestFrameAssembler:
         with pytest.raises(WireFormatError):
             assembler.feed(FRAME_LENGTH_PREFIX.pack(1 << 30))
 
+    def test_zero_length_frames(self):
+        assembler = FrameAssembler()
+        out = assembler.feed(_stream_of([b"", b"", b"payload", b""]))
+        assert out == [b"", b"", b"payload", b""]
+        assert assembler.buffered_bytes() == 0
+
+    def test_frame_exactly_at_max_frame_bytes(self):
+        limit = 1024
+        exactly = bytes(limit)
+        assembler = FrameAssembler(max_frame_bytes=limit)
+        assert assembler.feed(_stream_of([exactly])) == [exactly]
+
+    def test_frame_one_past_max_frame_bytes(self):
+        limit = 1024
+        assembler = FrameAssembler(max_frame_bytes=limit)
+        with pytest.raises(WireFormatError):
+            assembler.feed(FRAME_LENGTH_PREFIX.pack(limit + 1))
+
+    def test_length_prefix_split_across_five_one_byte_feeds(self):
+        # The u32 prefix arrives one byte per feed; the fifth feed carries
+        # the single payload byte.  No feed may deliver early or misparse.
+        stream = _stream_of([b"z"])
+        assert len(stream) == 5
+        assembler = FrameAssembler()
+        deliveries = [assembler.feed(bytes([byte])) for byte in stream]
+        assert deliveries[:4] == [[], [], [], []]
+        assert deliveries[4] == [b"z"]
+        assert assembler.buffered_bytes() == 0
+
 
 class TestSocketTransportFraming:
     def test_frame_reassembles_from_one_byte_writes(self):
@@ -142,6 +176,54 @@ class TestSocketTransportFraming:
                 transport.receive("provider")
         finally:
             transport.close()
+
+
+class TestReceiveTimeouts:
+    """The optional receive deadline: silent peers raise instead of hanging."""
+
+    def test_socket_receive_timeout_raises(self):
+        transport = SocketTransport(timeout=10.0)
+        try:
+            with pytest.raises(TransportTimeoutError):
+                transport.receive("provider", timeout_seconds=0.05)
+        finally:
+            transport.close()
+
+    def test_socket_timeout_is_a_protocol_error(self):
+        transport = SocketTransport(timeout=10.0)
+        try:
+            with pytest.raises(ProtocolError):  # subclass contract
+                transport.receive("provider", timeout_seconds=0.05)
+        finally:
+            transport.close()
+
+    def test_socket_usable_after_timeout(self):
+        # The per-call deadline must not poison the socket's default timeout.
+        transport = SocketTransport(timeout=10.0)
+        try:
+            with pytest.raises(TransportTimeoutError):
+                transport.receive("provider", timeout_seconds=0.05)
+            transport.send("client", b"after the silence")
+            assert transport.receive("provider") == b"after the silence"
+        finally:
+            transport.close()
+
+    def test_async_receive_timeout_raises(self):
+        async def scenario():
+            server, provider, client = await _tcp_pair()()
+            try:
+                with pytest.raises(TransportTimeoutError):
+                    await provider.receive("provider", timeout_seconds=0.05)
+                # Still usable afterwards.
+                await client.send("client", b"late but fine")
+                assert await provider.receive("provider") == b"late but fine"
+            finally:
+                await client.aclose()
+                await provider.aclose()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
 
 
 def _tcp_pair(**kwargs):
