@@ -103,6 +103,20 @@ class AHEScheme(ABC):
     def encrypt_slots(self, public_key: AHEPublicKey, values: Sequence[int]) -> AHECiphertext:
         """Encrypt up to :attr:`num_slots` slot values (slot 0 first, rest zero)."""
 
+    def encrypt_slots_many(
+        self, public_key: AHEPublicKey, vectors: Sequence[Sequence[int]]
+    ) -> list[AHECiphertext]:
+        """Encrypt a batch of slot vectors; schemes may override with a batched path.
+
+        The ciphertext fabrication hot paths (blinding noise, model packing)
+        call this so that schemes with array ciphertexts (XPIR-BV) can run one
+        stacked transform pass and one vectorised randomness draw for the
+        whole batch.  *vectors* may also be a ``(B, slots)`` integer ndarray.
+        The default is the per-vector loop (Paillier).
+        """
+        rows = vectors.tolist() if isinstance(vectors, np.ndarray) else vectors
+        return [self.encrypt_slots(public_key, vector) for vector in rows]
+
     @abstractmethod
     def decrypt_slots(self, keypair: AHEKeyPair, ciphertext: AHECiphertext) -> list[int]:
         """Decrypt and return all :attr:`num_slots` slot values."""
@@ -124,6 +138,36 @@ class AHEScheme(ABC):
     def shift_up(self, ciphertext: AHECiphertext, positions: int) -> AHECiphertext:
         """Move slot ``i`` to slot ``i + positions`` (low slots become garbage)."""
         raise ParameterError(f"{self.name} does not support slot shifts")
+
+    def add_many(
+        self, lefts: Sequence[AHECiphertext], rights: Sequence[AHECiphertext]
+    ) -> list[AHECiphertext]:
+        """Pairwise :meth:`add` over two equal-length batches.
+
+        Schemes with array ciphertexts may override with one stacked addition;
+        the override must stay bit-identical to this loop.
+        """
+        if len(lefts) != len(rights):
+            raise ParameterError("add_many requires equal-length batches")
+        return [self.add(left, right) for left, right in zip(lefts, rights)]
+
+    def extract_shift_many(
+        self,
+        ciphertexts: Sequence[AHECiphertext],
+        indices: Sequence[int],
+        shifts: Sequence[int],
+    ) -> list[AHECiphertext]:
+        """Gather ``ciphertexts[indices[k]]`` and shift each up by ``shifts[k]``.
+
+        This is the candidate-extraction primitive of §4.3: the same source
+        ciphertext may be gathered many times with different shifts.  The
+        default is a per-candidate :meth:`shift_up` loop; slot-shifting array
+        schemes override it with one stacked gather and a batched
+        monomial-spectra multiply (bit-identical to the loop).
+        """
+        if len(indices) != len(shifts):
+            raise ParameterError("extract_shift_many requires equal-length indices/shifts")
+        return [self.shift_up(ciphertexts[index], shift) for index, shift in zip(indices, shifts)]
 
     # -- batched accumulation (optional fast path) -------------------------
     @property

@@ -172,7 +172,18 @@ class BVScheme(AHEScheme):
         )
 
     # -- encryption / decryption ------------------------------------------------
-    def encrypt_slots(self, public_key: AHEPublicKey, values: Sequence[int]) -> AHECiphertext:
+    def encrypt_slots(
+        self, public_key: AHEPublicKey, values: Sequence[int], prg: Prg | None = None
+    ) -> AHECiphertext:
+        """Encrypt one slot vector.
+
+        When *prg* is supplied, the encryption randomness is drawn from that
+        shared stream in a fixed order — ``n`` bytes of ternary ``u``, then
+        ``2n`` bytes each for ``e1`` and ``e2`` — which is exactly the
+        per-ciphertext chunk layout of :meth:`encrypt_slots_many`; the batched
+        path is pinned bit-identical to a loop over this method on the same
+        stream.  With ``prg=None`` each sample draws fresh local randomness.
+        """
         public: BVPublic = public_key.payload
         checked = self._check_slot_values(values)
         ring = self.ring
@@ -180,20 +191,128 @@ class BVScheme(AHEScheme):
         # from_int_coefficients vectorises the per-prime reduction and falls
         # back to exact Python arithmetic for slot values beyond int64.
         message = RingPolynomial.from_int_coefficients(ring, checked).residues
-        u = RingPolynomial.sample_ternary(ring)
-        e1 = RingPolynomial.sample_noise(ring, self.parameters.noise_bound)
-        e2 = RingPolynomial.sample_noise(ring, self.parameters.noise_bound)
-        # One batched forward pass per prime over the four fresh polynomials.
-        stacked = np.stack([u.residues, e1.residues, e2.residues, message])
-        u_s, e1_s, e2_s, m_s = ring.forward_transform(stacked)
+        u = RingPolynomial.sample_ternary(ring, prg)
+        e1 = RingPolynomial.sample_noise(ring, self.parameters.noise_bound, prg)
+        e2 = RingPolynomial.sample_noise(ring, self.parameters.noise_bound, prg)
+        # The NTT is linear mod each prime, so ``t·e1 + m`` and ``t·e2`` fold
+        # in the coefficient domain first: one batched forward pass over
+        # *three* fresh polynomials instead of four, identical output.
         t_column = self._t_column
-        c0 = (public.p0.spectra * u_s % primes_column + t_column * e1_s % primes_column + m_s) % primes_column
-        c1 = (public.p1.spectra * u_s % primes_column + t_column * e2_s % primes_column) % primes_column
+        a = (t_column * e1.residues % primes_column + message) % primes_column
+        b = t_column * e2.residues % primes_column
+        stacked = np.stack([u.residues, a, b])
+        u_s, a_s, b_s = ring.forward_transform(stacked)
+        c0 = (public.p0.spectra * u_s % primes_column + a_s) % primes_column
+        c1 = (public.p1.spectra * u_s % primes_column + b_s) % primes_column
         payload = BVCiphertextPayload(
             c0=RingPolynomial.from_spectra(ring, c0),
             c1=RingPolynomial.from_spectra(ring, c1),
         )
         return AHECiphertext(self.name, payload, self.ciphertext_size_bytes())
+
+    def encrypt_slots_many(
+        self,
+        public_key: AHEPublicKey,
+        vectors: Sequence[Sequence[int]],
+        prg: Prg | None = None,
+    ) -> list[AHECiphertext]:
+        """Encrypt ``B`` slot vectors with one stacked ``(3B, primes, n)`` NTT pass.
+
+        This is the ciphertext-fabrication analogue of the batched decrypt:
+        all randomness for the batch is one bulk read (per-ciphertext chunks
+        of ``5n`` bytes: ``n`` ternary + ``2n`` + ``2n`` noise, matching
+        :meth:`encrypt_slots` on a shared stream byte for byte), the ternary
+        and noise interpretation is one vectorised pass over the whole block,
+        and the fresh polynomials of the batch go through a single stacked
+        forward transform.  *vectors* may be a ``(B, ≤n)`` integer ndarray —
+        the fabrication hot paths pass their noise matrices directly, skipping
+        per-value Python validation.  The per-ciphertext outputs are
+        bit-identical to an :meth:`encrypt_slots` loop on the same stream.
+        """
+        if len(vectors) == 0:
+            return []
+        public: BVPublic = public_key.payload
+        ring = self.ring
+        n = ring.n
+        batch = len(vectors)
+        primes_column = ring.primes_column
+        messages = self._message_residues_many(vectors)
+        # One randomness block for the whole batch; chunk b serves ciphertext
+        # b.  Without a caller stream the bytes come straight from the OS
+        # CSPRNG (one cheap bulk read); a caller-supplied PRG replays the
+        # exact per-ciphertext layout of :meth:`encrypt_slots`.
+        chunk = 5 * n
+        raw = secure_bytes(chunk * batch) if prg is None else prg.read(chunk * batch)
+        block = np.frombuffer(raw, dtype=np.uint8).reshape(batch, chunk)
+        bound = self.parameters.noise_bound
+        spread = np.uint16(2 * bound + 1)
+        u_signed = (block[:, :n] % np.uint8(3)).astype(np.int64) - 1
+        e1_raw = np.ascontiguousarray(block[:, n : 3 * n]).view(">u2")
+        e2_raw = np.ascontiguousarray(block[:, 3 * n :]).view(">u2")
+        e1_signed = (e1_raw % spread).astype(np.int64) - bound
+        e2_signed = (e2_raw % spread).astype(np.int64) - bound
+        # (B, n) signed vectors -> (B, primes, n) residues.  ``t·e + m`` folds
+        # in the coefficient domain (the NTT is linear mod each prime), so the
+        # stacked forward pass covers 3B fresh polynomials, not 4B.
+        t_column = self._t_column
+        e1_res = e1_signed[:, None, :] % primes_column
+        e2_res = e2_signed[:, None, :] % primes_column
+        stacked = np.concatenate(
+            [
+                u_signed[:, None, :] % primes_column,
+                (t_column * e1_res % primes_column + messages) % primes_column,
+                t_column * e2_res % primes_column,
+            ]
+        )
+        transformed = ring.forward_transform(stacked)
+        u_s = transformed[:batch]
+        a_s = transformed[batch : 2 * batch]
+        b_s = transformed[2 * batch :]
+        c0 = (public.p0.spectra * u_s % primes_column + a_s) % primes_column
+        c1 = (public.p1.spectra * u_s % primes_column + b_s) % primes_column
+        size = self.ciphertext_size_bytes()
+        return [
+            AHECiphertext(
+                self.name,
+                BVCiphertextPayload(
+                    c0=RingPolynomial.from_spectra(ring, c0[b]),
+                    c1=RingPolynomial.from_spectra(ring, c1[b]),
+                ),
+                size,
+            )
+            for b in range(batch)
+        ]
+
+    def _message_residues_many(self, vectors) -> np.ndarray:
+        """Per-prime message residues for a batch, shape ``(B, primes, n)``.
+
+        A ``(B, ≤n)`` integer ndarray takes a fully vectorised path (one range
+        check, one broadcast reduction); anything else runs the per-vector
+        validation and reduction of :meth:`encrypt_slots`.
+        """
+        ring = self.ring
+        if isinstance(vectors, np.ndarray):
+            if vectors.ndim != 2 or vectors.shape[1] > ring.n:
+                raise ParameterError(
+                    f"slot matrix of shape {vectors.shape} does not fit "
+                    f"(batch, <= {ring.n}) slots"
+                )
+            if not np.issubdtype(vectors.dtype, np.integer):
+                raise ParameterError("slot matrix must have an integer dtype")
+            if vectors.size and (
+                int(vectors.min()) < 0 or int(vectors.max()) >= self.slot_modulus
+            ):
+                raise ParameterError(f"slot value outside [0, 2^{self.slot_bits})")
+            width = vectors.shape[1]
+            residues = np.zeros((len(vectors), len(ring.primes), ring.n), dtype=np.int64)
+            residues[:, :, :width] = vectors.astype(np.int64)[:, None, :] % ring.primes_column
+            return residues
+        return np.stack(
+            [
+                RingPolynomial.from_int_coefficients(ring, self._check_slot_values(v)).residues
+                for v in vectors
+            ]
+        )
 
     def _phase_slots(self, phase_residues: np.ndarray) -> list:
         """CRT-reconstruct decryption phases (shape ``(..., primes, n)``) to slots."""
@@ -239,6 +358,49 @@ class BVScheme(AHEScheme):
             c1=payload.c1.scalar_multiply(scalar),
         )
         return AHECiphertext(self.name, result, self.ciphertext_size_bytes())
+
+    def add_many(
+        self, lefts: Sequence[AHECiphertext], rights: Sequence[AHECiphertext]
+    ) -> list[AHECiphertext]:
+        """Pairwise addition as one stacked ``(B, primes, n)`` array pass."""
+        if len(lefts) != len(rights):
+            raise ParameterError("add_many requires equal-length batches")
+        if not lefts:
+            return []
+        left_stack = self.stack_ciphertexts(lefts)
+        right_stack = self.stack_ciphertexts(rights)
+        primes_column = self.ring.primes_column
+        c0 = (left_stack.c0 + right_stack.c0) % primes_column
+        c1 = (left_stack.c1 + right_stack.c1) % primes_column
+        return [self._wrap_spectra(c0[b], c1[b]) for b in range(len(lefts))]
+
+    def extract_shift_many(
+        self,
+        ciphertexts: Sequence[AHECiphertext],
+        indices: Sequence[int],
+        shifts: Sequence[int],
+    ) -> list[AHECiphertext]:
+        """Gather + shift a whole candidate batch in one spectrum-domain pass.
+
+        The sources are stacked once, the gather is one fancy-index, and all
+        shifts apply as a single batched multiply against the plan's cached
+        monomial spectra — no per-candidate Python work beyond wrapping the
+        result rows.  Bit-identical to the base-class :meth:`shift_up` loop.
+        """
+        if len(indices) != len(shifts):
+            raise ParameterError("extract_shift_many requires equal-length indices/shifts")
+        if not indices:
+            return []
+        for shift in shifts:
+            if shift < 0:
+                raise ParameterError("shift amount must be non-negative")
+        stack = self.stack_ciphertexts(ciphertexts)
+        idx = np.asarray(indices, dtype=np.intp)
+        mono = self.ring.monomial_spectra_many(list(shifts))
+        primes_column = self.ring.primes_column
+        c0 = stack.c0[idx] * mono % primes_column
+        c1 = stack.c1[idx] * mono % primes_column
+        return [self._wrap_spectra(c0[b], c1[b]) for b in range(len(indices))]
 
     def shift_up(self, ciphertext: AHECiphertext, positions: int) -> AHECiphertext:
         """Move slot ``i`` to slot ``i + positions`` via multiplication by ``x^positions``.

@@ -11,17 +11,29 @@ A negacyclic (negative-wrapped) convolution of length ``n`` is computed by
 pre-multiplying inputs by powers of a primitive ``2n``-th root of unity ψ,
 running a cyclic NTT with ω = ψ², and post-multiplying by powers of ψ⁻¹.
 
-Everything that depends only on ``(ring_degree, prime)`` — bit-reversal
+Everything that depends only on ``(ring_degree, prime-set)`` — bit-reversal
 permutations, twiddle tables, the contexts themselves, and the spectra of
-monomials ``x^k`` used for evaluation-domain slot shifts — is cached at
-module level, so repeated scheme instantiations (tests, benchmarks, one
-``BVScheme`` per protocol arm) never redo the setup work.
+monomials ``x^k`` used for evaluation-domain slot shifts — lives in an
+explicit per-``(degree, prime-set)`` :class:`NttPlan`, cached at module
+level, so repeated scheme instantiations (tests, benchmarks, one
+``BVScheme`` per protocol arm) never redo the setup work and batched slot
+shifts reuse one stacked monomial-spectra table.
+
+Transforms are *pluggable*: the vectorised NumPy butterflies below are the
+default and the correctness reference, and an optional compiled backend
+(:mod:`repro.crypto.ntt_compiled`, numba ``@njit`` loops) is auto-detected
+and produces bit-identical residues.  Select explicitly with the
+``REPRO_NTT_BACKEND`` environment variable (``numpy`` or ``numba``) or the
+``backend`` argument of :func:`get_ntt_plan` / :class:`NttContext`.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+from repro.crypto import ntt_compiled
 from repro.crypto.numtheory import (
     find_primitive_root_of_unity,
     invmod,
@@ -37,8 +49,39 @@ _PRIME_CACHE: dict[tuple[int, int], list[int]] = {}
 # Bit-reversal permutations keyed by transform length.
 _BITREV_CACHE: dict[int, np.ndarray] = {}
 
-# Fully initialised transform contexts keyed by (ring_degree, prime).
-_CONTEXT_CACHE: dict[tuple[int, int], "NttContext"] = {}
+# Fully initialised transform contexts keyed by (ring_degree, prime, backend).
+_CONTEXT_CACHE: dict[tuple[int, int, str], "NttContext"] = {}
+
+# Fully initialised plans keyed by (ring_degree, prime-set, backend).
+_PLAN_CACHE: dict[tuple[int, tuple[int, ...], str], "NttPlan"] = {}
+
+
+def available_ntt_backends() -> list[str]:
+    """Backends usable on this machine; ``numpy`` is always first."""
+    backends = ["numpy"]
+    if ntt_compiled.available():
+        backends.append("numba")
+    return backends
+
+
+def resolve_ntt_backend(backend: str = "auto") -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``auto`` honours ``REPRO_NTT_BACKEND`` when set, otherwise picks the
+    compiled backend when numba is importable and falls back to numpy.
+    Requesting ``numba`` explicitly (argument or environment) on a machine
+    without numba is an error rather than a silent downgrade.
+    """
+    if backend == "auto":
+        requested = os.environ.get("REPRO_NTT_BACKEND", "").strip().lower()
+        if not requested:
+            return "numba" if ntt_compiled.available() else "numpy"
+        backend = requested
+    if backend not in ("numpy", "numba"):
+        raise ParameterError(f"unknown NTT backend {backend!r} (use numpy or numba)")
+    if backend == "numba" and not ntt_compiled.available():
+        raise ParameterError("numba NTT backend requested but numba is not importable")
+    return backend
 
 
 def ntt_friendly_primes(count: int, bits: int, ring_degree: int) -> list[int]:
@@ -89,13 +132,25 @@ def _bit_reverse_permutation(n: int) -> np.ndarray:
     return perm
 
 
-def get_ntt_context(ring_degree: int, prime: int) -> "NttContext":
-    """Shared, cached :class:`NttContext` for ``(ring_degree, prime)``."""
-    key = (ring_degree, prime)
+def get_ntt_context(ring_degree: int, prime: int, backend: str = "auto") -> "NttContext":
+    """Shared, cached :class:`NttContext` for ``(ring_degree, prime, backend)``."""
+    resolved = resolve_ntt_backend(backend)
+    key = (ring_degree, prime, resolved)
     cached = _CONTEXT_CACHE.get(key)
     if cached is None:
-        cached = NttContext(ring_degree, prime)
+        cached = NttContext(ring_degree, prime, backend=resolved)
         _CONTEXT_CACHE[key] = cached
+    return cached
+
+
+def get_ntt_plan(ring_degree: int, primes: "list[int] | tuple[int, ...]", backend: str = "auto") -> "NttPlan":
+    """Shared, cached :class:`NttPlan` for ``(ring_degree, prime-set, backend)``."""
+    resolved = resolve_ntt_backend(backend)
+    key = (ring_degree, tuple(primes), resolved)
+    cached = _PLAN_CACHE.get(key)
+    if cached is None:
+        cached = NttPlan(ring_degree, primes, backend=resolved)
+        _PLAN_CACHE[key] = cached
     return cached
 
 
@@ -106,15 +161,21 @@ class NttContext:
     axis, so a batch of polynomials (the four fresh samples of one encryption,
     the rows of a packed model) costs one vectorised pass instead of one
     Python-level call per polynomial.
+
+    ``backend`` selects the butterfly implementation: ``numpy`` (default,
+    reference) or ``numba`` (compiled, bit-identical output).  Only the
+    backend *name* is stored — never a compiled dispatcher — so contexts stay
+    picklable across shard-worker boundaries.
     """
 
-    def __init__(self, ring_degree: int, prime: int) -> None:
+    def __init__(self, ring_degree: int, prime: int, backend: str = "auto") -> None:
         if ring_degree <= 1 or ring_degree & (ring_degree - 1):
             raise ParameterError("ring degree must be a power of two > 1")
         if (prime - 1) % (2 * ring_degree) != 0:
             raise ParameterError("prime is not NTT-friendly for this ring degree")
         self.n = ring_degree
         self.prime = prime
+        self.backend = resolve_ntt_backend(backend)
         psi = find_primitive_root_of_unity(2 * ring_degree, prime)
         omega = (psi * psi) % prime
         self._psi_powers = self._power_table(psi, ring_degree, prime)
@@ -143,11 +204,22 @@ class NttContext:
         results are left to grow.  Magnitudes after stage ``k`` are bounded by
         ``(k + 1) * prime`` < 2^35 for the ≤ 2^31 primes and ≤ 2^10 stages used
         here, so nothing overflows before the single final reduction.
+
+        With the ``numba`` backend the same butterflies run as compiled loops
+        (eagerly reduced); both paths end in canonical residues, so the
+        results are bit-identical.
         """
         prime = self.prime
         data = values[..., self._bitrev].astype(np.int64)
         batch_shape = data.shape[:-1]
         data = data.reshape(-1, self.n)
+        if self.backend == "numba":
+            compiled = ntt_compiled.kernels()
+            if compiled is None:  # numba vanished since resolution (unlikely)
+                raise ParameterError("numba NTT backend is unavailable")
+            data = np.ascontiguousarray(data)
+            compiled.cyclic_ntt_inplace(data, twiddles, prime)
+            return data.reshape(*batch_shape, self.n)
         length = 2
         while length <= self.n:
             half = length // 2
@@ -216,6 +288,69 @@ class NttContext:
             cached.setflags(write=False)
             self._monomial_cache[exponent] = cached
         return cached
+
+
+class NttPlan:
+    """All reusable transform state for one ``(ring_degree, prime-set)``.
+
+    A plan bundles the per-prime :class:`NttContext` objects (twiddle tables,
+    bit-reversal permutation, backend choice) with the *stacked* monomial
+    spectra used by batched evaluation-domain slot shifts, so everything that
+    depends only on the parameter set is computed once per process and shared
+    by every :class:`~repro.crypto.ringlwe.RingContext` (and therefore every
+    scheme instance) over the same primes.  Obtain plans via
+    :func:`get_ntt_plan`, which caches them per (degree, prime-set, backend).
+    """
+
+    def __init__(self, ring_degree: int, primes: "list[int] | tuple[int, ...]", backend: str = "auto") -> None:
+        if not primes:
+            raise ParameterError("an NTT plan needs at least one prime")
+        self.n = ring_degree
+        self.primes = tuple(primes)
+        self.backend = resolve_ntt_backend(backend)
+        self.contexts = [
+            get_ntt_context(ring_degree, prime, self.backend) for prime in self.primes
+        ]
+        # Stacked (num_primes, n) spectra of x^k, filled on demand.
+        self._monomial_cache: dict[int, np.ndarray] = {}
+
+    # -- batched transforms (shape (..., num_primes, n)) ----------------------
+    def forward(self, residues: np.ndarray) -> np.ndarray:
+        """Per-prime forward NTT of a ``(..., num_primes, n)`` residue array."""
+        spectra = np.empty_like(residues)
+        for index, context in enumerate(self.contexts):
+            spectra[..., index, :] = context.forward_many(residues[..., index, :])
+        return spectra
+
+    def inverse(self, spectra: np.ndarray) -> np.ndarray:
+        """Per-prime inverse NTT of a ``(..., num_primes, n)`` spectrum array."""
+        residues = np.empty_like(spectra)
+        for index, context in enumerate(self.contexts):
+            residues[..., index, :] = context.inverse_many(spectra[..., index, :])
+        return residues
+
+    # -- monomial spectra -----------------------------------------------------
+    def monomial_spectra(self, exponent: int) -> np.ndarray:
+        """Stacked per-prime spectra of ``x^exponent``, shape ``(num_primes, n)``."""
+        exponent %= 2 * self.n
+        cached = self._monomial_cache.get(exponent)
+        if cached is None:
+            cached = np.stack(
+                [context.monomial_spectrum(exponent) for context in self.contexts]
+            )
+            cached.setflags(write=False)
+            self._monomial_cache[exponent] = cached
+        return cached
+
+    def monomial_spectra_many(self, exponents: "list[int] | tuple[int, ...]") -> np.ndarray:
+        """Stacked spectra of many monomials, shape ``(len(exponents), num_primes, n)``.
+
+        This is the batched-shift table: multiplying a ``(B, num_primes, n)``
+        ciphertext-component stack by it applies ``x^{exponents[i]}`` to row
+        ``i`` in one pointwise pass.  Per-exponent spectra come from the plan
+        cache, so repeated shift patterns only pay the ``np.stack`` gather.
+        """
+        return np.stack([self.monomial_spectra(exponent) for exponent in exponents])
 
 
 def negacyclic_multiply_reference(left: np.ndarray, right: np.ndarray, prime: int) -> np.ndarray:

@@ -1,0 +1,88 @@
+"""Optional compiled NTT butterfly kernels (numba ``@njit``).
+
+The pure-NumPy transforms in :mod:`repro.crypto.ntt` are the default and the
+correctness reference; this module provides a drop-in compiled implementation
+of the cyclic butterfly loops for machines where :mod:`numba` happens to be
+installed.  Nothing here is required: when numba is absent every probe
+returns ``None``/``False`` and the numpy path runs unchanged.
+
+Both implementations produce canonical residues in ``[0, prime)`` after every
+transform, so their outputs are *bit-identical* — the backend-parity tests
+pin that — and the backend choice is invisible above the
+:class:`~repro.crypto.ntt.NttContext` plan interface.
+
+Design constraint: contexts and ring elements are pickled across shard-worker
+process boundaries (registration replay), so no compiled dispatcher is ever
+stored on a context — callers fetch the kernels from this module at call
+time via :func:`kernels`.
+"""
+
+from __future__ import annotations
+
+_KERNELS = None
+_PROBED = False
+_AVAILABLE = False
+
+
+def available() -> bool:
+    """Whether the numba backend can be imported on this machine."""
+    global _PROBED, _AVAILABLE
+    if not _PROBED:
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            _AVAILABLE = False
+        else:
+            _AVAILABLE = True
+        _PROBED = True
+    return _AVAILABLE
+
+
+class _CompiledKernels:
+    """Holder for the jitted entry points (built once, lazily)."""
+
+    def __init__(self, cyclic_ntt_inplace) -> None:
+        self.cyclic_ntt_inplace = cyclic_ntt_inplace
+
+
+def kernels() -> _CompiledKernels | None:
+    """Return the compiled kernels, building them on first use.
+
+    Returns ``None`` when numba is not importable.  The first call pays the
+    JIT compilation (cached on disk by numba where possible); later calls are
+    a module-global lookup.
+    """
+    global _KERNELS
+    if _KERNELS is not None:
+        return _KERNELS
+    if not available():
+        return None
+
+    import numba
+
+    @numba.njit(cache=True, nogil=True)
+    def cyclic_ntt_inplace(data, twiddles, prime):  # pragma: no cover - exercised only with numba
+        """Iterative cyclic NTT over each row of ``data`` (shape (batch, n)).
+
+        ``data`` must already be bit-reversed; rows are transformed in place
+        and every value is reduced to the canonical residue in ``[0, prime)``
+        at every stage (numba's ``%`` follows Python sign semantics), so the
+        final rows equal the lazily-reduced numpy path bit for bit.
+        """
+        batch, n = data.shape
+        for row in range(batch):
+            length = 2
+            while length <= n:
+                half = length >> 1
+                stride = n // length
+                for start in range(0, n, length):
+                    for k in range(half):
+                        twiddle = twiddles[k * stride]
+                        low = data[row, start + k]
+                        high = data[row, start + k + half] % prime * twiddle % prime
+                        data[row, start + k] = (low + high) % prime
+                        data[row, start + k + half] = (low - high) % prime
+                length <<= 1
+
+    _KERNELS = _CompiledKernels(cyclic_ntt_inplace)
+    return _KERNELS

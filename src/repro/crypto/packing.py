@@ -192,20 +192,18 @@ class PackedLinearModel:
             slots_per_ciphertext=scheme.num_slots,
             across_rows=across_rows,
         )
-        segments = []
+        # Collect every slot vector of the packed model first, then fabricate
+        # all ciphertexts in one batched call: for XPIR-BV the whole model is
+        # one stacked forward-NTT pass and one vectorised randomness draw.
         p = scheme.num_slots
+        vectors: list[list[int]] = []
         for segment_index in range(layout.full_segments):
             start = segment_index * p
-            row_cts = [
-                scheme.encrypt_slots(public_key, list(row[start : start + p]))
-                for row in matrix_rows
-            ]
-            segments.append(EncryptedModelColumnSegment(segment_index, row_cts))
-        leftover = None
+            vectors.extend(list(row[start : start + p]) for row in matrix_rows)
         k = layout.leftover_columns
+        leftover_count = 0
         if k:
             start = layout.full_segments * p
-            leftover_cts = []
             if across_rows:
                 rows_per_ct = layout.rows_per_leftover_ciphertext
                 for first_row in range(0, num_rows, rows_per_ct):
@@ -213,13 +211,23 @@ class PackedLinearModel:
                     packed: list[int] = []
                     for row in block_rows:
                         packed.extend(int(v) for v in row[start : start + k])
-                    leftover_cts.append(scheme.encrypt_slots(public_key, packed))
+                    vectors.append(packed)
+                    leftover_count += 1
             else:
                 for row in matrix_rows:
-                    leftover_cts.append(
-                        scheme.encrypt_slots(public_key, list(row[start : start + k]))
-                    )
-            leftover = EncryptedModelLeftover(leftover_cts)
+                    vectors.append(list(row[start : start + k]))
+                    leftover_count += 1
+        encrypted = scheme.encrypt_slots_many(public_key, vectors)
+        segments = [
+            EncryptedModelColumnSegment(
+                segment_index,
+                encrypted[segment_index * num_rows : (segment_index + 1) * num_rows],
+            )
+            for segment_index in range(layout.full_segments)
+        ]
+        leftover = None
+        if k:
+            leftover = EncryptedModelLeftover(encrypted[len(encrypted) - leftover_count :])
         return cls(scheme, public_key, layout, segments, leftover)
 
     # -- sizes --------------------------------------------------------------

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crypto.ntt import get_ntt_context, ntt_friendly_primes
+from repro.crypto.ntt import get_ntt_plan, ntt_friendly_primes
 from repro.crypto.numtheory import invmod
 from repro.crypto.prg import Prg
 from repro.exceptions import ParameterError
@@ -30,7 +30,7 @@ from repro.utils.rand import secure_bytes
 class RingContext:
     """Shared parameters for polynomials in ``Z_q[x]/(x^n + 1)`` with RNS modulus q."""
 
-    def __init__(self, ring_degree: int, primes: list[int]) -> None:
+    def __init__(self, ring_degree: int, primes: list[int], backend: str = "auto") -> None:
         if not primes:
             raise ParameterError("at least one RNS prime is required")
         self.n = ring_degree
@@ -38,24 +38,53 @@ class RingContext:
         self.modulus = 1
         for prime in primes:
             self.modulus *= prime
-        self.ntt = [get_ntt_context(ring_degree, prime) for prime in primes]
+        # All transform state (twiddles, bit-reversal, backend choice, stacked
+        # monomial spectra) lives in the shared per-(degree, prime-set) plan.
+        self.plan = get_ntt_plan(ring_degree, primes, backend)
+        self.ntt = self.plan.contexts
         # Broadcast helper: shape (num_primes, 1) so (primes, n) arrays reduce
         # prime-wise with a single vectorised `%`.
         self.primes_column = np.array(self.primes, dtype=np.int64)[:, None]
         self.primes_column.setflags(write=False)
         # Precompute CRT reconstruction coefficients: for residues r_i,
         # value = sum_i r_i * M_i * (M_i^{-1} mod p_i) mod q, where M_i = q / p_i.
+        # (Used by the object-dtype reference path and pinned by tests.)
         self._crt_terms = []
         for prime in primes:
             partial = self.modulus // prime
             self._crt_terms.append(partial * invmod(partial % prime, prime))
-        self._monomial_cache: dict[int, np.ndarray] = {}
+        # Garner mixed-radix precomputation for the int64 fast path:
+        # prefix_i = p_0 * ... * p_{i-1} (prefix_0 = 1), each reduced modulo
+        # every later prime, plus the inverse of prefix_j mod p_j that the
+        # digit extraction divides by.
+        self._garner_prefixes: list[int] = []
+        prefix = 1
+        for prime in primes:
+            self._garner_prefixes.append(prefix)
+            prefix *= prime
+        self._garner_prefix_mod = [
+            [self._garner_prefixes[i] % primes[j] for i in range(j)]
+            for j in range(len(primes))
+        ]
+        self._garner_prefix_inv = [
+            invmod(self._garner_prefixes[j] % primes[j], primes[j])
+            for j in range(len(primes))
+        ]
+        # With ≤ 31-bit primes the mixed-radix digits are always int64-safe;
+        # the final recombination stays int64 whenever q itself fits.
+        self._int64_crt = self.modulus < (1 << 62)
 
     @classmethod
-    def create(cls, ring_degree: int = 1024, prime_bits: int = 31, prime_count: int = 2) -> "RingContext":
+    def create(
+        cls,
+        ring_degree: int = 1024,
+        prime_bits: int = 31,
+        prime_count: int = 2,
+        backend: str = "auto",
+    ) -> "RingContext":
         """Build a context with freshly discovered NTT-friendly primes."""
         primes = ntt_friendly_primes(prime_count, prime_bits, ring_degree)
-        return cls(ring_degree, primes)
+        return cls(ring_degree, primes, backend=backend)
 
     @property
     def modulus_bits(self) -> int:
@@ -64,27 +93,19 @@ class RingContext:
     # -- transforms ----------------------------------------------------------
     def forward_transform(self, residues: np.ndarray) -> np.ndarray:
         """Per-prime forward NTT of a ``(..., num_primes, n)`` residue array."""
-        spectra = np.empty_like(residues)
-        for index, ntt in enumerate(self.ntt):
-            spectra[..., index, :] = ntt.forward_many(residues[..., index, :])
-        return spectra
+        return self.plan.forward(residues)
 
     def inverse_transform(self, spectra: np.ndarray) -> np.ndarray:
         """Per-prime inverse NTT of a ``(..., num_primes, n)`` spectrum array."""
-        residues = np.empty_like(spectra)
-        for index, ntt in enumerate(self.ntt):
-            residues[..., index, :] = ntt.inverse_many(spectra[..., index, :])
-        return residues
+        return self.plan.inverse(spectra)
 
     def monomial_spectra(self, exponent: int) -> np.ndarray:
         """Stacked per-prime spectra of ``x^exponent``, shape ``(num_primes, n)``."""
-        exponent %= 2 * self.n
-        cached = self._monomial_cache.get(exponent)
-        if cached is None:
-            cached = np.stack([ntt.monomial_spectrum(exponent) for ntt in self.ntt])
-            cached.setflags(write=False)
-            self._monomial_cache[exponent] = cached
-        return cached
+        return self.plan.monomial_spectra(exponent)
+
+    def monomial_spectra_many(self, exponents: list[int] | tuple[int, ...]) -> np.ndarray:
+        """Stacked spectra for many shifts, shape ``(len(exponents), num_primes, n)``."""
+        return self.plan.monomial_spectra_many(exponents)
 
     def reduce_scalar(self, scalar: int) -> np.ndarray:
         """Reduce an integer modulo every prime; shape ``(num_primes, 1)``."""
@@ -94,10 +115,50 @@ class RingContext:
     def crt_reconstruct_array(self, residues: np.ndarray) -> np.ndarray:
         """Combine RNS residues (shape ``(..., num_primes, n)``) into centered integers.
 
+        Garner's mixed-radix algorithm with the tables precomputed in
+        ``__init__``: every digit extraction is a vectorised int64 pass (the
+        operands are all below the 31-bit primes, so products stay under
+        2^62), and the final recombination stays int64 whenever ``q`` fits —
+        the default two-prime parameter set — so a whole decrypt stack never
+        leaves machine words.  When ``q`` exceeds 62 bits only the single
+        final combination touches object dtype (once per stack, not once per
+        element).  Output values and shape ``(..., n)`` are bit-identical to
+        :meth:`crt_reconstruct_array_reference`.
+        """
+        if residues.dtype == object:
+            return self.crt_reconstruct_array_reference(residues)
+        q = self.modulus
+        half = q // 2
+        primes = self.primes
+        reduced = residues.astype(np.int64) % self.primes_column
+        digits = [reduced[..., 0, :]]
+        for j in range(1, len(primes)):
+            prime_j = primes[j]
+            partial = digits[0] % prime_j
+            for i in range(1, j):
+                partial = (partial + digits[i] * self._garner_prefix_mod[j][i]) % prime_j
+            digits.append(
+                (reduced[..., j, :] - partial) * self._garner_prefix_inv[j] % prime_j
+            )
+        if self._int64_crt:
+            total = digits[0]
+            for j in range(1, len(primes)):
+                total = total + digits[j] * self._garner_prefixes[j]
+        else:
+            total = digits[0].astype(object)
+            for j in range(1, len(primes)):
+                total = total + digits[j].astype(object) * self._garner_prefixes[j]
+        # Mixed-radix recombination is exact and already below q — no final
+        # big-integer modulo is needed, only the centering.
+        return np.where(total > half, total - q, total)
+
+    def crt_reconstruct_array_reference(self, residues: np.ndarray) -> np.ndarray:
+        """Object-dtype CRT reference (the pre-Garner implementation).
+
         Returns an object-dtype array of Python integers in ``(-q/2, q/2]``
-        with shape ``(..., n)``.  The accumulation runs as whole-array
-        object-dtype operations — a handful of vectorised passes instead of
-        the O(n · num_primes) Python loop this replaces.
+        with shape ``(..., n)``.  Kept as the correctness pin for
+        :meth:`crt_reconstruct_array` and as the fallback for object-dtype
+        inputs wider than int64.
         """
         q = self.modulus
         half = q // 2

@@ -17,16 +17,42 @@ subtraction mod ``2^slot_bits``.  For Paillier the slots are bit fields in one
 big integer and a full-range addition could carry into the neighbouring slot,
 so the noise is limited to ``slot_bits - 1`` bits (value + noise still fits in
 the slot), giving statistical hiding with the guard bits of Fig. 3's ``δ``.
+
+Performance model (the client hot path behind ``topic_candidate_blinding_ms``):
+both entry points are *vectorised fabrication* — candidate extraction is one
+stacked gather plus a batched cached-monomial multiply
+(:meth:`~repro.crypto.ahe.AHEScheme.extract_shift_many`), all noise ciphertexts
+for a call are fabricated by one
+:meth:`~repro.crypto.ahe.AHEScheme.encrypt_slots_many` (for XPIR-BV: a single
+``(3B', primes, n)`` forward-NTT pass and one bulk randomness read), and the final
+blinding additions are one stacked
+:meth:`~repro.crypto.ahe.AHEScheme.add_many`.  Schemes without array
+ciphertexts (Paillier) run the same code through the base-class loop
+fallbacks.
+
+Randomness draw order is canonical and shared with the ``*_reference``
+per-candidate loops below, so the batched paths are pinned bit-identical to
+the loops under a seeded PRG:
+
+1. every full-range slot-noise vector, in one ``secure_uniform_array`` call,
+   ordered by blinded-ciphertext position;
+2. every recorded output-slot noise, in one ``secure_uniform_array`` call, in
+   output order (this replaces the former per-output-slot ``secure_randbelow``
+   loop);
+3. the noise-ciphertext encryption randomness, consumed by the scheme in
+   per-ciphertext chunks (see :meth:`repro.crypto.bv.BVScheme.encrypt_slots`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.crypto.ahe import AHECiphertext, AHEPublicKey, AHEScheme
 from repro.crypto.packing import DotProductCiphertexts, PackedLinearModel
 from repro.exceptions import ProtocolError
-from repro.utils.rand import secure_randbelow, secure_uniform_ints
+from repro.utils.rand import secure_uniform_array
 
 
 def _noise_bound(scheme: AHEScheme, dot_bits: int) -> int:
@@ -54,6 +80,60 @@ class BlindedResult:
         return sum(ct.size_bytes for ct in self.ciphertexts)
 
 
+def _encrypt_noise_vectors(
+    scheme: AHEScheme,
+    public_key: AHEPublicKey,
+    noise_matrix: np.ndarray,
+    prg,
+) -> list[AHECiphertext]:
+    """Fabricate all noise ciphertexts for one blinding call in one batch."""
+    if prg is None:
+        return scheme.encrypt_slots_many(public_key, noise_matrix)
+    # Deterministic mode (bit-identity tests): only schemes whose batched
+    # encryption accepts a shared stream (XPIR-BV) can honour it.
+    return scheme.encrypt_slots_many(public_key, noise_matrix, prg=prg)
+
+
+def _dot_product_noise_plan(
+    scheme: AHEScheme,
+    model: PackedLinearModel,
+    num_ciphertexts: int,
+    output_columns: list[int],
+    dot_bits: int,
+    prg,
+) -> tuple[np.ndarray, dict[int, tuple[int, int, int]]]:
+    """Draw every noise value for :func:`blind_dot_products` (canonical order)."""
+    slot_map = model.column_slot_map()
+    for column in set(output_columns):
+        if column not in slot_map:
+            raise ProtocolError(f"column {column} is not part of the model")
+    bound = _noise_bound(scheme, dot_bits)
+    full_range = scheme.slot_modulus
+    num_slots = scheme.num_slots
+    # Group requested columns by the ciphertext that carries them.
+    per_ciphertext: dict[int, dict[int, int]] = {}
+    for column in output_columns:
+        ct_index, slot = slot_map[column]
+        per_ciphertext.setdefault(ct_index, {})[slot] = column
+    # Draw order 1: full-range noise for every slot of every ciphertext.
+    noise_matrix = secure_uniform_array(
+        full_range, num_ciphertexts * num_slots, prg
+    ).reshape(num_ciphertexts, num_slots)
+    # Draw order 2: all recorded output-slot noises in one vectorised call,
+    # ordered by ciphertext position then slot insertion order.
+    outputs = [
+        (ct_index, slot, column)
+        for ct_index in range(num_ciphertexts)
+        for slot, column in per_ciphertext.get(ct_index, {}).items()
+    ]
+    recorded = secure_uniform_array(bound, len(outputs), prg)
+    output_noise: dict[int, tuple[int, int, int]] = {}
+    for (ct_index, slot, column), noise in zip(outputs, recorded):
+        noise_matrix[ct_index, slot] = noise
+        output_noise[column] = (ct_index, slot, int(noise))
+    return noise_matrix, output_noise
+
+
 def blind_dot_products(
     scheme: AHEScheme,
     public_key: AHEPublicKey,
@@ -61,40 +141,90 @@ def blind_dot_products(
     result: DotProductCiphertexts,
     output_columns: list[int],
     dot_bits: int,
+    prg=None,
 ) -> BlindedResult:
-    """Blind all result ciphertexts in place (spam filtering and B' = B topics).
+    """Blind all result ciphertexts (spam filtering and B' = B topics).
 
     Every slot of every result ciphertext receives noise; the noise added to
     the slots carrying *output_columns* is recorded so the client can cancel
-    it inside Yao.
+    it inside Yao.  All noise ciphertexts are fabricated in one batched
+    encryption and added in one stacked pass.  *prg* (tests only) makes every
+    draw deterministic; see the module docstring for the draw order.
     """
-    slot_map = model.column_slot_map()
-    wanted = set(output_columns)
-    for column in wanted:
-        if column not in slot_map:
-            raise ProtocolError(f"column {column} is not part of the model")
     ciphertexts = result.all_ciphertexts()
-    bound = _noise_bound(scheme, dot_bits)
-    full_range = scheme.slot_modulus
-    output_noise: dict[int, tuple[int, int, int]] = {}
-    # Group requested columns by the ciphertext that carries them.
-    per_ciphertext: dict[int, dict[int, int]] = {}
-    for column in output_columns:
-        ct_index, slot = slot_map[column]
-        per_ciphertext.setdefault(ct_index, {})[slot] = column
+    noise_matrix, output_noise = _dot_product_noise_plan(
+        scheme, model, len(ciphertexts), output_columns, dot_bits, prg
+    )
+    noise_ciphertexts = _encrypt_noise_vectors(scheme, public_key, noise_matrix, prg)
+    blinded = scheme.add_many(ciphertexts, noise_ciphertexts)
+    return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
+
+
+def blind_dot_products_reference(
+    scheme: AHEScheme,
+    public_key: AHEPublicKey,
+    model: PackedLinearModel,
+    result: DotProductCiphertexts,
+    output_columns: list[int],
+    dot_bits: int,
+    prg=None,
+) -> BlindedResult:
+    """Per-ciphertext loop reference for :func:`blind_dot_products`.
+
+    Same noise plan (identical draw order), but each noise ciphertext is
+    encrypted on its own and added with a scalar :meth:`add` — the correctness
+    pin the bit-identity tests compare the batched path against.
+    """
+    ciphertexts = result.all_ciphertexts()
+    noise_matrix, output_noise = _dot_product_noise_plan(
+        scheme, model, len(ciphertexts), output_columns, dot_bits, prg
+    )
     blinded = []
-    for ct_index, ciphertext in enumerate(ciphertexts):
-        slots_here = per_ciphertext.get(ct_index, {})
-        # Full-range noise for every slot in one vectorised draw; the few
-        # output slots are re-drawn from [0, bound) and recorded.
-        noise_vector = secure_uniform_ints(full_range, scheme.num_slots)
-        for slot, column in slots_here.items():
-            noise = secure_randbelow(bound)
-            noise_vector[slot] = noise
-            output_noise[column] = (ct_index, slot, noise)
-        noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
+    for ciphertext, noise_row in zip(ciphertexts, noise_matrix):
+        noise_vector = [int(value) for value in noise_row]
+        if prg is None:
+            noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
+        else:
+            noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector, prg=prg)
         blinded.append(scheme.add(ciphertext, noise_ciphertext))
     return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
+
+
+def _candidate_noise_plan(
+    scheme: AHEScheme,
+    model: PackedLinearModel,
+    candidate_columns: list[int],
+    dot_bits: int,
+    prg,
+) -> tuple[list[int], list[int], np.ndarray, dict[int, tuple[int, int, int]]]:
+    """Resolve candidate locations and draw every noise value (canonical order)."""
+    if not scheme.supports_slot_shift:
+        raise ProtocolError("candidate extraction requires a slot-shifting AHE scheme")
+    slot_map = model.column_slot_map()
+    extraction_slot = scheme.num_slots - 1
+    indices: list[int] = []
+    shifts: list[int] = []
+    for column in candidate_columns:
+        if column not in slot_map:
+            raise ProtocolError(f"candidate column {column} is not part of the model")
+        ct_index, slot = slot_map[column]
+        indices.append(ct_index)
+        shifts.append(extraction_slot - slot)
+    bound = _noise_bound(scheme, dot_bits)
+    full_range = scheme.slot_modulus
+    num_slots = scheme.num_slots
+    count = len(candidate_columns)
+    # Draw order 1: full-range noise for every slot of every candidate copy.
+    noise_matrix = secure_uniform_array(full_range, count * num_slots, prg).reshape(
+        count, num_slots
+    )
+    # Draw order 2: all recorded extraction-slot noises in one call.
+    recorded = secure_uniform_array(bound, count, prg)
+    output_noise: dict[int, tuple[int, int, int]] = {}
+    for position, column in enumerate(candidate_columns):
+        noise_matrix[position, extraction_slot] = recorded[position]
+        output_noise[column] = (position, extraction_slot, int(recorded[position]))
+    return indices, shifts, noise_matrix, output_noise
 
 
 def blind_extracted_candidates(
@@ -104,6 +234,7 @@ def blind_extracted_candidates(
     result: DotProductCiphertexts,
     candidate_columns: list[int],
     dot_bits: int,
+    prg=None,
 ) -> BlindedResult:
     """Pretzel's candidate extraction + blinding (Fig. 5 step 3, §4.3).
 
@@ -113,30 +244,51 @@ def blind_extracted_candidates(
     recorded noise, everything else with full-range noise.  The provider
     therefore learns exactly B' blinded values and nothing about which
     columns they came from.
+
+    The whole batch is three vectorised scheme calls: one stacked
+    gather-and-shift over the source ciphertexts, one batched fabrication of
+    all B' noise ciphertexts, and one stacked addition.
     """
-    if not scheme.supports_slot_shift:
-        raise ProtocolError("candidate extraction requires a slot-shifting AHE scheme")
-    slot_map = model.column_slot_map()
     ciphertexts = result.all_ciphertexts()
-    extraction_slot = scheme.num_slots - 1
-    bound = _noise_bound(scheme, dot_bits)
-    full_range = scheme.slot_modulus
+    indices, shifts, noise_matrix, output_noise = _candidate_noise_plan(
+        scheme, model, candidate_columns, dot_bits, prg
+    )
+    extracted = scheme.extract_shift_many(ciphertexts, indices, shifts)
+    noise_ciphertexts = _encrypt_noise_vectors(scheme, public_key, noise_matrix, prg)
+    blinded = scheme.add_many(extracted, noise_ciphertexts)
+    return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
+
+
+def blind_extracted_candidates_reference(
+    scheme: AHEScheme,
+    public_key: AHEPublicKey,
+    model: PackedLinearModel,
+    result: DotProductCiphertexts,
+    candidate_columns: list[int],
+    dot_bits: int,
+    prg=None,
+) -> BlindedResult:
+    """Per-candidate loop reference for :func:`blind_extracted_candidates`.
+
+    Same noise plan (identical draw order), but every candidate runs the
+    scalar :meth:`shift_up` → :meth:`encrypt_slots` → :meth:`add` chain — the
+    correctness pin for the vectorised path.
+    """
+    ciphertexts = result.all_ciphertexts()
+    indices, shifts, noise_matrix, output_noise = _candidate_noise_plan(
+        scheme, model, candidate_columns, dot_bits, prg
+    )
     blinded = []
-    output_noise: dict[int, tuple[int, int, int]] = {}
-    for position, column in enumerate(candidate_columns):
-        if column not in slot_map:
-            raise ProtocolError(f"candidate column {column} is not part of the model")
-        ct_index, slot = slot_map[column]
+    for ct_index, shift, noise_row in zip(indices, shifts, noise_matrix):
         extracted = ciphertexts[ct_index]
-        shift = extraction_slot - slot
         if shift:
             extracted = scheme.shift_up(extracted, shift)
-        noise_vector = secure_uniform_ints(full_range, scheme.num_slots)
-        recorded = secure_randbelow(bound)
-        noise_vector[extraction_slot] = recorded
-        noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
+        noise_vector = [int(value) for value in noise_row]
+        if prg is None:
+            noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector)
+        else:
+            noise_ciphertext = scheme.encrypt_slots(public_key, noise_vector, prg=prg)
         blinded.append(scheme.add(extracted, noise_ciphertext))
-        output_noise[column] = (position, extraction_slot, recorded)
     return BlindedResult(ciphertexts=blinded, output_noise=output_noise)
 
 

@@ -25,6 +25,12 @@ framed loopback channel and reports exact byte, message and round counts.
 The same classes implement the paper's Baseline (Paillier + legacy packing)
 and Pretzel (XPIR-BV + across-row packing) arms; the benchmark harness just
 instantiates them with different schemes.
+
+The client's blinding step runs on the batched fabrication path: every noise
+ciphertext for an email is produced by one
+:meth:`~repro.crypto.ahe.AHEScheme.encrypt_slots_many` call and added in one
+stacked pass (``spam_blinding_ms`` in the hotpath bench), so this module only
+orchestrates frames — no per-ciphertext crypto loops live here.
 """
 
 from __future__ import annotations

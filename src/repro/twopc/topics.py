@@ -27,6 +27,13 @@ Both halves are reentrant state machines; the provider half
 type whose decrypt step is separable for cross-session batching, mirroring
 :mod:`repro.twopc.spam`.  The provider learns how many candidates there are
 from the frame itself (one ciphertext per candidate), never *which* ones.
+
+Step 2 is the client hot path (``topic_candidate_blinding_ms``): candidate
+extraction and blinding run entirely on the batched fabrication primitives —
+one stacked gather-and-shift (:meth:`~repro.crypto.ahe.AHEScheme.extract_shift_many`),
+one batched noise encryption (:meth:`~repro.crypto.ahe.AHEScheme.encrypt_slots_many`)
+and one stacked addition for all B' candidates, instead of a per-candidate
+shift/encrypt/add chain.
 """
 
 from __future__ import annotations

@@ -48,13 +48,20 @@ def secure_bytes(length: int) -> bytes:
     return secrets.token_bytes(length)
 
 
-def secure_uniform_ints(upper: int, count: int) -> list[int]:
+def secure_uniform_ints(upper: int, count: int, prg=None) -> list[int]:
     """*count* independent uniform integers in ``[0, upper)`` (cryptographic source).
 
     Power-of-two bounds up to 2^64 — the common case for slot-wide blinding
-    noise — are drawn as the top bits of one vectorised ``token_bytes`` read
+    noise — are drawn as the top bits of one vectorised byte-stream read
     (exactly uniform, no rejection).  Other bounds fall back to per-element
     :func:`secure_randbelow`.
+
+    *prg* (any object with a ``read(num_bytes) -> bytes`` method, e.g.
+    :class:`repro.crypto.prg.Prg`) replaces :mod:`secrets` as the byte source;
+    the interpretation of the bytes is identical, so batched and sequential
+    draws from one stream agree value for value — the bit-identity tests of
+    the vectorised blinding path rely on this.  Deterministic draws are only
+    defined for the power-of-two bounds (the rejection-free case).
     """
     if upper <= 0:
         raise ParameterError("upper bound must be positive")
@@ -64,11 +71,40 @@ def secure_uniform_ints(upper: int, count: int) -> list[int]:
         return []
     bits = upper.bit_length() - 1
     if upper == 1 << bits and 0 < bits <= 64:
-        raw = np.frombuffer(secrets.token_bytes(8 * count), dtype="<u8")
+        raw_bytes = secrets.token_bytes(8 * count) if prg is None else prg.read(8 * count)
+        raw = np.frombuffer(raw_bytes, dtype="<u8")
         return (raw >> np.uint64(64 - bits)).tolist()
     if upper == 1:
         return [0] * count
+    if prg is not None:
+        raise ParameterError(
+            "deterministic uniform draws require a power-of-two upper bound"
+        )
     return [secrets.randbelow(upper) for _ in range(count)]
+
+
+def secure_uniform_array(upper: int, count: int, prg=None) -> np.ndarray:
+    """Like :func:`secure_uniform_ints` but returns an int64 ndarray.
+
+    Only power-of-two bounds up to 2^63 are supported (the blinding bounds
+    are always powers of two); value-for-value identical to the list variant
+    on the same byte source, without the 10k-element ``tolist`` round trip the
+    fabrication hot path would immediately undo.
+    """
+    if upper <= 0:
+        raise ParameterError("upper bound must be positive")
+    if count < 0:
+        raise ParameterError("count must be non-negative")
+    bits = upper.bit_length() - 1
+    if upper != 1 << bits or bits >= 64:
+        raise ParameterError("vectorised uniform draws require a power-of-two bound < 2^64")
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    if bits == 0:
+        return np.zeros(count, dtype=np.int64)
+    raw_bytes = secrets.token_bytes(8 * count) if prg is None else prg.read(8 * count)
+    raw = np.frombuffer(raw_bytes, dtype="<u8")
+    return (raw >> np.uint64(64 - bits)).astype(np.int64)
 
 
 class DeterministicRandom(random.Random):
