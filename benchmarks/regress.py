@@ -24,13 +24,21 @@ cocktails.
 ``--suite micro`` measures the batched-fabrication scaling curves behind the
 PR 6 tentpole: decrypt-many ms-per-ciphertext at batch 1/8/32/128 and the
 §4.3 candidate extract-and-blind at B' ∈ {10, 20}.
+``--suite latency`` measures end-to-end email latency SLOs: a seeded
+bursty/diurnal trace over heavy-tailed mailboxes is replayed against the
+windowed serving runtime under a virtual clock with a calibrated
+deterministic service-cost model, once per static decrypt-window arm and
+once with the adaptive (rate-driven) scheduler, reporting p50/p95/p99
+latency and throughput per arm.
 The shard suite **hard-fails** if sharded throughput drops below the PR 2
 single-loop drive, the restart suite hard-fails if snapshot resume is
 not faster than recompute, the chaos suite hard-fails if any reliable
-run fails to complete or its verdict diverges from the clean run, and the
+run fails to complete or its verdict diverges from the clean run, the
 micro suite hard-fails if decrypt batching stops being superlinear (batch-32
 per-ciphertext cost must beat batch 1) or, at n = 1024, if candidate blinding
-loses its ≥2x margin over the PR 1 committed baseline.  Each
+loses its ≥2x margin over the PR 1 committed baseline, and the latency
+suite hard-fails unless the adaptive arm's p99 beats every static arm's.
+Each
 suite writes its medians to a
 ``BENCH_*.json`` file, so successive PRs can track the performance
 trajectory instead of re-deriving it from one-off pytest-benchmark runs.
@@ -765,20 +773,225 @@ def run_micro(ring_degree: int, repeat: int) -> dict:
     return results
 
 
+LATENCY_MAILBOXES = 120
+LATENCY_EVENTS_PER_REPEAT = 60
+LATENCY_MAX_EVENTS = 360
+LATENCY_UTILISATION = 0.25  # mean offered load as a fraction of measured capacity
+LATENCY_BURST_MULTIPLIER = 2.5
+LATENCY_BURST_FRACTION = 0.15
+LATENCY_DIURNAL_AMPLITUDE = 0.25
+LATENCY_DUPLICATE_FRACTION = 0.01
+LATENCY_TRACE_SEED = 1017
+LATENCY_TARGET_BATCH = 24
+LATENCY_MIN_DELAY_S = 0.004
+LATENCY_STATIC_DELAYS_S = (0.25, 0.10, 0.05)
+LATENCY_CALIBRATION_BATCH = 8  # emails in the batched calibration flush
+
+
+def run_latency(ring_degree: int, repeat: int) -> dict:
+    """End-to-end email latency, static versus adaptive decrypt windows.
+
+    A seeded bursty/diurnal trace (:func:`repro.mail.traces.generate_trace`,
+    heavy-tailed mailbox volume, ~1% injected duplicates) is replayed against
+    a real :class:`ProviderRuntime` under a virtual clock: the clock jumps to
+    each arrival, and between arrivals it advances to the scheduler's next
+    age deadline and ticks ``poll()`` — the idle-window flush.
+
+    Service time is charged to the virtual clock through a **calibrated
+    deterministic cost model**: the suite first measures, on the live
+    protocol, the cost of serving one email alone and the cost of serving a
+    batch, and fits ``cost(k) = c0 + k·c1`` (per-batch overhead plus
+    per-email marginal cost — the decrypt-many amortization the runtime
+    actually exhibits).  The trace rate is calibrated to the measured
+    single-email cost, so the load level is machine-independent, and the
+    replay itself — every queueing decision, every latency sample — is then
+    fully deterministic given the trace seed and the scheduler policy.
+    Measured wall-clock CPU per arm still feeds the throughput rows.
+
+    Arms: one static :class:`DecryptScheduler` per delay in
+    ``LATENCY_STATIC_DELAYS_S`` (shared size trigger
+    ``LATENCY_TARGET_BATCH``), plus one :class:`AdaptiveDecryptScheduler`
+    spanning the same delay range.  Every arm replays the identical trace and
+    must serve the identical email set (duplicates rejected by the
+    :class:`ReplayGuard` up front).  **Hard-fail gate**: the adaptive arm's
+    p99 latency must beat the best static arm's — a fixed window either
+    taxes the quiet tail (wide) or gives up batching (tight); the adaptive
+    controller must dominate the whole grid.
+    """
+    from repro.core.runtime import AdaptiveDecryptScheduler
+    from repro.mail import ReplayGuard, TraceSpec, VirtualClock, generate_trace, serve_trace
+
+    parameters = BVParameters(ring_degree=ring_degree)
+    scheme = BVScheme(parameters)
+    group = generate_group(RUNTIME_DH_BITS)
+    rng = np.random.default_rng(11)
+    linear = LinearModel(
+        weights=rng.normal(size=(SPAM_FEATURE_ROWS, 2)),
+        biases=np.array([0.25, -0.25]),
+        category_names=["spam", "ham"],
+    )
+    quantized = QuantizedLinearModel.from_linear_model(
+        linear, value_bits=10, frequency_bits=4, max_features_per_email=4096
+    )
+    protocol = SpamFilterProtocol(scheme, group)
+    setup = protocol.setup(quantized)
+
+    # Calibrate the batch cost model cost(k) = c0 + k*c1 on the live runtime:
+    # serve emails one per flush for the singleton cost, then one K-email
+    # flush for the batched cost, and solve the two-point fit.
+    calibration_emails = [
+        {int(row): 1 for row in rng.choice(SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False)}
+        for _ in range(LATENCY_CALIBRATION_BATCH)
+    ]
+
+    def _flush_cost(emails_per_flush: int) -> float:
+        runtime = ProviderRuntime(
+            scheduler=DecryptScheduler(
+                window_bursts=1, max_pending_ciphertexts=10**9, max_delay_seconds=None
+            )
+        )
+        jobs = [
+            spam_job(protocol, setup, features, label=index)
+            for index, features in enumerate(calibration_emails[:emails_per_flush])
+        ]
+        start = time.perf_counter()
+        finished = runtime.serve_burst(jobs)
+        elapsed = time.perf_counter() - start
+        assert len(finished) == emails_per_flush
+        return elapsed
+
+    _flush_cost(1)  # warm caches off the clock
+    email_cost_s = min(_flush_cost(1) for _ in range(3))  # c0 + c1
+    batch_cost_s = _flush_cost(LATENCY_CALIBRATION_BATCH)  # c0 + K*c1
+    cost_per_item = max(
+        (batch_cost_s - email_cost_s) / (LATENCY_CALIBRATION_BATCH - 1), email_cost_s * 0.05
+    )
+    cost_per_batch = max(email_cost_s - cost_per_item, 0.0)
+
+    def cost_model(size: float) -> float:
+        return cost_per_batch + size * cost_per_item
+
+    mean_rate = LATENCY_UTILISATION / email_cost_s
+    effective_rate = mean_rate * (
+        1.0 + LATENCY_BURST_FRACTION * (LATENCY_BURST_MULTIPLIER - 1.0)
+    )
+    target_events = min(LATENCY_EVENTS_PER_REPEAT * repeat, LATENCY_MAX_EVENTS)
+    duration = target_events / effective_rate
+    spec = TraceSpec(
+        mailboxes=LATENCY_MAILBOXES,
+        mean_rate_per_second=mean_rate,
+        duration_seconds=duration,
+        diurnal_amplitude=LATENCY_DIURNAL_AMPLITUDE,
+        diurnal_period_seconds=duration / 2.0,
+        burst_rate_multiplier=LATENCY_BURST_MULTIPLIER,
+        burst_fraction=LATENCY_BURST_FRACTION,
+        mean_burst_seconds=max(8.0 * email_cost_s, 0.5),
+        duplicate_fraction=LATENCY_DUPLICATE_FRACTION,
+        seed=LATENCY_TRACE_SEED,
+    )
+    events = generate_trace(spec)
+
+    mailbox_features = {}
+
+    def features_of(mailbox: str) -> dict:
+        if mailbox not in mailbox_features:
+            box_rng = np.random.default_rng(abs(hash(mailbox)) % 2**32)
+            mailbox_features[mailbox] = {
+                int(row): 1
+                for row in box_rng.choice(SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False)
+            }
+        return mailbox_features[mailbox]
+
+    def replay(make_scheduler):
+        clock = VirtualClock()
+        runtime = ProviderRuntime(scheduler=make_scheduler(clock))
+        report = serve_trace(
+            runtime,
+            events,
+            lambda event: spam_job(protocol, setup, features_of(event.mailbox), label=event.sender),
+            clock,
+            replay_guard=ReplayGuard(),
+            cost_model=cost_model,
+        )
+        return report.summary()
+
+    arms = [
+        (
+            f"static{int(delay * 1000)}ms",
+            lambda clock, delay=delay: DecryptScheduler(
+                window_bursts=10**9,
+                max_pending_ciphertexts=LATENCY_TARGET_BATCH,
+                max_delay_seconds=delay,
+                clock=clock,
+            ),
+        )
+        for delay in LATENCY_STATIC_DELAYS_S
+    ]
+    arms.append(
+        (
+            "adaptive",
+            lambda clock: AdaptiveDecryptScheduler(
+                min_delay_seconds=LATENCY_MIN_DELAY_S,
+                max_delay_seconds=max(LATENCY_STATIC_DELAYS_S),
+                target_batch_ciphertexts=LATENCY_TARGET_BATCH,
+                clock=clock,
+            ),
+        )
+    )
+
+    results: dict[str, float] = {
+        "latency_events": float(len(events)),
+        "latency_email_cost_ms": email_cost_s * 1e3,
+        "latency_batch_overhead_ms": cost_per_batch * 1e3,
+        "latency_marginal_email_cost_ms": cost_per_item * 1e3,
+        "latency_trace_mean_rate_per_s": mean_rate,
+        "latency_trace_duration_s": duration,
+    }
+    summaries: dict[str, dict[str, float]] = {}
+    for name, make_scheduler in arms:
+        summary = summaries[name] = replay(make_scheduler)
+        for row in ("p50", "p95", "p99", "mean"):
+            results[f"latency_{name}_{row}_ms"] = summary[f"latency_{row}"] * 1e3
+        results[f"latency_{name}_throughput_per_cpu_s"] = summary["throughput_per_cpu_second"]
+        results[f"latency_{name}_mean_decrypt_batch"] = summary["mean_decrypt_batch"]
+    served = {summary["served"] for summary in summaries.values()}
+    rejected = {summary["rejected_duplicates"] for summary in summaries.values()}
+    if len(served) != 1 or len(rejected) != 1:
+        raise AssertionError(
+            f"arms disagree on the workload: served {served}, rejected {rejected}"
+        )
+    results["latency_rejected_duplicates"] = rejected.pop()
+
+    static_names = [name for name, _ in arms if name != "adaptive"]
+    best_static = min(static_names, key=lambda name: summaries[name]["latency_p99"])
+    adaptive_p99 = summaries["adaptive"]["latency_p99"]
+    best_static_p99 = summaries[best_static]["latency_p99"]
+    results["latency_best_static_arm_p99_ms"] = best_static_p99 * 1e3
+    # The suite's reason to exist: adaptive windows must dominate the static
+    # grid on tail latency, or the control loop is not earning its keep.
+    if adaptive_p99 >= best_static_p99:
+        raise AssertionError(
+            f"adaptive p99 {adaptive_p99 * 1e3:.1f} ms did not beat the best static "
+            f"arm ({best_static}: {best_static_p99 * 1e3:.1f} ms)"
+        )
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ring-degree", type=int, default=1024)
     parser.add_argument("--repeat", type=int, default=9, help="samples per op (median reported)")
     parser.add_argument(
         "--suite",
-        choices=("hotpath", "runtime", "shard", "restart", "chaos", "micro"),
+        choices=("hotpath", "runtime", "shard", "restart", "chaos", "micro", "latency"),
         default="hotpath",
         help=(
             "hotpath = BV micro/protocol ops; runtime = serving-loop throughput; "
             "shard = sharded serving stack vs the single-loop drive; "
             "restart = crash-recovery latency, snapshot resume vs recompute; "
             "chaos = goodput under seeded fault cocktails, reliable vs raw; "
-            "micro = batched-fabrication scaling curves (decrypt-many, blinding)"
+            "micro = batched-fabrication scaling curves (decrypt-many, blinding); "
+            "latency = p50/p95/p99 email latency on a bursty trace, static vs adaptive windows"
         ),
     )
     parser.add_argument(
@@ -797,6 +1010,7 @@ def main() -> None:
         "restart": "restart",
         "chaos": "chaos",
         "micro": "micro",
+        "latency": "latency",
     }[args.suite]
     output = args.output or Path(__file__).parent / f"BENCH_{stem}_n{args.ring_degree}.json"
 
@@ -810,6 +1024,8 @@ def main() -> None:
         results = run_chaos(args.ring_degree, args.repeat)
     elif args.suite == "micro":
         results = run_micro(args.ring_degree, args.repeat)
+    elif args.suite == "latency":
+        results = run_latency(args.ring_degree, args.repeat)
     else:
         results = run_shard(args.ring_degree, args.repeat)
     payload = {

@@ -72,6 +72,7 @@ from repro.twopc.topics import (
 )
 from repro.twopc.wire import SessionState
 from repro.utils.serialization import canonical_dumps, canonical_loads
+from repro.utils.timing import AdaptiveWindowController
 
 SparseVector = Mapping[int, int]
 
@@ -84,6 +85,8 @@ class _DecryptWindow:
     """Parked decrypts for one key pair, accumulating until the window closes."""
 
     entries: list[_ParkedDecryption] = field(default_factory=list)
+    #: Enqueue time of each entry, parallel to ``entries`` (latency ledger).
+    entry_times: list[float] = field(default_factory=list)
     ciphertext_count: int = 0
     opened_at: float = 0.0
     opened_burst: int = 0
@@ -102,14 +105,21 @@ class DecryptScheduler:
 
     whichever trigger is observed first — the latency/throughput knob of the
     §6.3 serving stack.  The scheduler is *poll-driven*: triggers are
-    evaluated when the serving loop calls :meth:`take_due` (inside
-    ``serve_burst`` and ``drain``), so ``max_delay_seconds`` bounds how long
-    a window survives *once traffic or a drain touches the loop again* — an
-    idle provider with no further bursts holds its windows until ``drain``.
-    ``window_bursts=1`` (the default, with no size/time triggers) closes
-    every window at the end of the burst that opened it, i.e. exactly the
-    per-burst batching of the PR 2 serving loop.  Windows are per key pair
-    by construction, so nothing here ever mixes mailboxes.
+    evaluated when the serving loop calls :meth:`take_due` — from
+    ``serve_burst``, ``drain``, *and* :meth:`ProviderRuntime.poll`, the
+    traffic-free flush tick.  The poll tick is what makes ``max_delay_seconds``
+    a real latency bound: an idle provider with parked decrypts and no further
+    bursts used to hold its windows (and the clients' emails) until ``drain``;
+    now any driver with a timer (the shard workers' idle tick, a test's fake
+    clock) closes aged windows on schedule.  ``window_bursts=1`` (the
+    default, with no size/time triggers) closes every window at the end of
+    the burst that opened it, i.e. exactly the per-burst batching of the
+    PR 2 serving loop.  Windows are per key pair by construction, so nothing
+    here ever mixes mailboxes.
+
+    Every window close records each released entry's enqueue→fired age in
+    :attr:`decrypt_ages` — the per-window latency ledger the SLO suite reads
+    (``regress.py --suite latency``).
     """
 
     def __init__(
@@ -131,15 +141,23 @@ class DecryptScheduler:
         self._clock = clock
         self._windows: dict[tuple[int, int], _DecryptWindow] = {}
         self._burst = 0
+        #: Enqueue→fired age of every released entry (the latency ledger).
+        self.decrypt_ages: list[float] = []
 
     def enqueue(self, entry: _ParkedDecryption) -> None:
+        now = self._clock()
+        self._observe_arrival(len(entry.request.ciphertexts), now)
         key = decrypt_group_key(entry.request)
         window = self._windows.get(key)
         if window is None:
-            window = _DecryptWindow(opened_at=self._clock(), opened_burst=self._burst)
+            window = _DecryptWindow(opened_at=now, opened_burst=self._burst)
             self._windows[key] = window
         window.entries.append(entry)
+        window.entry_times.append(now)
         window.ciphertext_count += len(entry.request.ciphertexts)
+
+    def _observe_arrival(self, ciphertexts: int, now: float) -> None:
+        """Hook for adaptive subclasses: one arrival of *ciphertexts* at *now*."""
 
     def end_burst(self) -> None:
         """Mark a burst boundary (ages every open window by one burst)."""
@@ -155,7 +173,10 @@ class DecryptScheduler:
             return True
         if (
             self.max_delay_seconds is not None
-            and now - window.opened_at >= self.max_delay_seconds
+            # Same expression as next_deadline(), so polling exactly at the
+            # quoted deadline fires (now - opened >= delay can round the
+            # other way at the boundary).
+            and now >= window.opened_at + self.max_delay_seconds
         ):
             return True
         return False
@@ -163,13 +184,37 @@ class DecryptScheduler:
     def take_due(self, now: float | None = None) -> list[list[_ParkedDecryption]]:
         """Pop and return every window whose trigger has fired."""
         now = self._clock() if now is None else now
+        self._observe_poll(now)
         due = [key for key, window in self._windows.items() if self._is_due(window, now)]
-        return [self._windows.pop(key).entries for key in due]
+        return [self._release(self._windows.pop(key), now) for key in due]
+
+    def _observe_poll(self, now: float) -> None:
+        """Hook for adaptive subclasses: the loop polled triggers at *now*."""
+
+    def _release(self, window: _DecryptWindow, now: float) -> list[_ParkedDecryption]:
+        """Record the released entries' ages and hand the entries back."""
+        self.decrypt_ages.extend(now - enqueued for enqueued in window.entry_times)
+        return window.entries
+
+    def next_deadline(self) -> float | None:
+        """The earliest time an open window's age trigger will fire, or ``None``.
+
+        ``None`` means no timer is needed: either nothing is parked or there
+        is no ``max_delay_seconds`` trigger configured.  Drivers with a timer
+        (the shard workers' idle tick, the trace-replay harness) use this to
+        schedule the next :meth:`ProviderRuntime.poll` instead of guessing.
+        """
+        if self.max_delay_seconds is None or not self._windows:
+            return None
+        return min(window.opened_at for window in self._windows.values()) + (
+            self.max_delay_seconds
+        )
 
     def flush(self) -> list[list[_ParkedDecryption]]:
         """Pop every open window regardless of triggers (shutdown / drain)."""
+        now = self._clock()
         windows, self._windows = list(self._windows.values()), {}
-        return [window.entries for window in windows]
+        return [self._release(window, now) for window in windows]
 
     def detach_job(self, job: SessionJob) -> list[_ParkedDecryption]:
         """Pull every parked entry belonging to *job* out of its window.
@@ -186,13 +231,16 @@ class DecryptScheduler:
         for key in list(self._windows):
             window = self._windows[key]
             kept: list[_ParkedDecryption] = []
-            for entry in window.entries:
+            kept_times: list[float] = []
+            for entry, enqueued in zip(window.entries, window.entry_times):
                 if entry.job is job:
                     detached.append(entry)
                     window.ciphertext_count -= len(entry.request.ciphertexts)
                 else:
                     kept.append(entry)
+                    kept_times.append(enqueued)
             window.entries = kept
+            window.entry_times = kept_times
             if not kept:
                 del self._windows[key]
         return detached
@@ -216,6 +264,81 @@ class DecryptScheduler:
             for entry in window.entries:
                 requests[id(entry.session)] = entry.request
         return requests
+
+
+class AdaptiveDecryptScheduler(DecryptScheduler):
+    """A :class:`DecryptScheduler` whose delay window follows the load.
+
+    Static windows force one tradeoff on every traffic regime: a wide
+    ``max_delay_seconds`` batches well during bursts but taxes every
+    idle-period email with the full delay, while a tight one releases idle
+    emails fast but shreds the batches a burst could have formed.  This
+    scheduler retunes ``max_delay_seconds`` continuously from an EWMA of the
+    observed ciphertext arrival rate (the
+    :class:`~repro.utils.timing.AdaptiveWindowController` law: window width
+    proportional to how much of a target batch the current rate can fill
+    within the cap), so bursts see wide windows and quiet periods see
+    near-immediate release.  ``max_pending_ciphertexts`` doubles as the
+    controller's target batch size: during a hot burst the size trigger
+    fires first and the delay cap never binds.
+
+    The controller observes time only through the injected ``clock`` (and
+    the explicit ``now=`` of :meth:`take_due`), so the whole control loop is
+    unit-testable with a fake clock — no wall time anywhere.
+    """
+
+    def __init__(
+        self,
+        min_delay_seconds: float = 0.002,
+        max_delay_seconds: float = 0.25,
+        target_batch_ciphertexts: int = 32,
+        alpha: float = 0.3,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__(
+            # Burst count never closes an adaptive window: the time and size
+            # triggers are the control surface.
+            window_bursts=_NEVER_BURSTS,
+            max_pending_ciphertexts=target_batch_ciphertexts,
+            max_delay_seconds=max_delay_seconds,
+            clock=clock,
+        )
+        self.controller = AdaptiveWindowController(
+            min_delay_seconds=min_delay_seconds,
+            max_delay_seconds=max_delay_seconds,
+            target_batch_items=target_batch_ciphertexts,
+            alpha=alpha,
+        )
+        #: (time, retuned delay) after every arrival — the control-loop trace.
+        self.window_history: list[tuple[float, float]] = []
+        self.max_delay_seconds = self.controller.delay_seconds(clock())
+
+    def _observe_arrival(self, ciphertexts: int, now: float) -> None:
+        self.max_delay_seconds = self.controller.observe(ciphertexts, now)
+        self.window_history.append((now, self.max_delay_seconds))
+
+    def _observe_poll(self, now: float) -> None:
+        # Idle decay: a poll with no arrivals shrinks the window toward
+        # min_delay, so a burst's wide setting cannot strand the tail emails
+        # parked after the burst died down.
+        self.max_delay_seconds = self.controller.delay_seconds(now)
+
+    def observed_rate(self, now: float | None = None) -> float:
+        """The controller's current (decayed) ciphertexts/second estimate."""
+        return self.controller.estimator.rate(self._clock() if now is None else now)
+
+    def next_deadline(self) -> float | None:
+        # ``self.max_delay_seconds`` is the delay as of the *last* retune; by
+        # the time the oldest window would fire under it, idle decay will
+        # have shrunk it further.  Quoting the decayed value keeps a timer
+        # from sleeping out a burst-width delay on a stream that just died.
+        if not self._windows:
+            return None
+        opened = min(window.opened_at for window in self._windows.values())
+        return opened + self.controller.delay_seconds(max(self._clock(), opened))
+
+
+_NEVER_BURSTS = 10**9  # a burst count no stream reaches: time/size triggers govern
 
 
 @dataclass
@@ -340,6 +463,26 @@ class ProviderRuntime(SessionLoop):
             for entries in due:
                 self._service_group(entries)
             self._advance()
+        return self._collect_finished()
+
+    def poll(self, now: float | None = None) -> list[SessionJob]:
+        """Close every window whose trigger has fired — without new traffic.
+
+        The idle-starvation fix: :meth:`DecryptScheduler.take_due` is only
+        evaluated when something calls it, so before this method existed an
+        idle provider (no further bursts, no drain) held parked decrypts —
+        and the clients' emails — past any ``max_delay_seconds``.  Drivers
+        with a timer call this on a tick (the shard workers' idle loop, the
+        trace-replay harness; tests pass an explicit fake-clock ``now``):
+        aged windows are serviced, their sessions resumed, and any jobs that
+        finish are returned.  A poll with nothing due is a cheap no-op.
+        """
+        due = self.scheduler.take_due(now)
+        if not due:
+            return self._collect_finished()
+        for entries in due:
+            self._service_group(entries)
+        self._advance()  # deliver the resumed frames (and any newly due windows)
         return self._collect_finished()
 
     def drain(self) -> list[SessionJob]:
@@ -973,11 +1116,31 @@ def _worker_results(
     return results
 
 
+def _make_scheduler(spec: tuple) -> DecryptScheduler:
+    """Build a worker's scheduler from its picklable spec.
+
+    ``("static", window_bursts, max_pending, max_delay)`` builds the classic
+    fixed-knob :class:`DecryptScheduler`; ``("adaptive", options)`` builds an
+    :class:`AdaptiveDecryptScheduler` with *options* as keyword arguments.
+    A spec (not a scheduler) crosses the fork/spawn boundary because the
+    adaptive controller's state is per-process by design.
+    """
+    kind = spec[0]
+    if kind == "static":
+        _, window_bursts, max_pending, max_delay = spec
+        return DecryptScheduler(
+            window_bursts=window_bursts,
+            max_pending_ciphertexts=max_pending,
+            max_delay_seconds=max_delay,
+        )
+    if kind == "adaptive":
+        return AdaptiveDecryptScheduler(**spec[1])
+    raise ProtocolError(f"unknown scheduler spec kind {kind!r}")
+
+
 def _shard_worker_main(
     connection,
-    window_bursts: int,
-    max_pending_ciphertexts: int | None,
-    max_delay_seconds: float | None,
+    scheduler_spec: tuple,
     checkpoint_dir: str | None = None,
     shard_index: int = 0,
     incarnation: str = "",
@@ -989,6 +1152,14 @@ def _shard_worker_main(
     ``("error", message)`` so a protocol mistake in one shard surfaces in the
     parent instead of killing the worker silently.
 
+    The wait for the next command is *bounded by the scheduler's next age
+    deadline*: when the pipe stays quiet past it, the worker ticks
+    :meth:`ProviderRuntime.poll` so aged decrypt windows fire with no new
+    traffic (the idle-starvation fix — before this tick, a quiet shard held
+    parked decrypts until the next burst or drain).  Jobs finished by an
+    idle tick are stashed and ride back on the next results-bearing reply
+    (``burst``/``drain``/``poll``).
+
     With a *checkpoint_dir*, the worker writes its open decrypt windows to a
     :class:`FileSessionStore` at every burst/drain boundary (before replying,
     so an acked burst is always recoverable), and the ``restore`` command
@@ -996,16 +1167,11 @@ def _shard_worker_main(
     recovery path a SIGKILLed worker's replacement takes.
     """
     directory = MailboxDirectory()
-    runtime = ProviderRuntime(
-        scheduler=DecryptScheduler(
-            window_bursts=window_bursts,
-            max_pending_ciphertexts=max_pending_ciphertexts,
-            max_delay_seconds=max_delay_seconds,
-        )
-    )
+    runtime = ProviderRuntime(scheduler=_make_scheduler(scheduler_spec))
     store = FileSessionStore(checkpoint_dir) if checkpoint_dir is not None else None
     checkpoint_key = f"shard-{shard_index}"
     pending: dict[int, tuple[str, str]] = {}  # job_id -> (kind, address), open jobs
+    completed: list[tuple[int, Any]] = []  # idle-tick results awaiting a reply
     restored_jobs = 0
 
     def _write_checkpoint() -> None:
@@ -1017,8 +1183,23 @@ def _shard_worker_main(
         else:
             store.put(checkpoint_key, blob)
 
+    def _take_results(finished: Sequence[SessionJob]) -> list[tuple[int, Any]]:
+        results, taken = _worker_results(pending, finished), completed[:]
+        completed.clear()
+        return taken + results
+
     while True:
         try:
+            deadline = runtime.scheduler.next_deadline()
+            timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not connection.poll(timeout):
+                # The pipe stayed quiet past an open window's age deadline:
+                # fire the trigger now instead of waiting for traffic.
+                finished = runtime.poll()
+                if finished:
+                    completed.extend(_worker_results(pending, finished))
+                    _write_checkpoint()
+                continue
             command, payload = connection.recv()
         except (EOFError, OSError):
             return
@@ -1046,12 +1227,17 @@ def _shard_worker_main(
                     )
                     pending[job_id] = (kind, address)
                 finished = runtime.serve_burst(jobs)
-                results = _worker_results(pending, finished)
+                results = _take_results(finished)
                 _write_checkpoint()
                 reply = ("results", results)
             elif command == "drain":
-                results = _worker_results(pending, runtime.drain())
+                results = _take_results(runtime.drain())
                 _write_checkpoint()
+                reply = ("results", results)
+            elif command == "poll":
+                results = _take_results(runtime.poll())
+                if results:
+                    _write_checkpoint()
                 reply = ("results", results)
             elif command == "restore":
                 resumed_ids: list[int] = []
@@ -1082,7 +1268,7 @@ def _shard_worker_main(
                         jobs.append(job)
                 restored_jobs += len(jobs)
                 finished = runtime.serve_burst(jobs) if jobs else []
-                results = _worker_results(pending, finished)
+                results = _take_results(finished)
                 _write_checkpoint()
                 reply = ("restored", (resumed_ids, results))
             elif command == "disconnect":
@@ -1118,6 +1304,7 @@ def _shard_worker_main(
                         "outstanding_jobs": runtime.outstanding_jobs(),
                         "disconnected_jobs": runtime.disconnected_jobs(),
                         "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
+                        "decrypt_ages": list(runtime.scheduler.decrypt_ages),
                         "restored_jobs": restored_jobs,
                     },
                 )
@@ -1177,6 +1364,8 @@ class ShardedRuntime:
         max_delay_seconds: float | None = None,
         start_method: str | None = None,
         checkpoint_dir: str | Path | None = None,
+        adaptive: bool = False,
+        adaptive_options: Mapping[str, Any] | None = None,
     ) -> None:
         if num_shards < 1:
             raise ProtocolError("a sharded runtime needs at least one shard")
@@ -1185,7 +1374,15 @@ class ShardedRuntime:
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
             )
         self.num_shards = num_shards
-        self._window = (window_bursts, max_pending_ciphertexts, max_delay_seconds)
+        if adaptive:
+            self._scheduler_spec: tuple = ("adaptive", dict(adaptive_options or {}))
+        else:
+            self._scheduler_spec = (
+                "static",
+                window_bursts,
+                max_pending_ciphertexts,
+                max_delay_seconds,
+            )
         self._checkpoint_dir = None if checkpoint_dir is None else str(checkpoint_dir)
         # Job ids restart from zero in every parent, so checkpoints are bound
         # to this runtime instance: a leftover blob from an earlier parent in
@@ -1213,7 +1410,7 @@ class ShardedRuntime:
             target=_shard_worker_main,
             args=(
                 child_connection,
-                *self._window,
+                self._scheduler_spec,
                 self._checkpoint_dir,
                 shard,
                 self._incarnation,
@@ -1424,6 +1621,22 @@ class ShardedRuntime:
                 for address, features, candidates in emails
             ]
         )
+
+    def poll(self) -> int:
+        """Tick every shard's age triggers; returns how many new results landed.
+
+        Workers also self-tick while their pipe is idle, so calling this is
+        never *required* for progress — it exists so tests and latency-probe
+        loops can force the flush deterministically and observe the results
+        synchronously (each shard's ``poll`` reply carries any jobs its idle
+        ticks finished since the last results-bearing reply).
+        """
+        before = len(self._results)
+        for shard in range(self.num_shards):
+            self._send(shard, "poll", None)
+        for shard in range(self.num_shards):
+            self._collect(shard, "poll")
+        return len(self._results) - before
 
     def drain(self) -> None:
         """Close every shard's open windows; all outstanding results land."""

@@ -13,6 +13,7 @@ from repro.mail.e2e import E2EIdentity, E2EModule
 from repro.mail.provider import MailProvider
 from repro.mail.client import MailClient
 from repro.mail.replay import ReplayGuard
+from repro.mail.traces import TraceEvent, TraceReport, TraceSpec, VirtualClock, generate_trace, serve_trace
 
 __all__ = [
     "EmailMessage",
@@ -22,4 +23,10 @@ __all__ = [
     "MailProvider",
     "MailClient",
     "ReplayGuard",
+    "TraceEvent",
+    "TraceReport",
+    "TraceSpec",
+    "VirtualClock",
+    "generate_trace",
+    "serve_trace",
 ]

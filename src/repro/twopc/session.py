@@ -36,6 +36,7 @@ from repro.exceptions import ProtocolError, SnapshotError
 from repro.twopc.transport import FramedChannel
 from repro.twopc.wire import Frame, SessionState, WireCodec
 from repro.utils.serialization import canonical_dumps, canonical_loads
+from repro.utils.timing import AdaptiveWindowController
 
 
 class ProtocolSession(ABC):
@@ -551,17 +552,30 @@ class AsyncSessionPump:
     decrypts across arrivals at the cost of that much added latency.
     ``max_pending_ciphertexts`` (if set) flushes early once enough work has
     piled up, bounding the latency a deep queue can add.
+
+    Passing a *controller*
+    (:class:`~repro.utils.timing.AdaptiveWindowController`) makes the window
+    adaptive: every parked arrival retunes ``window_seconds`` from the
+    observed arrival rate, and an already-armed timer is pulled *earlier*
+    when the stream goes quiet (never pushed later — an armed deadline is a
+    promise to the sessions already waiting on it).  With a controller and
+    no explicit ``max_pending_ciphertexts``, the controller's
+    ``target_batch_items`` doubles as the size trigger.
     """
 
     def __init__(
         self,
         window_seconds: float = 0.0,
         max_pending_ciphertexts: int | None = None,
+        controller: "AdaptiveWindowController | None" = None,
     ) -> None:
         if window_seconds < 0:
             raise ProtocolError("window_seconds must be non-negative")
         if max_pending_ciphertexts is not None and max_pending_ciphertexts < 1:
             raise ProtocolError("max_pending_ciphertexts must be at least 1")
+        self.controller = controller
+        if controller is not None and max_pending_ciphertexts is None:
+            max_pending_ciphertexts = controller.target_batch_items
         self.window_seconds = window_seconds
         self.max_pending_ciphertexts = max_pending_ciphertexts
         self.decrypt_batch_sizes: list[int] = []
@@ -595,14 +609,17 @@ class AsyncSessionPump:
                 return
             future = asyncio.get_running_loop().create_future()
             self._pending.append((request, future))
-            self._arm_flush()
+            self._arm_flush(new_ciphertexts=len(request.ciphertexts))
             slot_lists, attributed_seconds = await future
             session.add_seconds(attributed_seconds)
             for frame in session.supply_decrypted(slot_lists):
                 await channel.send(party, frame)
 
     # -- the windowed flusher ------------------------------------------------
-    def _arm_flush(self) -> None:
+    def _arm_flush(self, new_ciphertexts: int = 0) -> None:
+        loop = asyncio.get_running_loop()
+        if self.controller is not None and new_ciphertexts:
+            self.window_seconds = self.controller.observe(new_ciphertexts, loop.time())
         if self.max_pending_ciphertexts is not None:
             pending = sum(len(request.ciphertexts) for request, _ in self._pending)
             if pending >= self.max_pending_ciphertexts:
@@ -611,10 +628,14 @@ class AsyncSessionPump:
                     self._flush_handle = None
                 self._flush()
                 return
+        deadline = loop.time() + self.window_seconds
+        if self._flush_handle is not None and self._flush_handle.when() > deadline:
+            # The retuned window is tighter than the armed one: pull the
+            # timer in.  (The converse never delays an armed flush.)
+            self._flush_handle.cancel()
+            self._flush_handle = None
         if self._flush_handle is None:
-            self._flush_handle = asyncio.get_running_loop().call_later(
-                self.window_seconds, self._timer_fired
-            )
+            self._flush_handle = loop.call_at(deadline, self._timer_fired)
 
     def _timer_fired(self) -> None:
         self._flush_handle = None

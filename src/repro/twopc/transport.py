@@ -702,7 +702,15 @@ class FaultyTransport(Transport):
     def pending(self) -> int:
         return self.inner.pending() + len(self._injector.held)
 
+    def drain(self) -> None:
+        """Release every held frame, oldest first (see the async twin)."""
+        held = sorted(self._injector.held)
+        self._injector.held = []
+        for _, sender, frame in held:
+            self.inner.send(sender, frame)
+
     def close(self) -> None:
+        self.drain()
         self.inner.close()
 
 
@@ -793,7 +801,23 @@ class AsyncFaultyTransport:
     def pending(self) -> int:
         return self.inner.pending() + len(self._injector.held)
 
+    async def drain(self) -> None:
+        """Release every held frame into the inner transport, oldest first.
+
+        Held (reordered/delayed) frames are normally flushed by *later
+        sends* crossing their release deadline — so a session whose final
+        outbound frame gets held, with no further sends coming, strands it:
+        the peer waits forever on a frame this wrapper is still sitting on.
+        Draining at end-of-stream (and on :meth:`aclose`) delivers the tail
+        regardless of deadlines; injected *drops* stay dropped.
+        """
+        held = sorted(self._injector.held)
+        self._injector.held = []
+        for _, sender, frame in held:
+            await self.inner.send(sender, frame)
+
     async def aclose(self) -> None:
+        await self.drain()
         await self.inner.aclose()
 
     def close(self) -> None:

@@ -415,3 +415,79 @@ class TestSeededChaosSweep:
         channel, _, _ = _spam_chaos_channel(protocol, setup, spec)
         with pytest.raises(TransportClosedError):
             protocol.classify_email(setup, SPAM_EMAILS[0], channel=channel)
+
+
+# ---------------------------------------------------------------------------
+# Held-frame drain: a stranded tail frame must survive end-of-stream
+# ---------------------------------------------------------------------------
+class TestHeldFrameDrain:
+    """Held (reordered/delayed) frames are normally released by *later sends*
+    crossing their deadline.  A session's final outbound frame therefore used
+    to strand: nothing else was ever sent, so the wrapper sat on it forever.
+    ``drain()`` (and close/aclose) must deliver the tail regardless."""
+
+    def test_sync_drain_delivers_stranded_tail(self):
+        inner = LoopbackTransport(parties=("client", "provider"))
+        faulty = FaultyTransport(
+            inner, FaultSpec(delay_rate=1.0, delay_frames=50, seed=CHAOS_SEED)
+        )
+        for payload in (b"one", b"two", b"three"):
+            faulty.send("client", payload)
+        assert inner.pending() == 0  # all three held, none released
+        assert faulty.pending() == 3
+        faulty.drain()
+        # Released oldest-first: the receiver sees the original order.
+        received = [inner.receive("provider", 1.0) for _ in range(3)]
+        assert received == [b"one", b"two", b"three"]
+
+    def test_sync_close_drains_first(self):
+        inner = LoopbackTransport(parties=("client", "provider"))
+        faulty = FaultyTransport(
+            inner, FaultSpec(delay_rate=1.0, delay_frames=50, seed=CHAOS_SEED)
+        )
+        faulty.send("client", b"tail")
+        faulty.close()
+        # The held frame moved into the inner pipe before the close: the
+        # injector holds nothing, the inner ledger charged the send.
+        assert faulty._injector.held == []
+        assert faulty.inner.messages_by_sender.get("client") == 1
+
+    def test_async_drain_and_aclose_deliver_stranded_tail(self):
+        class _RecordingInner:
+            name = "recording"
+            parties = ("client", "provider")
+            local_party = "client"
+
+            def __init__(self):
+                self.sent = []
+                self.closed = False
+
+            def peer_of(self, party):
+                return "provider" if party == "client" else "client"
+
+            def pending(self):
+                return 0
+
+            async def send(self, sender, frame):
+                self.sent.append((sender, bytes(frame)))
+
+            async def aclose(self):
+                self.closed = True
+
+        async def scenario():
+            inner = _RecordingInner()
+            faulty = AsyncFaultyTransport(
+                inner, FaultSpec(delay_rate=1.0, delay_frames=50, seed=CHAOS_SEED)
+            )
+            await faulty.send("client", b"one")
+            await faulty.send("client", b"two")
+            assert inner.sent == []  # both held
+            assert faulty.pending() == 2
+            await faulty.drain()
+            assert [frame for _, frame in inner.sent] == [b"one", b"two"]
+            await faulty.send("client", b"tail")  # held again
+            await faulty.aclose()  # aclose drains before closing
+            assert [frame for _, frame in inner.sent] == [b"one", b"two", b"tail"]
+            assert inner.closed
+
+        asyncio.run(scenario())

@@ -1,0 +1,319 @@
+"""Trace-driven workload tests: generation, virtual time, replay, control law.
+
+The latency-SLO layer stands on three legs — a seeded trace generator, a
+virtual clock that owns replay time, and the small rate-estimation/control
+utilities — and the regression gate in ``benchmarks/regress.py`` assumes all
+three are deterministic and honest.  These tests pin each leg down.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.core.runtime import DecryptScheduler, ProviderRuntime, spam_job
+from repro.mail import (
+    ReplayGuard,
+    TraceEvent,
+    TraceSpec,
+    VirtualClock,
+    generate_trace,
+    serve_trace,
+)
+from repro.twopc.spam import SpamFilterProtocol
+from repro.utils.timing import (
+    AdaptiveWindowController,
+    EwmaArrivalRate,
+    percentile,
+    summarize_latencies,
+)
+
+SPAM_EMAILS = [
+    {1: 1, 5: 1, 9: 1},
+    {100: 1, 150: 1, 199: 1, 42: 1},
+    {0: 1},
+    {i: 1 for i in range(0, 200, 7)},
+]
+
+
+@pytest.fixture(scope="module")
+def spam_setup(bv_scheme, dh_group, small_spam_model):
+    protocol = SpamFilterProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_spam_model)
+
+
+class TestGenerateTrace:
+    SPEC = TraceSpec(
+        mailboxes=50,
+        mean_rate_per_second=40.0,
+        duration_seconds=5.0,
+        duplicate_fraction=0.05,
+        seed=123,
+    )
+
+    def test_same_seed_same_schedule(self):
+        # The latency gate replays one trace across every arm; determinism
+        # is what makes that comparison paired.
+        assert generate_trace(self.SPEC) == generate_trace(self.SPEC)
+
+    def test_different_seeds_differ(self):
+        other = TraceSpec(
+            mailboxes=50,
+            mean_rate_per_second=40.0,
+            duration_seconds=5.0,
+            duplicate_fraction=0.05,
+            seed=124,
+        )
+        assert generate_trace(self.SPEC) != generate_trace(other)
+
+    def test_arrivals_are_ordered_and_bounded(self):
+        events = generate_trace(self.SPEC)
+        times = [event.arrival_seconds for event in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < self.SPEC.duration_seconds for t in times)
+        # Thinned Poisson at these settings lands near the mean rate.
+        assert 0.5 < len(events) / (40.0 * 5.0) < 2.0
+
+    def test_mailbox_volume_is_heavy_tailed(self):
+        events = generate_trace(self.SPEC)
+        volumes: dict[str, int] = {}
+        for event in events:
+            volumes[event.mailbox] = volumes.get(event.mailbox, 0) + 1
+        ranked = sorted(volumes.values(), reverse=True)
+        # Zipf: the hottest mailbox carries many times the median's traffic.
+        assert ranked[0] >= 5 * ranked[len(ranked) // 2]
+
+    def test_sequence_numbers_count_up_per_sender(self):
+        events = generate_trace(self.SPEC)
+        next_expected: dict[str, int] = {}
+        for event in events:
+            if event.duplicate:
+                continue
+            assert event.sequence_number == next_expected.get(event.sender, 0)
+            next_expected[event.sender] = event.sequence_number + 1
+
+    def test_duplicates_replay_an_earlier_identity(self):
+        events = generate_trace(self.SPEC)
+        duplicates = [event for event in events if event.duplicate]
+        assert duplicates  # 5% of ~200 events
+        fresh = {(event.sender, event.sequence_number) for event in events if not event.duplicate}
+        assert all((dup.sender, dup.sequence_number) in fresh for dup in duplicates)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TraceSpec(mailboxes=0)
+        with pytest.raises(ValueError):
+            TraceSpec(mean_rate_per_second=0.0)
+        with pytest.raises(ValueError):
+            TraceSpec(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            TraceSpec(burst_rate_multiplier=0.5)
+        with pytest.raises(ValueError):
+            TraceSpec(duplicate_fraction=1.0)
+
+
+class TestVirtualClock:
+    def test_advance_is_monotonic(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        clock.advance_to(1.0)  # never backwards
+        assert clock() == 3.0
+        clock.advance(0.5)
+        assert clock() == 3.5
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_charge_flows_and_accumulates(self):
+        clock = VirtualClock(start=10.0)
+
+        readings = []
+
+        def call():
+            readings.append(clock())
+            time.sleep(0.01)
+            readings.append(clock())
+
+        _, elapsed = clock.charge(call)
+        assert elapsed >= 0.01
+        assert clock() == pytest.approx(10.0 + elapsed)
+        # Mid-call reads saw time flowing, not the stale entry timestamp.
+        assert readings[0] >= 10.0
+        assert readings[1] - readings[0] >= 0.01
+
+    def test_cannot_jump_while_charging(self):
+        clock = VirtualClock()
+
+        def call():
+            with pytest.raises(ValueError):
+                clock.advance_to(99.0)
+            with pytest.raises(ValueError):
+                clock.advance(1.0)
+
+        clock.charge(call)
+
+
+class TestPercentiles:
+    def test_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == 2.5
+        assert percentile([7.0], 99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summary_schema(self):
+        summary = summarize_latencies([0.1, 0.2, 0.3])
+        assert set(summary) == {"count", "mean", "max", "p50", "p95", "p99"}
+        assert summary["count"] == 3.0
+        assert summary["p50"] == pytest.approx(0.2)
+        empty = summarize_latencies([])
+        assert empty["count"] == 0.0 and empty["p99"] == 0.0
+
+
+class TestEwmaArrivalRate:
+    def test_sustained_stream_converges_to_true_rate(self):
+        estimator = EwmaArrivalRate(alpha=0.3, half_life_seconds=0.25)
+        for step in range(1, 201):
+            estimator.observe(1, step * 0.01)  # 100 items/s for 2 s
+        assert estimator.rate(2.0) == pytest.approx(100.0, rel=0.1)
+
+    def test_clump_does_not_spike_the_estimate(self):
+        # The regression that motivated interval aggregation: three arrivals
+        # with millisecond gaps must not read as hundreds per second.
+        estimator = EwmaArrivalRate(alpha=0.3, half_life_seconds=0.25)
+        for gap_index in range(3):
+            estimator.observe(1, 1.0 + 0.001 * gap_index)
+        assert estimator.rate(1.01) < 1.0
+
+    def test_idle_decay_halves_per_half_life(self):
+        estimator = EwmaArrivalRate(alpha=1.0, half_life_seconds=1.0)
+        estimator.observe(1, 0.0)
+        for step in range(1, 11):
+            estimator.observe(10, step * 1.0)  # 10 items/s, slow enough to fold
+        hot = estimator.rate(10.0)
+        assert estimator.rate(11.0) == pytest.approx(hot / 2.0)
+        assert estimator.rate(12.0) == pytest.approx(hot / 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaArrivalRate(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaArrivalRate(half_life_seconds=0.0)
+        with pytest.raises(ValueError):
+            EwmaArrivalRate(min_interval_seconds=0.0)
+        with pytest.raises(ValueError):
+            EwmaArrivalRate().observe(-1, 0.0)
+
+
+class TestAdaptiveWindowController:
+    def _controller(self):
+        return AdaptiveWindowController(
+            min_delay_seconds=0.002,
+            max_delay_seconds=0.25,
+            target_batch_items=16,
+        )
+
+    def test_quiet_stream_gets_min_delay(self):
+        controller = self._controller()
+        assert controller.delay_seconds(0.0) == pytest.approx(0.002)
+        controller.observe(1, 0.0)
+        controller.observe(1, 5.0)  # one item every 5 s
+        assert controller.delay_seconds(5.0) < 0.01
+
+    def test_hot_stream_gets_max_delay(self):
+        controller = self._controller()
+        # 200 items/s sustained, far above target/cap = 64/s.
+        for step in range(1, 101):
+            controller.observe(1, step * 0.005)
+        assert controller.observe(1, 0.505) == pytest.approx(0.25)
+
+    def test_convex_response_keeps_marginal_rates_cheap(self):
+        controller = self._controller()
+        # Force a mid-scale estimate: fill 0.25 squared is ~6% of the span.
+        controller.estimator._rate = 16.0  # fill = 16 / 64
+        controller.estimator._last_update = 0.0
+        delay = controller.delay_seconds(0.0)
+        assert delay < 0.002 + (0.25 - 0.002) * 0.25  # well under a linear law
+        assert delay == pytest.approx(0.002 + (0.25 - 0.002) * 0.25**2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindowController(min_delay_seconds=-0.001)
+        with pytest.raises(ValueError):
+            AdaptiveWindowController(max_delay_seconds=0.001, min_delay_seconds=0.002)
+        with pytest.raises(ValueError):
+            AdaptiveWindowController(target_batch_items=0)
+        with pytest.raises(ValueError):
+            AdaptiveWindowController(response_exponent=0.5)
+
+
+class TestServeTrace:
+    SPEC = TraceSpec(
+        mailboxes=3,
+        senders_per_mailbox=2,
+        mean_rate_per_second=5.0,
+        duration_seconds=2.0,
+        duplicate_fraction=0.2,
+        seed=7,
+    )
+
+    def _replay(self, spam_setup, cost_model):
+        protocol, setup = spam_setup
+        events = generate_trace(self.SPEC)
+        clock = VirtualClock()
+        runtime = ProviderRuntime(
+            scheduler=DecryptScheduler(
+                window_bursts=10**9, max_delay_seconds=0.05, clock=clock
+            )
+        )
+        features_by_mailbox = {
+            f"user{index}@trace.example": SPAM_EMAILS[index % len(SPAM_EMAILS)]
+            for index in range(self.SPEC.mailboxes)
+        }
+        report = serve_trace(
+            runtime,
+            events,
+            lambda event: spam_job(
+                protocol, setup, features_by_mailbox[event.mailbox], label=event.sender
+            ),
+            clock,
+            replay_guard=ReplayGuard(),
+            cost_model=cost_model,
+        )
+        return events, report
+
+    def test_real_runtime_serves_the_whole_trace(self, spam_setup):
+        events, report = self._replay(spam_setup, cost_model=lambda size: 0.01 + 0.002 * size)
+        fresh = [event for event in events if not event.duplicate]
+        duplicates = len(events) - len(fresh)
+        assert report.served == len(fresh)
+        assert report.rejected_duplicates == duplicates > 0
+        assert len(report.latencies) == report.served
+        # Every latency includes at least its own batch's service charge,
+        # and the 50 ms age trigger bounds the window wait.
+        assert all(latency > 0.01 for latency in report.latencies)
+        assert max(report.latencies) < 1.0
+        assert report.provider_cpu_seconds > 0.0
+        assert sum(report.decrypt_batch_sizes) > 0
+
+    def test_cost_model_replay_is_deterministic(self, spam_setup):
+        cost_model = lambda size: 0.01 + 0.002 * size
+        _, first = self._replay(spam_setup, cost_model)
+        _, second = self._replay(spam_setup, cost_model)
+        # Bit-identical virtual timelines: this is what lets a hard-fail
+        # regression gate compare policies without wall-clock jitter.
+        assert first.latencies == second.latencies
+        assert first.decrypt_batch_sizes == second.decrypt_batch_sizes
+
+    def test_summary_row_shape(self, spam_setup):
+        _, report = self._replay(spam_setup, cost_model=lambda size: 0.01)
+        row = report.summary()
+        assert row["served"] == float(report.served)
+        assert row["throughput_per_cpu_second"] > 0.0
+        assert row["latency_p99"] >= row["latency_p50"] > 0.0
+        assert row["mean_decrypt_batch"] >= 1.0
