@@ -84,6 +84,8 @@ from repro.core.runtime import (
 from repro.crypto.bv import BVParameters, BVScheme
 from repro.crypto.dh import generate_group
 from repro.crypto.packing import PackedLinearModel, decrypt_dot_products
+from repro.obs import get_registry, get_tracer, scoped_telemetry
+from repro.obs.export import write_artifacts
 from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
 from repro.twopc.spam import SpamFilterProtocol
 
@@ -406,6 +408,9 @@ def run_shard(ring_degree: int, repeat: int) -> dict:
             ):
                 raise AssertionError("serving arms disagree with the sequential truth")
         stats = sharded_runtime.shard_stats()
+        # Fold the worker-side registries into this process's registry so
+        # the suite telemetry artifact covers the sharded arm too.
+        get_registry().merge_snapshot(sharded_runtime.aggregated_metrics())
     finally:
         sharded_runtime.close()
 
@@ -623,7 +628,8 @@ def run_chaos(ring_degree: int, repeat: int) -> dict:
                         f"(rerun with CHAOS_SEED={seed_base})"
                     )
                 retransmissions[rate] += reliable.stats["retransmissions"]
-                faults_injected[rate] += len(faulty.fault_log)
+                # fault_counts() is exact even past the bounded fault_log cap.
+                faults_injected[rate] += sum(faulty.fault_counts().values())
             reliable_rates[rate].append(CHAOS_EMAILS / (time.perf_counter() - start))
 
         # Raw control arm at the heavy rate: same cocktail, no reliability.
@@ -902,18 +908,44 @@ def run_latency(ring_degree: int, repeat: int) -> dict:
             }
         return mailbox_features[mailbox]
 
-    def replay(make_scheduler):
-        clock = VirtualClock()
-        runtime = ProviderRuntime(scheduler=make_scheduler(clock))
-        report = serve_trace(
-            runtime,
-            events,
-            lambda event: spam_job(protocol, setup, features_of(event.mailbox), label=event.sender),
-            clock,
-            replay_guard=ReplayGuard(),
-            cost_model=cost_model,
-        )
-        return report.summary()
+    def replay(name, make_scheduler):
+        # Each arm replays inside its own registry/tracer so the per-arm
+        # decrypt batch-size distribution stays attributable; the spans are
+        # re-recorded into the suite-level tracer under an arm-qualified
+        # trace id, and the metrics fold into the suite-level registry so
+        # the telemetry artifact covers every arm.
+        with scoped_telemetry() as (registry, tracer):
+            clock = VirtualClock()
+            runtime = ProviderRuntime(scheduler=make_scheduler(clock))
+            report = serve_trace(
+                runtime,
+                events,
+                lambda event: spam_job(
+                    protocol, setup, features_of(event.mailbox), label=event.sender
+                ),
+                clock,
+                replay_guard=ReplayGuard(),
+                cost_model=cost_model,
+            )
+            summary = report.summary()
+            batch_hist = registry.histogram("decrypt_batch_ciphertexts")
+            summary["p95_decrypt_batch_registry"] = (
+                batch_hist.percentile(95.0) if batch_hist.count else 0.0
+            )
+            arm_spans = tracer.snapshot()
+            arm_snapshot = registry.snapshot()
+        outer_tracer = get_tracer()
+        for span in arm_spans:
+            outer_tracer.record(
+                f"{name}/{span['trace_id']}",
+                span["name"],
+                span["start_seconds"],
+                span["end_seconds"],
+                category=span["category"],
+                **span["meta"],
+            )
+        get_registry().merge_snapshot(arm_snapshot)
+        return summary
 
     arms = [
         (
@@ -949,11 +981,12 @@ def run_latency(ring_degree: int, repeat: int) -> dict:
     }
     summaries: dict[str, dict[str, float]] = {}
     for name, make_scheduler in arms:
-        summary = summaries[name] = replay(make_scheduler)
+        summary = summaries[name] = replay(name, make_scheduler)
         for row in ("p50", "p95", "p99", "mean"):
             results[f"latency_{name}_{row}_ms"] = summary[f"latency_{row}"] * 1e3
         results[f"latency_{name}_throughput_per_cpu_s"] = summary["throughput_per_cpu_second"]
         results[f"latency_{name}_mean_decrypt_batch"] = summary["mean_decrypt_batch"]
+        results[f"latency_{name}_p95_decrypt_batch"] = summary["p95_decrypt_batch_registry"]
     served = {summary["served"] for summary in summaries.values()}
     rejected = {summary["rejected_duplicates"] for summary in summaries.values()}
     if len(served) != 1 or len(rejected) != 1:
@@ -1047,12 +1080,21 @@ def main() -> None:
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
+    # Every suite leaves its flight recording beside the bench JSON:
+    # <output>.telemetry.{prom,metrics.json,trace.json}.
+    telemetry_prefix = output.with_suffix("").as_posix() + ".telemetry"
+    artifact_paths = write_artifacts(
+        telemetry_prefix, get_registry().snapshot(), get_tracer().snapshot()
+    )
+
     width = max(len(name) for name in results)
     print(f"{args.suite} suite (ring degree {args.ring_degree}, median of {args.repeat}):")
     for name, value in results.items():
         unit = " ms" if args.suite == "hotpath" else ""
         print(f"  {name.ljust(width)}  {value:10.3f}{unit}")
     print(f"wrote {output}")
+    for path in artifact_paths:
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -48,6 +48,7 @@ import multiprocessing
 import os
 import time
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -55,6 +56,16 @@ from typing import Any, Mapping, Sequence
 from repro.crypto.chacha import open_sealed, seal
 from repro.crypto.ot import OtExtensionPool
 from repro.exceptions import IntegrityError, ProtocolError, SnapshotError
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    empty_snapshot,
+    get_registry,
+    get_tracer,
+    merge_snapshots,
+    set_registry,
+    set_tracer,
+)
 from repro.twopc.session import SessionJob, SessionLoop, _ParkedDecryption, decrypt_group_key
 from repro.twopc.spam import (
     SpamClientSession,
@@ -75,6 +86,11 @@ from repro.utils.serialization import canonical_dumps, canonical_loads
 from repro.utils.timing import AdaptiveWindowController
 
 SparseVector = Mapping[int, int]
+
+#: Recent decrypt-age samples kept verbatim on the scheduler (per-window
+#: latency ledger); the unbounded distribution lives in the registry
+#: histogram ``decrypt_age_seconds``.
+DECRYPT_AGE_SAMPLE_CAP = 4096
 
 
 # ---------------------------------------------------------------------------
@@ -141,8 +157,20 @@ class DecryptScheduler:
         self._clock = clock
         self._windows: dict[tuple[int, int], _DecryptWindow] = {}
         self._burst = 0
-        #: Enqueue→fired age of every released entry (the latency ledger).
-        self.decrypt_ages: list[float] = []
+        #: Recent enqueue→fired ages (the latency ledger) — bounded so a
+        #: long-running server never grows it; the full distribution lives in
+        #: the registry histogram.
+        self._decrypt_ages: deque[float] = deque(maxlen=DECRYPT_AGE_SAMPLE_CAP)
+        registry = get_registry()
+        self._metric_age = registry.histogram("decrypt_age_seconds")
+        self._metric_flush_ciphertexts = registry.histogram("window_flush_ciphertexts")
+        self._metric_flush_sessions = registry.histogram("window_flush_sessions")
+        self._metric_pending = registry.gauge("pending_window_ciphertexts")
+
+    @property
+    def decrypt_ages(self) -> list[float]:
+        """The most recent released-entry ages, oldest first (bounded window)."""
+        return list(self._decrypt_ages)
 
     def enqueue(self, entry: _ParkedDecryption) -> None:
         now = self._clock()
@@ -155,6 +183,7 @@ class DecryptScheduler:
         window.entries.append(entry)
         window.entry_times.append(now)
         window.ciphertext_count += len(entry.request.ciphertexts)
+        self._metric_pending.inc(len(entry.request.ciphertexts))
 
     def _observe_arrival(self, ciphertexts: int, now: float) -> None:
         """Hook for adaptive subclasses: one arrival of *ciphertexts* at *now*."""
@@ -193,7 +222,13 @@ class DecryptScheduler:
 
     def _release(self, window: _DecryptWindow, now: float) -> list[_ParkedDecryption]:
         """Record the released entries' ages and hand the entries back."""
-        self.decrypt_ages.extend(now - enqueued for enqueued in window.entry_times)
+        for enqueued in window.entry_times:
+            age = now - enqueued
+            self._decrypt_ages.append(age)
+            self._metric_age.observe(age)
+        self._metric_flush_ciphertexts.observe(window.ciphertext_count)
+        self._metric_flush_sessions.observe(len(window.entries))
+        self._metric_pending.dec(window.ciphertext_count)
         return window.entries
 
     def next_deadline(self) -> float | None:
@@ -236,6 +271,7 @@ class DecryptScheduler:
                 if entry.job is job:
                     detached.append(entry)
                     window.ciphertext_count -= len(entry.request.ciphertexts)
+                    self._metric_pending.dec(len(entry.request.ciphertexts))
                 else:
                     kept.append(entry)
                     kept_times.append(enqueued)
@@ -371,6 +407,91 @@ class ProviderRuntime(SessionLoop):
         self.scheduler = scheduler or DecryptScheduler()
         self._active: list[SessionJob] = []
         self._disconnected: dict[Any, _DisconnectedJob] = {}
+        # Telemetry: spans follow each job enqueue → window park → decrypt →
+        # reply on the scheduler's injected clock (VirtualClock replays give
+        # bit-identical spans).  Marks are keyed by id(job) — SessionJob is a
+        # dataclass with eq=True and therefore unhashable — and popped when
+        # the job finishes.
+        self._tracer = get_tracer()
+        self._metric_emails = get_registry().counter("emails_served_total")
+        self._trace_sequence = itertools.count()
+        self._span_marks: dict[int, dict[str, Any]] = {}
+
+    # -- telemetry ----------------------------------------------------------
+    def _now(self) -> float:
+        return self.scheduler._clock()
+
+    def _mark(self, job: SessionJob) -> dict[str, Any]:
+        mark = self._span_marks.get(id(job))
+        if mark is None:
+            if job.trace_id is None:
+                job.trace_id = (
+                    f"email-{job.label}"
+                    if job.label is not None
+                    else f"job-{next(self._trace_sequence)}"
+                )
+            mark = self._span_marks[id(job)] = {
+                "trace_id": job.trace_id,
+                "admitted": self._now(),
+                "ciphertexts": 0,
+            }
+        return mark
+
+    def _enqueue_parked(self, entry: _ParkedDecryption) -> None:
+        """Park one decrypt in the scheduler, stamping the job's enqueue time."""
+        self._mark(entry.job).setdefault("enqueued", self._now())
+        self.scheduler.enqueue(entry)
+
+    def _service_group(self, entries: list[_ParkedDecryption]) -> None:
+        start = self._now()
+        for entry in entries:
+            mark = self._mark(entry.job)
+            mark.setdefault("fired", start)
+            mark.setdefault("decrypt_start", start)
+            mark["ciphertexts"] += len(entry.request.ciphertexts)
+        super()._service_group(entries)
+        end = self._now()
+        for entry in entries:
+            self._mark(entry.job)["decrypt_end"] = end
+
+    def _emit_spans(self, job: SessionJob, mark: dict[str, Any], now: float) -> None:
+        trace_id = mark["trace_id"]
+        admitted = mark["admitted"]
+        enqueued = mark.get("enqueued")
+        fired = mark.get("fired")
+        decrypt_start = mark.get("decrypt_start")
+        decrypt_end = mark.get("decrypt_end")
+        self._tracer.record(
+            trace_id, "enqueue", admitted, enqueued if enqueued is not None else admitted
+        )
+        if enqueued is not None and fired is not None:
+            self._tracer.record(trace_id, "window_park", enqueued, fired)
+        if decrypt_start is not None and decrypt_end is not None:
+            self._tracer.record(
+                trace_id,
+                "decrypt",
+                decrypt_start,
+                decrypt_end,
+                ciphertexts=mark["ciphertexts"],
+            )
+        reply_start = decrypt_end if decrypt_end is not None else admitted
+        self._tracer.record(trace_id, "reply", reply_start, now)
+        self._tracer.record(trace_id, "email", admitted, now, label=str(job.label))
+
+    def stats(self) -> dict[str, Any]:
+        """One serving-state summary, read from the registry and scheduler.
+
+        The same shape the shard workers report, so single-process and
+        sharded deployments expose comparable views.
+        """
+        return {
+            "decrypt_batch_sizes": list(self.decrypt_batch_sizes),
+            "decrypt_ages": self.scheduler.decrypt_ages,
+            "outstanding_jobs": self.outstanding_jobs(),
+            "disconnected_jobs": self.disconnected_jobs(),
+            "pending_window_ciphertexts": self.scheduler.pending_ciphertexts(),
+            "emails_served": int(self._metric_emails.value),
+        }
 
     # -- reconnect-resume ----------------------------------------------------
     def disconnect_job(self, label: Any) -> SessionState:
@@ -427,9 +548,15 @@ class ProviderRuntime(SessionLoop):
             provider_name=old.provider_name,
         )
         self._active.append(job)
+        # Carry the span bookkeeping across the reconnect: the new job object
+        # continues the old job's trace.
+        old_mark = self._span_marks.pop(id(old), None)
+        if old_mark is not None:
+            job.trace_id = old_mark["trace_id"]
+            self._span_marks[id(job)] = old_mark
         for entry in parked.entries:
             entry.job = job
-            self.scheduler.enqueue(entry)
+            self._enqueue_parked(entry)
         return job
 
     def disconnected_jobs(self) -> int:
@@ -446,6 +573,7 @@ class ProviderRuntime(SessionLoop):
         """
         for job in jobs:
             self._active.append(job)
+            self._mark(job)  # admission opens the job's trace
             parked: list[_ParkedDecryption] = []
             for name in (job.client_name, job.provider_name):
                 session = job.session(name)
@@ -453,7 +581,7 @@ class ProviderRuntime(SessionLoop):
                     job.dispatch(name, session.start())
                 self._collect_parked(job, name, session, parked)
             for entry in parked:
-                self.scheduler.enqueue(entry)
+                self._enqueue_parked(entry)
         self._advance()
         self.scheduler.end_burst()
         while True:
@@ -516,7 +644,7 @@ class ProviderRuntime(SessionLoop):
             parked: list[_ParkedDecryption] = []
             progressed = self._deliver_all(self._active, parked)
             for entry in parked:
-                self.scheduler.enqueue(entry)
+                self._enqueue_parked(entry)
             due = self.scheduler.take_due()
             if due:
                 for entries in due:
@@ -528,6 +656,13 @@ class ProviderRuntime(SessionLoop):
     def _collect_finished(self) -> list[SessionJob]:
         finished = [job for job in self._active if job.finished]
         self._active = [job for job in self._active if not job.finished]
+        if finished:
+            now = self._now()
+            for job in finished:
+                mark = self._span_marks.pop(id(job), None)
+                if mark is not None:
+                    self._emit_spans(job, mark, now)
+                self._metric_emails.inc()
         return finished
 
 
@@ -1165,7 +1300,19 @@ def _shard_worker_main(
     so an acked burst is always recoverable), and the ``restore`` command
     resumes those sessions after the parent has replayed registrations — the
     recovery path a SIGKILLed worker's replacement takes.
+
+    Every results-bearing reply (``burst``/``drain``/``poll``/``restore``)
+    piggybacks a *cumulative* snapshot of this worker's metrics registry.
+    Cumulative — not a delta — so a lost reply or a killed worker can never
+    leave the parent holding a partial increment; the parent keeps only the
+    latest snapshot per worker incarnation and folds dead incarnations in
+    exactly once (see :meth:`ShardedRuntime.aggregated_metrics`).
     """
+    # A fresh registry/tracer per worker process: under the fork start method
+    # the child would otherwise inherit (and re-report) every count the
+    # parent accumulated before the spawn.
+    set_registry(MetricsRegistry())
+    set_tracer(SpanTracer())
     directory = MailboxDirectory()
     runtime = ProviderRuntime(scheduler=_make_scheduler(scheduler_spec))
     store = FileSessionStore(checkpoint_dir) if checkpoint_dir is not None else None
@@ -1229,16 +1376,16 @@ def _shard_worker_main(
                 finished = runtime.serve_burst(jobs)
                 results = _take_results(finished)
                 _write_checkpoint()
-                reply = ("results", results)
+                reply = ("results", (results, get_registry().snapshot()))
             elif command == "drain":
                 results = _take_results(runtime.drain())
                 _write_checkpoint()
-                reply = ("results", results)
+                reply = ("results", (results, get_registry().snapshot()))
             elif command == "poll":
                 results = _take_results(runtime.poll())
                 if results:
                     _write_checkpoint()
-                reply = ("results", results)
+                reply = ("results", (results, get_registry().snapshot()))
             elif command == "restore":
                 resumed_ids: list[int] = []
                 jobs = []
@@ -1270,7 +1417,7 @@ def _shard_worker_main(
                 finished = runtime.serve_burst(jobs) if jobs else []
                 results = _take_results(finished)
                 _write_checkpoint()
-                reply = ("restored", (resumed_ids, results))
+                reply = ("restored", (resumed_ids, results, get_registry().snapshot()))
             elif command == "disconnect":
                 state = runtime.disconnect_job(payload)
                 _write_checkpoint()
@@ -1306,6 +1453,7 @@ def _shard_worker_main(
                         "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
                         "decrypt_ages": list(runtime.scheduler.decrypt_ages),
                         "restored_jobs": restored_jobs,
+                        "metrics": get_registry().snapshot(),
                     },
                 )
             elif command == "stop":
@@ -1398,6 +1546,13 @@ class ShardedRuntime:
         self._results: dict[int, Any] = {}
         self._job_ids = itertools.count()
         self._closed = False
+        # Cross-shard metrics aggregation.  Workers report *cumulative*
+        # registry snapshots; per shard the parent keeps only the live
+        # incarnation's latest (replacing, never adding) plus a base holding
+        # the final snapshots of dead incarnations — so a restarted worker's
+        # counts are folded in exactly once and nothing double-counts.
+        self._shard_metrics: dict[int, dict] = {}
+        self._shard_metrics_base: dict[int, dict] = {}
         for shard in range(num_shards):
             connection, process = self._spawn_worker(shard)
             self._connections.append(connection)
@@ -1441,14 +1596,19 @@ class ShardedRuntime:
         if tag == "error":
             raise ProtocolError(f"shard {shard} rejected {command!r}: {body}")
         if tag == "results":
-            for job_id, result in body:
-                self._results[job_id] = result
-                self._outstanding.pop(job_id, None)
-        elif tag == "restored":
-            _resumed_ids, results = body
+            results, metrics = body
             for job_id, result in results:
                 self._results[job_id] = result
                 self._outstanding.pop(job_id, None)
+            self._shard_metrics[shard] = metrics
+        elif tag == "restored":
+            _resumed_ids, results, metrics = body
+            for job_id, result in results:
+                self._results[job_id] = result
+                self._outstanding.pop(job_id, None)
+            self._shard_metrics[shard] = metrics
+        elif tag == "stats" and isinstance(body, dict) and "metrics" in body:
+            self._shard_metrics[shard] = body["metrics"]
         return body
 
     def _request(self, shard: int, command: str, payload: Any) -> Any:
@@ -1475,6 +1635,15 @@ class ShardedRuntime:
         process.terminate()
         process.join(timeout=10.0)
         self._connections[shard].close()
+        # The dying incarnation's cumulative snapshot becomes part of this
+        # shard's base — folded exactly once; the fresh worker starts a new
+        # cumulative series from zero.
+        final = self._shard_metrics.pop(shard, None)
+        if final is not None:
+            base = self._shard_metrics_base.get(shard)
+            self._shard_metrics_base[shard] = (
+                merge_snapshots(base, final) if base is not None else final
+            )
         # Rebuild in place so shard indices (and the address partition) hold.
         parent_connection, fresh = self._spawn_worker(shard)
         self._connections[shard] = parent_connection
@@ -1489,7 +1658,7 @@ class ShardedRuntime:
                 self._request(shard, command, (*payload, True) if resuming else payload)
         resumed: set[int] = set()
         if resuming:
-            resumed_ids, _results = self._request(shard, "restore", None)
+            resumed_ids, _results, _metrics = self._request(shard, "restore", None)
             resumed = set(resumed_ids)
             self._request(shard, "ensure_pools", None)
         resubmit = [
@@ -1698,5 +1867,21 @@ class ShardedRuntime:
         return [self.take_result(job_id) for job_id in job_ids]
 
     def shard_stats(self) -> list[dict[str, Any]]:
-        """Per-shard serving stats (mailboxes, decrypt batch sizes, backlog)."""
+        """Per-shard serving stats (mailboxes, decrypt batch sizes, backlog).
+
+        Each dict also carries the worker's cumulative registry snapshot
+        under ``"metrics"`` — a thin read of the worker-side registry.
+        """
         return [self._request(shard, "stats", None) for shard in range(self.num_shards)]
+
+    def aggregated_metrics(self) -> dict:
+        """One merged metrics snapshot covering every worker, past and present.
+
+        The sum of each shard's dead-incarnation base and the live
+        incarnation's latest cumulative snapshot.  Because workers report
+        cumulatively and the parent replaces (never adds) the live snapshot,
+        a SIGKILL + restore cycle cannot double-count — the property the
+        crash-recovery metrics test pins.
+        """
+        snaps = list(self._shard_metrics_base.values()) + list(self._shard_metrics.values())
+        return merge_snapshots(*snaps) if snaps else empty_snapshot()

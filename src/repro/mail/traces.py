@@ -38,7 +38,8 @@ from typing import Any, Callable, Sequence
 
 from repro.exceptions import ReplayError
 from repro.mail.replay import ReplayGuard
-from repro.utils.timing import summarize_latencies
+from repro.obs import get_registry
+from repro.utils.timing import percentile, summarize_latencies
 
 
 @dataclass(frozen=True)
@@ -246,6 +247,12 @@ class TraceReport:
             if self.decrypt_batch_sizes
             else 0.0
         )
+        # The batch-size *distribution*, not just its mean: a policy can buy
+        # a good mean with a few giant flushes while most windows release
+        # nearly empty — p95 is what tells those stories apart.
+        row["p95_decrypt_batch"] = (
+            percentile(self.decrypt_batch_sizes, 95.0) if self.decrypt_batch_sizes else 0.0
+        )
         return row
 
 
@@ -293,10 +300,14 @@ def serve_trace(
     """
     report = TraceReport()
     arrivals: dict[int, float] = {}  # id(job) → arrival time
+    metric_latency = get_registry().histogram("trace_email_latency_seconds")
 
     def note_finished(finished: Sequence[Any]) -> None:
+        now = clock()
         for job in finished:
-            report.latencies.append(clock() - arrivals.pop(id(job)))
+            latency = now - arrivals.pop(id(job))
+            report.latencies.append(latency)
+            metric_latency.observe(latency)
             report.served += 1
 
     def timed(call: Callable[[], Any]) -> Any:

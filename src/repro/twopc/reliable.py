@@ -53,6 +53,7 @@ from repro.exceptions import (
     TransportTimeoutError,
     WireFormatError,
 )
+from repro.obs import get_registry
 from repro.twopc.transport import (
     FaultSpec,
     FaultyTransport,
@@ -129,12 +130,21 @@ class _ReliabilityCore:
             "duplicates_dropped": 0,
             "corrupt_dropped": 0,
         }
+        # Mirror each stat into the process registry (bound once per channel).
+        registry = get_registry()
+        self._metrics = {
+            key: registry.counter(f"reliable_{key}_total") for key in self.stats
+        }
+
+    def bump(self, key: str) -> None:
+        self.stats[key] += 1
+        self._metrics[key].inc()
 
     def on_data(self, state: _EndpointState, sequence: int, payload: bytes) -> tuple[int, bool]:
         """Apply one inbound DATA frame; returns (cumulative ack, was duplicate)."""
         duplicate = False
         if sequence < state.expected:
-            self.stats["duplicates_dropped"] += 1
+            self.bump("duplicates_dropped")
             duplicate = True
         elif sequence == state.expected:
             state.ready.append(payload)
@@ -143,7 +153,7 @@ class _ReliabilityCore:
                 state.ready.append(state.out_of_order.pop(state.expected))
                 state.expected += 1
         elif sequence in state.out_of_order:
-            self.stats["duplicates_dropped"] += 1
+            self.bump("duplicates_dropped")
             duplicate = True
         else:
             state.out_of_order[sequence] = payload
@@ -239,14 +249,14 @@ class ReliableChannel(Transport):
             try:
                 frame_type, sequence, payload = decode_reliable(raw)
             except WireFormatError:
-                self._core.stats["corrupt_dropped"] += 1
+                self._core.bump("corrupt_dropped")
                 continue
             if frame_type == TYPE_ACK:
                 self._core.on_ack(state, sequence)
                 continue
             cumulative, duplicate = self._core.on_data(state, sequence, payload)
             self.inner.send(receiver, encode_reliable(TYPE_ACK, cumulative))
-            self._core.stats["acks_sent"] += 1
+            self._core.bump("acks_sent")
             if duplicate and not state.ready:
                 # The peer is resending history, so our ack (or our own last
                 # frame) probably got lost — push our unacked window too.
@@ -256,7 +266,7 @@ class ReliableChannel(Transport):
     def _retransmit(self, sender: str, state: _EndpointState) -> None:
         for sequence in sorted(state.unacked):
             self.inner.send(sender, encode_reliable(TYPE_DATA, sequence, state.unacked[sequence]))
-            self._core.stats["retransmissions"] += 1
+            self._core.bump("retransmissions")
 
     # -- plumbing -----------------------------------------------------------
     def pending(self) -> int:
@@ -392,14 +402,14 @@ class AsyncReliableTransport:
             try:
                 frame_type, sequence, payload = decode_reliable(raw)
             except WireFormatError:
-                self._core.stats["corrupt_dropped"] += 1
+                self._core.bump("corrupt_dropped")
                 continue
             if frame_type == TYPE_ACK:
                 self._core.on_ack(state, sequence)
                 continue
             cumulative, duplicate = self._core.on_data(state, sequence, payload)
             if await self._send_control(encode_reliable(TYPE_ACK, cumulative)):
-                self._core.stats["acks_sent"] += 1
+                self._core.bump("acks_sent")
             if duplicate and not state.ready:
                 await self._retransmit()
         raise ReliabilityError(f"receive loop for {receiver!r} made no progress")
@@ -417,7 +427,7 @@ class AsyncReliableTransport:
         state = self._state
         for sequence in sorted(state.unacked):
             if await self._send_control(encode_reliable(TYPE_DATA, sequence, state.unacked[sequence])):
-                self._core.stats["retransmissions"] += 1
+                self._core.bump("retransmissions")
 
     async def aclose(self) -> None:
         await self.inner.aclose()

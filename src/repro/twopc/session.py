@@ -33,6 +33,7 @@ from typing import Any, Sequence
 
 from repro.crypto.ahe import AHECiphertext, AHEKeyPair, AHEScheme
 from repro.exceptions import ProtocolError, SnapshotError
+from repro.obs import get_registry
 from repro.twopc.transport import FramedChannel
 from repro.twopc.wire import Frame, SessionState, WireCodec
 from repro.utils.serialization import canonical_dumps, canonical_loads
@@ -351,6 +352,10 @@ class SessionJob:
     label: Any = None
     client_name: str = "client"
     provider_name: str = "provider"
+    #: In-process correlation id for span tracing (never serialized; the wire
+    #: format and golden frame bytes are untouched).  Minted by the runtime at
+    #: admission; None for jobs driven outside the serving loop.
+    trace_id: str | None = None
     _inbound: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -401,6 +406,9 @@ class SessionLoop:
 
     def __init__(self) -> None:
         self.decrypt_batch_sizes: list[int] = []
+        registry = get_registry()
+        self._metric_batches = registry.counter("decrypt_batches_total")
+        self._metric_batch_sizes = registry.histogram("decrypt_batch_ciphertexts")
 
     def run(self, jobs: Sequence[SessionJob]) -> None:
         """Drive every job to completion; raises on protocol deadlock."""
@@ -461,6 +469,8 @@ class SessionLoop:
             ciphertext for entry in entries for ciphertext in entry.request.ciphertexts
         ]
         self.decrypt_batch_sizes.append(len(ciphertexts))
+        self._metric_batches.inc()
+        self._metric_batch_sizes.observe(len(ciphertexts))
         slot_lists, per_ciphertext_seconds = batch_decrypt(
             entries[0].request.scheme, entries[0].request.keypair, ciphertexts
         )
@@ -581,6 +591,9 @@ class AsyncSessionPump:
         self.decrypt_batch_sizes: list[int] = []
         self._pending: list[tuple[DecryptionRequest, "asyncio.Future"]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
+        registry = get_registry()
+        self._metric_batches = registry.counter("decrypt_batches_total")
+        self._metric_batch_sizes = registry.histogram("decrypt_batch_ciphertexts")
 
     async def run_session(self, channel, party: str, session: ProtocolSession) -> None:
         """Pump one session over *channel* until it finishes.
@@ -651,6 +664,8 @@ class AsyncSessionPump:
                 ciphertext for request, _ in entries for ciphertext in request.ciphertexts
             ]
             self.decrypt_batch_sizes.append(len(ciphertexts))
+            self._metric_batches.inc()
+            self._metric_batch_sizes.observe(len(ciphertexts))
             try:
                 slot_lists, per_ciphertext_seconds = batch_decrypt(
                     entries[0][0].scheme, entries[0][0].keypair, ciphertexts

@@ -52,6 +52,7 @@ from repro.exceptions import (
     TransportTimeoutError,
     WireFormatError,
 )
+from repro.obs import get_registry
 from repro.twopc.wire import Frame, WireCodec
 
 #: Every byte-stream transport prefixes each frame with its u32 length.
@@ -112,6 +113,17 @@ class Transport(ABC):
         self.frame_log: list[tuple[str, int]] = []  # (sender, size) per frame, in order
         self._last_sender: str | None = None
         self._rounds = 0
+        # Registry instruments bound once here; _account only does arithmetic.
+        registry = get_registry()
+        self._metric_bytes = {
+            party: registry.counter("transport_bytes_total", party=party)
+            for party in self.parties
+        }
+        self._metric_frames = {
+            party: registry.counter("transport_frames_total", party=party)
+            for party in self.parties
+        }
+        self._metric_rounds = registry.counter("transport_rounds_total")
 
     def peer_of(self, party: str) -> str:
         self._check_party(party)
@@ -129,8 +141,11 @@ class Transport(ABC):
         self.bytes_by_sender[sender] += size
         self.messages_by_sender[sender] += 1
         self.frame_log.append((sender, size))
+        self._metric_bytes[sender].inc(size)
+        self._metric_frames[sender].inc()
         if sender != self._last_sender:
             self._rounds += 1
+            self._metric_rounds.inc()
             self._last_sender = sender
 
     # -- byte movement ------------------------------------------------------
@@ -545,6 +560,11 @@ class FaultEvent:
     size: int
 
 
+#: Most recent fault events kept verbatim; older events age out of the log
+#: (the exact per-kind tally never does).  Far above any chaos-suite volume.
+FAULT_LOG_CAP = 4096
+
+
 class _FaultInjector:
     """Seeded fault decisions + the holdback queue, shared by sync/async wrappers."""
 
@@ -553,18 +573,30 @@ class _FaultInjector:
         self._rng = random.Random(spec.seed)
         self.sends = 0
         self.disconnected = False
-        self.fault_log: list[FaultEvent] = []
+        #: Bounded event window — long chaos runs no longer grow it forever.
+        self.fault_log: deque[FaultEvent] = deque(maxlen=FAULT_LOG_CAP)
+        #: Events aged out of the bounded window (counts() stays exact regardless).
+        self.dropped_events = 0
+        self._tally: dict[str, int] = {}
+        self._metric_by_kind: dict[str, object] = {}
         #: Frames being reordered/delayed: (release_after_send_index, sender, frame).
         self.held: list[tuple[int, str, bytes]] = []
 
     def record(self, kind: str, sender: str, size: int) -> None:
+        if len(self.fault_log) == FAULT_LOG_CAP:
+            self.dropped_events += 1
         self.fault_log.append(FaultEvent(self.sends, kind, sender, size))
+        self._tally[kind] = self._tally.get(kind, 0) + 1
+        counter = self._metric_by_kind.get(kind)
+        if counter is None:
+            counter = self._metric_by_kind[kind] = get_registry().counter(
+                "faults_injected_total", kind=kind
+            )
+        counter.inc()
 
     def counts(self) -> dict[str, int]:
-        tally: dict[str, int] = {}
-        for event in self.fault_log:
-            tally[event.kind] = tally.get(event.kind, 0) + 1
-        return tally
+        """Exact per-kind tally, maintained in record() — unaffected by the log cap."""
+        return dict(self._tally)
 
     def check_disconnect(self, sender: str, size: int) -> None:
         after = self.spec.disconnect_after_frames
@@ -652,7 +684,13 @@ class FaultyTransport(Transport):
 
     @property
     def fault_log(self) -> list[FaultEvent]:
-        return self._injector.fault_log
+        """The most recent ``FAULT_LOG_CAP`` fault events (bounded window)."""
+        return list(self._injector.fault_log)
+
+    @property
+    def fault_events_dropped(self) -> int:
+        """Events aged out of the bounded log (fault_counts() stays exact)."""
+        return self._injector.dropped_events
 
     def fault_counts(self) -> dict[str, int]:
         """Injected-fault tally by kind (the ledger tests assert against)."""
@@ -748,7 +786,12 @@ class AsyncFaultyTransport:
 
     @property
     def fault_log(self) -> list[FaultEvent]:
-        return self._injector.fault_log
+        """The most recent ``FAULT_LOG_CAP`` fault events (bounded window)."""
+        return list(self._injector.fault_log)
+
+    @property
+    def fault_events_dropped(self) -> int:
+        return self._injector.dropped_events
 
     def fault_counts(self) -> dict[str, int]:
         return self._injector.counts()

@@ -22,6 +22,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
+from repro.obs import get_registry
+
 
 @dataclass
 class Stopwatch:
@@ -238,11 +240,17 @@ class AdaptiveWindowController:
         self.estimator = EwmaArrivalRate(
             alpha=alpha, half_life_seconds=max(max_delay_seconds, 1e-6)
         )
+        registry = get_registry()
+        self._metric_rate = registry.gauge("adaptive_arrival_rate_per_s")
+        self._metric_delay = registry.histogram("adaptive_window_delay_seconds")
 
     def observe(self, count: int, now: float) -> float:
         """Fold one arrival into the estimate; returns the retuned delay."""
         self.estimator.observe(count, now)
-        return self.delay_seconds(now)
+        delay = self.delay_seconds(now)
+        self._metric_rate.set(self.estimator.rate(now))
+        self._metric_delay.observe(delay)
+        return delay
 
     def delay_seconds(self, now: float) -> float:
         """The delay window the current (decayed) arrival rate warrants."""

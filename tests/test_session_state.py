@@ -489,6 +489,41 @@ class TestCrashRecovery:
             ]
         assert extracted == truths
 
+    def test_sigkill_restore_does_not_double_count_metrics(
+        self, spam_setup, tmp_path
+    ):
+        # The aggregation protocol under real process death: the killed
+        # incarnation served nothing (its emails were parked mid-window), the
+        # replacement resumes them from the checkpoint and serves each once.
+        # emails_served_total across incarnations must be exactly the stream
+        # size — folding the dead worker's snapshot twice, or counting a
+        # restored email in both incarnations, would inflate it.
+        protocol, setup = spam_setup
+        address = "sigkill-metrics@example.com"
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            runtime.submit_spam([(address, f) for f in SPAM_EMAILS])
+            os.kill(runtime.worker_pid(0), signal.SIGKILL)
+            runtime.join_worker(0)
+            assert runtime.restart_shard(0) == 0  # resumed from the snapshot
+            runtime.drain()
+            runtime.shard_stats()  # extra refresh must not re-fold anything
+            snapshot = runtime.aggregated_metrics()
+        served = [
+            entry
+            for entry in snapshot["counters"]
+            if entry["name"] == "emails_served_total"
+        ]
+        assert served and served[0]["value"] == len(SPAM_EMAILS)
+        flushes = [
+            entry
+            for entry in snapshot["histograms"]
+            if entry["name"] == "window_flush_sessions"
+        ]
+        assert flushes and flushes[0]["count"] >= 1
+
     def test_restart_without_checkpoint_still_recomputes(self, spam_setup, spam_truth):
         # No checkpoint_dir: the legacy recompute path must keep working.
         protocol, setup = spam_setup

@@ -29,6 +29,7 @@ from repro.core.runtime import (
     topic_job,
 )
 from repro.exceptions import ProtocolError
+from repro.obs import scoped_telemetry
 from repro.twopc.session import AsyncSessionPump
 from repro.utils.timing import AdaptiveWindowController
 from repro.twopc.spam import SpamFilterProtocol
@@ -656,6 +657,112 @@ class TestShardedRuntime:
         # The workers report their latency ledgers up through shard_stats.
         assert all("decrypt_ages" in stat for stat in stats)
         assert sum(len(stat["decrypt_ages"]) for stat in stats) > 0
+
+
+def _counter_value(snapshot, name):
+    for entry in snapshot["counters"]:
+        if entry["name"] == name:
+            return entry["value"]
+    return 0.0
+
+
+def _histogram_entry(snapshot, name):
+    for entry in snapshot["histograms"]:
+        if entry["name"] == name:
+            return entry
+    raise AssertionError(f"no histogram {name!r} in snapshot")
+
+
+class TestShardedTelemetry:
+    """Worker registries merged in the parent equal a single-process run."""
+
+    def _single_process_snapshot(self, protocol, setup, waves):
+        """Serve the same stream in one process under an isolated registry."""
+        with scoped_telemetry() as (registry, _):
+            runtime = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=1))
+            pool = protocol.make_ot_pool(setup)
+            label = 0
+            for wave in waves:
+                jobs = []
+                for _, features in wave:
+                    jobs.append(
+                        spam_job(protocol, setup, features, label=label, ot_pool=pool)
+                    )
+                    label += 1
+                runtime.serve_burst(jobs)
+            runtime.drain()
+            return registry.snapshot()
+
+    def test_aggregated_metrics_equal_single_process_run(self, spam_setup):
+        # One shard, window_bursts=1: the worker sees the identical burst
+        # structure as a single-process runtime, so the aggregated serving
+        # metrics must match series for series — counters and the full
+        # decrypt batch-size distribution (bucket counts, sum, extremes).
+        protocol, setup = spam_setup
+        address = "solo-metrics@example.com"
+        waves = [
+            [(address, features) for features in SPAM_EMAILS[:3]],
+            [(address, features) for features in SPAM_EMAILS[3:]],
+        ]
+        with ShardedRuntime(num_shards=1, window_bursts=1) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            runtime.run_spam_stream(waves)
+            aggregated = runtime.aggregated_metrics()
+        single = self._single_process_snapshot(protocol, setup, waves)
+        for name in ("emails_served_total", "decrypt_batches_total"):
+            assert _counter_value(aggregated, name) == _counter_value(single, name)
+        sharded_hist = _histogram_entry(aggregated, "decrypt_batch_ciphertexts")
+        single_hist = _histogram_entry(single, "decrypt_batch_ciphertexts")
+        for field in ("counts", "count", "sum", "min", "max", "recent"):
+            assert sharded_hist[field] == single_hist[field]
+
+    def test_multi_shard_aggregation_preserves_stream_totals(self, spam_setup):
+        # Across two shards the batching *shape* legitimately differs (each
+        # worker flushes its own windows), but the stream-level totals —
+        # emails served and ciphertexts decrypted — must equal the
+        # single-process run exactly.
+        protocol, setup = spam_setup
+        addresses = ["aggie@example.com", "boris@example.com", "cleo@example.com"]
+        waves = [
+            [
+                (addresses[index % 3], features)
+                for index, features in enumerate(SPAM_EMAILS[:3])
+            ],
+            [
+                (addresses[index % 3], features)
+                for index, features in enumerate(SPAM_EMAILS[3:], start=3)
+            ],
+        ]
+        with ShardedRuntime(num_shards=2, window_bursts=1) as runtime:
+            for address in addresses:
+                runtime.register_spam(address, protocol, setup)
+            runtime.run_spam_stream(waves)
+            aggregated = runtime.aggregated_metrics()
+        single = self._single_process_snapshot(protocol, setup, waves)
+        assert _counter_value(aggregated, "emails_served_total") == _counter_value(
+            single, "emails_served_total"
+        ) == len(SPAM_EMAILS)
+        sharded_hist = _histogram_entry(aggregated, "decrypt_batch_ciphertexts")
+        single_hist = _histogram_entry(single, "decrypt_batch_ciphertexts")
+        assert sharded_hist["sum"] == single_hist["sum"]
+
+    def test_restart_folds_dead_incarnation_exactly_once(self, spam_setup, spam_truth):
+        # Work served before a restart must survive in the aggregate (the
+        # dead incarnation's final snapshot folds into the per-shard base)
+        # and must never be folded twice by later stats refreshes.
+        protocol, setup = spam_setup
+        address = "fold-once@example.com"
+        with ShardedRuntime(num_shards=1, window_bursts=1) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            runtime.run_spam_stream([[(address, f) for f in SPAM_EMAILS[:3]]])
+            assert _counter_value(
+                runtime.aggregated_metrics(), "emails_served_total"
+            ) == 3
+            runtime.restart_shard(0)
+            runtime.run_spam_stream([[(address, f) for f in SPAM_EMAILS[3:]]])
+            runtime.shard_stats()  # a stats refresh must not re-fold the base
+            aggregated = runtime.aggregated_metrics()
+        assert _counter_value(aggregated, "emails_served_total") == len(SPAM_EMAILS)
 
 
 class TestAsyncSessionPump:

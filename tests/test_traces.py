@@ -317,3 +317,7 @@ class TestServeTrace:
         assert row["throughput_per_cpu_second"] > 0.0
         assert row["latency_p99"] >= row["latency_p50"] > 0.0
         assert row["mean_decrypt_batch"] >= 1.0
+        # The batch-size distribution row rides along: p95 can never sit
+        # below the mean's floor and must bound the observed maximum.
+        assert row["p95_decrypt_batch"] >= 1.0
+        assert row["p95_decrypt_batch"] <= max(report.decrypt_batch_sizes)
