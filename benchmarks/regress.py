@@ -30,14 +30,24 @@ windowed serving runtime under a virtual clock with a calibrated
 deterministic service-cost model, once per static decrypt-window arm and
 once with the adaptive (rate-driven) scheduler, reporting p50/p95/p99
 latency and throughput per arm.
+``--suite fabric`` scores the cross-host shard fabric: the shard suite's
+email stream driven once through the in-box :class:`ShardedRuntime` and
+once through a localhost-TCP :class:`repro.fabric.FabricRuntime` whose
+first agent is **live-migrated to a fresh process mid-stream** with its
+decrypt windows open.
 The shard suite **hard-fails** if sharded throughput drops below the PR 2
 single-loop drive, the restart suite hard-fails if snapshot resume is
 not faster than recompute, the chaos suite hard-fails if any reliable
 run fails to complete or its verdict diverges from the clean run, the
 micro suite hard-fails if decrypt batching stops being superlinear (batch-32
 per-ciphertext cost must beat batch 1) or, at n = 1024, if candidate blinding
-loses its ≥2x margin over the PR 1 committed baseline, and the latency
-suite hard-fails unless the adaptive arm's p99 beats every static arm's.
+loses its ≥2x margin over the PR 1 committed baseline, the latency
+suite hard-fails unless the adaptive arm's p99 beats every static arm's,
+and the fabric suite hard-fails if the migration loses, duplicates or
+re-executes any email (verdicts must equal the uninterrupted in-box run's,
+zero resubmissions, every email counted exactly once) or if the
+deterministic metrics projection of the fabric's merged telemetry diverges
+from the in-box run's.
 Each
 suite writes its medians to a
 ``BENCH_*.json`` file, so successive PRs can track the performance
@@ -52,6 +62,7 @@ Usage::
     PYTHONPATH=src python benchmarks/regress.py --suite restart
     PYTHONPATH=src python benchmarks/regress.py --suite chaos
     PYTHONPATH=src python benchmarks/regress.py --suite micro
+    PYTHONPATH=src python benchmarks/regress.py --suite fabric
     PYTHONPATH=src python benchmarks/regress.py --output BENCH_smoke.json
 
 The JSON schema is flat on purpose: ``{"meta": {...}, "results": {name: ...}}``.
@@ -84,6 +95,7 @@ from repro.core.runtime import (
 from repro.crypto.bv import BVParameters, BVScheme
 from repro.crypto.dh import generate_group
 from repro.crypto.packing import PackedLinearModel, decrypt_dot_products
+from repro.fabric import launch_fabric, metrics_projection, spawn_local_agent
 from repro.obs import get_registry, get_tracer, scoped_telemetry
 from repro.obs.export import write_artifacts
 from repro.twopc.blinding import blind_dot_products, blind_extracted_candidates
@@ -436,6 +448,172 @@ def run_shard(ring_degree: int, repeat: int) -> dict:
         "shard_mailboxes": SHARD_MAILBOXES,
         "shard_window_bursts": SHARD_WINDOW_BURSTS,
         "shard_stream_emails": total_emails,
+    }
+
+
+FABRIC_AGENTS = 2
+FABRIC_WINDOW_BURSTS = 2
+
+
+def run_fabric(ring_degree: int, repeat: int) -> dict:
+    """Cross-host fabric equivalence: localhost TCP agents vs in-box workers.
+
+    The shard suite's email stream (SHARD_WAVES waves over SHARD_MAILBOXES
+    mailboxes), driven twice per repeat:
+
+    * ``inbox`` — a fresh ``FABRIC_AGENTS``-process in-box
+      :class:`ShardedRuntime` (pipe transport), uninterrupted;
+    * ``tcp`` — a fresh :class:`repro.fabric.FabricRuntime` over
+      ``FABRIC_AGENTS`` localhost TCP agent processes, with one **live
+      migration mid-stream**: after the first wave (decrypt windows still
+      open, ``FABRIC_WINDOW_BURSTS``-burst scheduler), agent 0's whole hash
+      range is checkpointed, restored onto a pre-attached spare process and
+      the remaining waves land on the new owner.
+
+    The spare is spawned and attached *before* the timed region (Python
+    process startup is not a serving cost); the migration itself — quiesce,
+    checkpoint, restore, redirect, retire — happens inside it.
+
+    Hard-fail gates, per repeat: the migration must resubmit **zero**
+    emails; fabric verdicts must equal the uninterrupted in-box run's and
+    the sequential truth (nothing lost, duplicated or re-executed);
+    the merged ``emails_served_total`` must equal the stream size exactly
+    (each email served on exactly one agent, source *or* target); and the
+    deterministic metrics projection (partition-invariant counters and
+    count-valued histograms — see :func:`repro.fabric.metrics_projection`)
+    of the fabric's merged telemetry must equal the in-box run's.
+    """
+    parameters = BVParameters(ring_degree=ring_degree)
+    scheme = BVScheme(parameters)
+    group = generate_group(RUNTIME_DH_BITS)
+    rng = np.random.default_rng(11)
+    linear = LinearModel(
+        weights=rng.normal(size=(SPAM_FEATURE_ROWS, 2)),
+        biases=np.array([0.25, -0.25]),
+        category_names=["spam", "ham"],
+    )
+    quantized = QuantizedLinearModel.from_linear_model(
+        linear, value_bits=10, frequency_bits=4, max_features_per_email=4096
+    )
+    protocol = SpamFilterProtocol(scheme, group)
+    addresses = _shard_addresses(FABRIC_AGENTS)
+    setups = {address: protocol.setup(quantized) for address in addresses}
+
+    total_emails = SHARD_WAVES * SHARD_EMAILS_PER_WAVE
+    per_wave_per_mailbox = SHARD_EMAILS_PER_WAVE // SHARD_MAILBOXES
+    waves: list[list[tuple[str, dict[int, int]]]] = []
+    for _ in range(SHARD_WAVES):
+        wave = []
+        for address in addresses:
+            for _ in range(per_wave_per_mailbox):
+                features = {
+                    int(row): 1
+                    for row in rng.choice(
+                        SPAM_FEATURE_ROWS, size=EMAIL_FEATURES, replace=False
+                    )
+                }
+                wave.append((address, features))
+        waves.append(wave)
+    flat_truth = [
+        protocol.classify_email(setups[address], features).is_spam
+        for wave in waves
+        for address, features in wave
+    ]
+
+    def served_total(snapshot: dict) -> float:
+        return sum(
+            entry["value"]
+            for entry in snapshot["counters"]
+            if entry["name"] == "emails_served_total"
+        )
+
+    inbox_rates: list[float] = []
+    tcp_rates: list[float] = []
+    fabric_metrics: dict = {}
+    for _ in range(repeat):
+        # Arm 1: the uninterrupted in-box sharded drive (fresh runtime per
+        # repeat so its telemetry covers exactly one stream).
+        with scoped_telemetry():
+            with ShardedRuntime(
+                num_shards=FABRIC_AGENTS, window_bursts=FABRIC_WINDOW_BURSTS
+            ) as sharded:
+                for address in addresses:
+                    sharded.register_spam(address, protocol, setups[address])
+                start = time.perf_counter()
+                inbox_verdicts = [
+                    result.is_spam for result in sharded.run_spam_stream(waves)
+                ]
+                inbox_rates.append(total_emails / (time.perf_counter() - start))
+                inbox_metrics = sharded.aggregated_metrics()
+        if inbox_verdicts != flat_truth:
+            raise AssertionError("in-box arm disagrees with the sequential truth")
+
+        # Arm 2: the TCP fabric, live migration after the first wave.
+        runtime, agents = launch_fabric(
+            FABRIC_AGENTS, window_bursts=FABRIC_WINDOW_BURSTS, metrics_interval=0.05
+        )
+        try:
+            for address in addresses:
+                runtime.register_spam(address, protocol, setups[address])
+            spare = spawn_local_agent(shard_index=FABRIC_AGENTS)
+            agents.append(spare)
+            target = runtime.attach_agent(spare)
+
+            start = time.perf_counter()
+            job_ids = runtime.submit_spam(waves[0])
+            resubmitted = runtime.migrate_agent(0, target)
+            for wave in waves[1:]:
+                job_ids += runtime.submit_spam(wave)
+            runtime.drain()
+            tcp_verdicts = [
+                runtime.take_result(job_id).is_spam for job_id in job_ids
+            ]
+            tcp_rates.append(total_emails / (time.perf_counter() - start))
+            fabric_metrics = runtime.aggregated_metrics()
+        finally:
+            runtime.close()
+            for agent in agents:
+                if agent.wait(timeout=10.0) is None:
+                    agent.kill()
+
+        # The gates: the whole point of the suite, checked every repeat.
+        if resubmitted != 0:
+            raise AssertionError(
+                f"live migration resubmitted {resubmitted} emails — the "
+                "checkpoint handover must carry every open window"
+            )
+        if tcp_verdicts != inbox_verdicts:
+            raise AssertionError(
+                "fabric verdicts diverged from the uninterrupted in-box run "
+                "(an email was lost, duplicated or re-executed across the "
+                "migration)"
+            )
+        served = served_total(fabric_metrics)
+        if served != total_emails:
+            raise AssertionError(
+                f"fabric counted {served:.0f} servings for {total_emails} "
+                "emails — the migration double-counted or dropped work"
+            )
+        if metrics_projection(fabric_metrics) != metrics_projection(inbox_metrics):
+            raise AssertionError(
+                "deterministic metrics projection diverged between the fabric "
+                "and the in-box run — serving work moved or repeated"
+            )
+
+    # Fold the last fabric stream's agent registries into this process's
+    # registry so the suite telemetry artifact covers the TCP arm.
+    get_registry().merge_snapshot(fabric_metrics)
+
+    inbox_rate = statistics.median(inbox_rates)
+    tcp_rate = statistics.median(tcp_rates)
+    return {
+        "fabric_inbox_emails_per_s": inbox_rate,
+        "fabric_tcp_emails_per_s": tcp_rate,
+        "fabric_tcp_vs_inbox": tcp_rate / inbox_rate,
+        "fabric_migration_resubmitted": 0.0,
+        "fabric_agents": FABRIC_AGENTS,
+        "fabric_stream_emails": total_emails,
+        "fabric_window_bursts": FABRIC_WINDOW_BURSTS,
     }
 
 
@@ -1016,7 +1194,7 @@ def main() -> None:
     parser.add_argument("--repeat", type=int, default=9, help="samples per op (median reported)")
     parser.add_argument(
         "--suite",
-        choices=("hotpath", "runtime", "shard", "restart", "chaos", "micro", "latency"),
+        choices=("hotpath", "runtime", "shard", "restart", "chaos", "micro", "latency", "fabric"),
         default="hotpath",
         help=(
             "hotpath = BV micro/protocol ops; runtime = serving-loop throughput; "
@@ -1024,7 +1202,8 @@ def main() -> None:
             "restart = crash-recovery latency, snapshot resume vs recompute; "
             "chaos = goodput under seeded fault cocktails, reliable vs raw; "
             "micro = batched-fabrication scaling curves (decrypt-many, blinding); "
-            "latency = p50/p95/p99 email latency on a bursty trace, static vs adaptive windows"
+            "latency = p50/p95/p99 email latency on a bursty trace, static vs adaptive windows; "
+            "fabric = localhost-TCP shard fabric vs in-box sharded, with a live mid-stream migration"
         ),
     )
     parser.add_argument(
@@ -1044,6 +1223,7 @@ def main() -> None:
         "chaos": "chaos",
         "micro": "micro",
         "latency": "latency",
+        "fabric": "fabric",
     }[args.suite]
     output = args.output or Path(__file__).parent / f"BENCH_{stem}_n{args.ring_degree}.json"
 
@@ -1059,6 +1239,8 @@ def main() -> None:
         results = run_micro(args.ring_degree, args.repeat)
     elif args.suite == "latency":
         results = run_latency(args.ring_degree, args.repeat)
+    elif args.suite == "fabric":
+        results = run_fabric(args.ring_degree, args.repeat)
     else:
         results = run_shard(args.ring_degree, args.repeat)
     payload = {

@@ -731,11 +731,22 @@ class FileSessionStore(SessionStore):
     tampered blob, a blob sealed under a different key, or a pre-existing
     *plaintext* checkpoint (no version byte) raises
     :class:`~repro.exceptions.SnapshotError` — refused, never misparsed.
+
+    Beside the whole-blob keys the store also offers an *append-only record
+    log* per key (:meth:`append_records` / :meth:`read_records` /
+    :meth:`replace_records`): length-prefixed records, each sealed
+    individually under the same store key (domain-separated info string).
+    This is the bounded-write shard-checkpoint format — a burst boundary
+    appends only what changed (see :class:`ShardCheckpointLog`) instead of
+    rewriting every open session, so checkpoint cost tracks churn, not
+    window width.
     """
 
     _SUFFIX = ".state"
+    _LOG_SUFFIX = ".statelog"
     _KEY_FILE = "store.key"
     _INFO = b"pretzel-session-store"
+    _LOG_INFO = b"pretzel-session-store-log"
 
     def __init__(self, directory: str | Path, key: bytes | None = None) -> None:
         self.directory = Path(directory)
@@ -801,6 +812,69 @@ class FileSessionStore(SessionStore):
             for path in self.directory.glob(f"*{self._SUFFIX}")
         )
 
+    # -- append-only record logs --------------------------------------------
+    def _log_path(self, key: str) -> Path:
+        return self.directory / (self._escape(key) + self._LOG_SUFFIX)
+
+    def _sealed_stream(self, records: Sequence[bytes]) -> bytes:
+        buffer = bytearray()
+        for record in records:
+            sealed = seal(self._key, bytes(record), info=self._LOG_INFO)
+            buffer += len(sealed).to_bytes(4, "big") + sealed
+        return bytes(buffer)
+
+    def append_records(self, key: str, records: Sequence[bytes]) -> None:
+        """Append *records* to the key's log in one write, each sealed.
+
+        One ``write`` call per batch, so a crash mid-append tears at most the
+        batch's tail — never a record in the middle of the file.
+        """
+        if not records:
+            return
+        with open(self._log_path(key), "ab") as handle:
+            handle.write(self._sealed_stream(records))
+
+    def read_records(self, key: str) -> list[bytes] | None:
+        """Every record appended under *key*, oldest first; ``None`` if no log.
+
+        A torn tail (crash mid-append) is dropped silently — everything
+        before it is intact by construction, and whatever the torn batch
+        carried is recovered by resubmission.  A record that fails
+        authentication raises :class:`~repro.exceptions.SnapshotError`:
+        damage *inside* an append-only file is tampering, not a crash
+        artifact, and the whole log is refused.
+        """
+        try:
+            data = self._log_path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+        records: list[bytes] = []
+        offset = 0
+        while offset + 4 <= len(data):
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            if offset + 4 + length > len(data):
+                break  # torn tail: the crash interrupted the final batch
+            sealed = data[offset + 4 : offset + 4 + length]
+            try:
+                records.append(open_sealed(self._key, sealed, info=self._LOG_INFO))
+            except IntegrityError as error:
+                raise SnapshotError(f"checkpoint log {key!r} refused: {error}") from error
+            offset += 4 + length
+        return records
+
+    def replace_records(self, key: str, records: Sequence[bytes]) -> None:
+        """Atomically rewrite the key's log — the compaction primitive."""
+        path = self._log_path(key)
+        temp = path.with_suffix(path.suffix + ".tmp")
+        temp.write_bytes(self._sealed_stream(records))
+        os.replace(temp, path)
+
+    def delete_records(self, key: str) -> None:
+        try:
+            self._log_path(key).unlink()
+        except FileNotFoundError:
+            pass
+
 
 # ---------------------------------------------------------------------------
 # Shard checkpoints: open decrypt windows as SessionState snapshots
@@ -827,6 +901,25 @@ def checkpoint_open_windows(
     from zero in every parent and a stale checkpoint's sessions would
     otherwise be delivered under a fresh parent's colliding ids.
     """
+    jobs_payload, pools_payload = _checkpoint_payloads(runtime, directory, job_context)
+    if not jobs_payload:
+        return None
+    return canonical_dumps(
+        {
+            "version": CHECKPOINT_VERSION,
+            "incarnation": incarnation,
+            "pools": pools_payload,
+            "jobs": jobs_payload,
+        }
+    )
+
+
+def _checkpoint_payloads(
+    runtime: ProviderRuntime,
+    directory: "MailboxDirectory",
+    job_context: Mapping[int, tuple[str, str]],
+) -> tuple[list[dict], list[dict]]:
+    """The (jobs, pools) payload lists shared by blob and log checkpointing."""
     parked = runtime.scheduler.parked_requests()
     jobs_payload: list[dict] = []
     pool_keys: set[tuple[str, str]] = set()
@@ -851,8 +944,6 @@ def checkpoint_open_windows(
             }
         )
         pool_keys.add((kind, address))
-    if not jobs_payload:
-        return None
     pools_payload: list[dict] = []
     for kind, address in sorted(pool_keys):
         pool = (
@@ -864,14 +955,7 @@ def checkpoint_open_windows(
             pools_payload.append(
                 {"kind": kind, "address": address, "state": pool.snapshot().to_bytes()}
             )
-    return canonical_dumps(
-        {
-            "version": CHECKPOINT_VERSION,
-            "incarnation": incarnation,
-            "pools": pools_payload,
-            "jobs": jobs_payload,
-        }
-    )
+    return jobs_payload, pools_payload
 
 
 def restore_open_windows(
@@ -931,6 +1015,169 @@ def restore_open_windows(
         )
         restored.append((job_id, kind, address, job))
     return restored
+
+
+class ShardCheckpointLog:
+    """Append-only shard checkpoint: per-session records, not whole blobs.
+
+    The monolithic-blob checkpoint rewrites *every* open window at each
+    burst boundary, so its write cost grows with total parked state even
+    when one email parks.  This log appends only what changed — a ``park``
+    record when a session's snapshot digest moves, a ``tomb`` record when a
+    job drains — via :meth:`FileSessionStore.append_records`, so steady-state
+    write cost tracks the burst, not the backlog.
+
+    Record types (each a :func:`canonical_dumps` dict, individually sealed
+    by the store):
+
+    * ``begin`` — written once per log life: checkpoint version + owning
+      incarnation.  :meth:`load` folds it into the blob header, so stale
+      incarnations are refused by :func:`restore_open_windows` exactly as
+      monolithic blobs were.
+    * ``pool`` — an OT pool's cursor state, deduplicated by digest and
+      always appended *before* the parks of the same sync so a torn tail
+      can never strand a park whose pads are newer than its pool record.
+    * ``park`` — one open job's client+provider session state, deduplicated
+      by digest per job id (an unchanged parked session is never rewritten).
+    * ``tomb`` — the job drained; :meth:`load` drops its parks.
+
+    A torn final batch (the process died mid-``write``) is silently dropped
+    by :meth:`FileSessionStore.read_records` — those emails recover through
+    the parent's resubmission path, the same degradation the blob scheme
+    had for an unwritten checkpoint.  Mid-file tampering surfaces as
+    :class:`~repro.exceptions.SnapshotError`.  :meth:`load` compacts the
+    surviving records back into a minimal log so the file's size tracks
+    open work, not history.
+    """
+
+    def __init__(self, store: SessionStore, key: str, incarnation: str = "") -> None:
+        self._store = store
+        self._key = key
+        self._incarnation = incarnation
+        self._begun = False
+        self._pool_digests: dict[tuple[str, str], bytes] = {}
+        self._park_digests: dict[int, bytes] = {}
+
+    def sync(
+        self,
+        runtime: ProviderRuntime,
+        directory: "MailboxDirectory",
+        job_context: Mapping[int, tuple[str, str]],
+    ) -> None:
+        """Append whatever changed since the last sync (one write syscall)."""
+        jobs_payload, pools_payload = _checkpoint_payloads(runtime, directory, job_context)
+        if not jobs_payload:
+            # Nothing in flight: dropping the file is cheaper than appending
+            # a tombstone per drained job, and it resets the dedup state so
+            # the next log life re-records everything it needs.
+            self.clear()
+            return
+        records: list[bytes] = []
+        if not self._begun:
+            records.append(
+                canonical_dumps(
+                    {
+                        "type": "begin",
+                        "version": CHECKPOINT_VERSION,
+                        "incarnation": self._incarnation,
+                    }
+                )
+            )
+        new_pools: dict[tuple[str, str], bytes] = {}
+        for pool in pools_payload:
+            digest = hashlib.sha256(pool["state"]).digest()
+            new_pools[(pool["kind"], pool["address"])] = digest
+            if self._pool_digests.get((pool["kind"], pool["address"])) != digest:
+                records.append(canonical_dumps(dict(pool, type="pool")))
+        new_parks: dict[int, bytes] = {}
+        for job in jobs_payload:
+            digest = hashlib.sha256(job["client"] + job["provider"]).digest()
+            new_parks[job["job_id"]] = digest
+            if self._park_digests.get(job["job_id"]) != digest:
+                records.append(canonical_dumps(dict(job, type="park")))
+        for job_id in sorted(self._park_digests.keys() - new_parks.keys()):
+            records.append(canonical_dumps({"type": "tomb", "job_id": job_id}))
+        if records:
+            self._store.append_records(self._key, records)
+        self._begun = True
+        self._pool_digests.update(new_pools)
+        self._park_digests = new_parks
+
+    def clear(self) -> None:
+        """Delete the log file and reset the dedup state."""
+        self._store.delete_records(self._key)
+        self._begun = False
+        self._pool_digests.clear()
+        self._park_digests.clear()
+
+    def load(self) -> bytes | None:
+        """Fold the log into a :func:`restore_open_windows` blob, then compact.
+
+        Returns ``None`` when there is no log or no live job.  Pools are
+        filtered to the addresses of live jobs — restoring a pool no live
+        session extends would rewind its pad cursor and risk pad reuse.
+        Jobs come back sorted by id, i.e. admission order.
+        """
+        records = self._store.read_records(self._key)
+        if records is None:
+            return None
+        begin: dict | None = None
+        pools: dict[tuple[str, str], dict] = {}
+        parks: dict[int, dict] = {}
+        for raw in records:
+            try:
+                record = canonical_loads(raw)
+                kind = record["type"]
+            except Exception as error:
+                raise SnapshotError(
+                    f"malformed checkpoint log record: {error}"
+                ) from error
+            if kind == "begin":
+                begin = record
+            elif kind == "pool":
+                pools[(record["kind"], record["address"])] = record
+            elif kind == "park":
+                parks[record["job_id"]] = record
+            elif kind == "tomb":
+                parks.pop(record["job_id"], None)
+            else:
+                raise SnapshotError(f"unknown checkpoint log record type {kind!r}")
+        if not parks:
+            self.clear()
+            return None
+        if begin is None:
+            raise SnapshotError("checkpoint log is missing its begin record")
+        live = {(job["kind"], job["address"]) for job in parks.values()}
+        live_pools = [key for key in sorted(pools) if key in live]
+
+        def _strip(record: dict) -> dict:
+            return {name: value for name, value in record.items() if name != "type"}
+
+        blob = canonical_dumps(
+            {
+                "version": begin.get("version"),
+                "incarnation": begin.get("incarnation", ""),
+                "pools": [_strip(pools[key]) for key in live_pools],
+                "jobs": [_strip(parks[job_id]) for job_id in sorted(parks)],
+            }
+        )
+        # Compact: rewrite the file as just the surviving records and seed
+        # the dedup state from them, so the next sync appends only deltas.
+        compacted = [canonical_dumps(begin)]
+        self._pool_digests = {
+            key: hashlib.sha256(pools[key]["state"]).digest() for key in live_pools
+        }
+        compacted.extend(canonical_dumps(pools[key]) for key in live_pools)
+        self._park_digests = {}
+        for job_id in sorted(parks):
+            record = parks[job_id]
+            self._park_digests[job_id] = hashlib.sha256(
+                record["client"] + record["provider"]
+            ).digest()
+            compacted.append(canonical_dumps(record))
+        self._store.replace_records(self._key, compacted)
+        self._begun = True
+        return blob
 
 
 # ---------------------------------------------------------------------------
@@ -1273,6 +1520,224 @@ def _make_scheduler(spec: tuple) -> DecryptScheduler:
     raise ProtocolError(f"unknown scheduler spec kind {kind!r}")
 
 
+class ShardWorkerCore:
+    """One shard's brain, divorced from its transport.
+
+    Owns the shard's :class:`MailboxDirectory`, windowed
+    :class:`ProviderRuntime`, pending-job table and append-only checkpoint
+    log, and turns ``(command, payload)`` tuples into exactly one reply
+    tuple each.  Both serving loops wrap it: the in-box pipe worker
+    (:func:`_shard_worker_main`) and the cross-host TCP agent
+    (:mod:`repro.fabric.agent`) differ only in how commands arrive and
+    replies leave, so the two fabrics cannot drift in semantics.
+
+    Every results-bearing reply (``burst``/``drain``/``poll``/``restore``)
+    piggybacks a *cumulative* snapshot of this worker's metrics registry.
+    Cumulative — not a delta — so a lost reply or a killed worker can never
+    leave the parent holding a partial increment; the parent keeps only the
+    latest snapshot per worker incarnation and folds dead incarnations in
+    exactly once (see :meth:`ShardedRuntime.aggregated_metrics`).
+
+    With a *checkpoint_store*, open decrypt windows are synced to a
+    :class:`ShardCheckpointLog` at every burst/drain boundary (before the
+    reply leaves, so an acked burst is always recoverable).  The ``restore``
+    command resumes from the worker's own log when its payload is ``None``,
+    or from a checkpoint blob handed over by the parent — the live-migration
+    path, where host A's ``checkpoint`` reply becomes host B's ``restore``
+    payload.
+    """
+
+    def __init__(
+        self,
+        scheduler_spec: tuple,
+        checkpoint_store: SessionStore | None = None,
+        shard_index: int = 0,
+        incarnation: str = "",
+    ) -> None:
+        self.directory = MailboxDirectory()
+        self.runtime = ProviderRuntime(scheduler=_make_scheduler(scheduler_spec))
+        self._incarnation = incarnation
+        self._log = (
+            ShardCheckpointLog(checkpoint_store, f"shard-{shard_index}", incarnation)
+            if checkpoint_store is not None
+            else None
+        )
+        self._pending: dict[int, tuple[str, str]] = {}  # job_id -> (kind, address)
+        self._completed: list[tuple[int, Any]] = []  # idle-tick results
+        self.restored_jobs = 0
+        #: Set by the ``checkpoint`` command: this shard's open windows have
+        #: been handed over and it must not make further progress (an idle
+        #: tick firing after the handover would serve the same email the
+        #: target is about to resume, double-counting its metrics).
+        self.quiesced = False
+
+    def next_timeout(self) -> float | None:
+        """Seconds until the next decrypt-window age deadline, or ``None``."""
+        if self.quiesced:
+            return None
+        deadline = self.runtime.scheduler.next_deadline()
+        return None if deadline is None else max(0.0, deadline - time.monotonic())
+
+    def idle_tick(self) -> None:
+        """The transport stayed quiet past a window deadline: fire it now.
+
+        Jobs finished here are stashed and ride back on the next
+        results-bearing reply.
+        """
+        if self.quiesced:
+            return
+        finished = self.runtime.poll()
+        if finished:
+            self._completed.extend(_worker_results(self._pending, finished))
+            self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        if self._log is not None:
+            self._log.sync(self.runtime, self.directory, self._pending)
+
+    def _take_results(self, finished: Sequence[SessionJob]) -> list[tuple[int, Any]]:
+        results, taken = _worker_results(self._pending, finished), self._completed[:]
+        self._completed.clear()
+        return taken + results
+
+    def handle(self, command: str, payload: Any) -> tuple[str, Any]:
+        """Execute one command; every failure comes back as ``("error", …)``."""
+        try:
+            return self._dispatch(command, payload)
+        except Exception as error:  # noqa: BLE001 — every failure goes to the parent
+            return ("error", f"{type(error).__name__}: {error}")
+
+    def _dispatch(self, command: str, payload: Any) -> tuple[str, Any]:
+        directory, runtime = self.directory, self.runtime
+        if command == "register_spam":
+            address, protocol, setup, *options = payload
+            directory.register_spam(
+                address, protocol, setup, build_pool=not (options and options[0])
+            )
+            return ("ok", None)
+        if command == "register_topics":
+            address, protocol, setup, *options = payload
+            directory.register_topics(
+                address, protocol, setup, build_pool=not (options and options[0])
+            )
+            return ("ok", None)
+        if command == "ensure_pools":
+            directory.ensure_pools()
+            return ("ok", None)
+        if command == "burst":
+            jobs = []
+            for job_id, kind, address, features, candidates in payload:
+                jobs.append(
+                    _worker_build_job(directory, kind, address, features, candidates, job_id)
+                )
+                self._pending[job_id] = (kind, address)
+            finished = runtime.serve_burst(jobs)
+            results = self._take_results(finished)
+            self._checkpoint()
+            return ("results", (results, get_registry().snapshot()))
+        if command == "drain":
+            results = self._take_results(runtime.drain())
+            self._checkpoint()
+            return ("results", (results, get_registry().snapshot()))
+        if command == "poll":
+            results = self._take_results(runtime.poll())
+            if results:
+                self._checkpoint()
+            return ("results", (results, get_registry().snapshot()))
+        if command == "restore":
+            return self._restore(payload)
+        if command == "checkpoint":
+            # Migration handover: serialize every open window as one blob for
+            # the parent to replay into another worker's ``restore``.  Any
+            # already-finished results still waiting for a ride leave with it
+            # (the source is about to be retired and will not reply again).
+            # Quiescing first makes the reply's snapshot *final*: no idle tick
+            # may fire a window the target is about to resume, so the handed-
+            # over emails are counted on exactly one shard.
+            self.quiesced = True
+            blob = checkpoint_open_windows(
+                runtime, directory, self._pending, self._incarnation
+            )
+            results = self._take_results([])
+            return ("checkpointed", (blob, results, get_registry().snapshot()))
+        if command == "disconnect":
+            state = runtime.disconnect_job(payload)
+            self._checkpoint()
+            return ("state", state.to_bytes())
+        if command == "reconnect":
+            job_id, blob = payload
+            if job_id not in self._pending:
+                raise ProtocolError(f"no open job {job_id} on this shard")
+            kind, address = self._pending[job_id]
+            client_state = SessionState.from_bytes(blob)
+            if kind == "spam":
+                protocol, setup = directory.spam_of(address)
+                client: Any = SpamClientSession.restore(
+                    protocol, setup, client_state, ot_pool=directory.spam_pool_of(address)
+                )
+            else:
+                protocol, setup = directory.topics_of(address)
+                client = TopicClientSession.restore(
+                    protocol, setup, client_state, ot_pool=directory.topic_pool_of(address)
+                )
+            channel = protocol.make_channel(setup, name=f"reconnect[{job_id}]")
+            runtime.reconnect_job(job_id, channel, client)
+            self._checkpoint()
+            return ("ok", None)
+        if command == "stats":
+            return (
+                "stats",
+                {
+                    "mailboxes": directory.mailbox_count(),
+                    "decrypt_batch_sizes": list(runtime.decrypt_batch_sizes),
+                    "outstanding_jobs": runtime.outstanding_jobs(),
+                    "disconnected_jobs": runtime.disconnected_jobs(),
+                    "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
+                    "decrypt_ages": list(runtime.scheduler.decrypt_ages),
+                    "restored_jobs": self.restored_jobs,
+                    "metrics": get_registry().snapshot(),
+                },
+            )
+        if command == "stop":
+            return ("ok", None)
+        return ("error", f"unknown shard command {command!r}")
+
+    def _restore(self, payload: Any) -> tuple[str, Any]:
+        resumed_ids: list[int] = []
+        jobs = []
+        blob = payload if isinstance(payload, bytes) else None
+        if blob is None and self._log is not None:
+            try:
+                blob = self._log.load()
+            except SnapshotError:
+                # The log itself is unreadable (tampered records, sealed
+                # under a lost key, malformed folds): same recovery as a
+                # refused blob below.
+                self._log.clear()
+                blob = None
+        if blob is not None:
+            try:
+                restored = restore_open_windows(blob, self.directory, self._incarnation)
+            except SnapshotError:
+                # An unreadable checkpoint (older format, foreign
+                # incarnation, corrupt bytes) must not fail recovery: drop
+                # it and let the parent's resubmission recompute the
+                # in-flight emails.  Clear so retries do not hit the same
+                # poisoned log.
+                if self._log is not None:
+                    self._log.clear()
+                restored = []
+            for job_id, kind, address, job in restored:
+                self._pending[job_id] = (kind, address)
+                resumed_ids.append(job_id)
+                jobs.append(job)
+        self.restored_jobs += len(jobs)
+        finished = self.runtime.serve_burst(jobs) if jobs else []
+        results = self._take_results(finished)
+        self._checkpoint()
+        return ("restored", (resumed_ids, results, get_registry().snapshot()))
+
+
 def _shard_worker_main(
     connection,
     scheduler_spec: tuple,
@@ -1280,7 +1745,7 @@ def _shard_worker_main(
     shard_index: int = 0,
     incarnation: str = "",
 ) -> None:
-    """One shard: its own directory, windowed runtime, and command loop.
+    """Pipe loop around a :class:`ShardWorkerCore` — the in-box worker.
 
     The parent speaks a small request/response protocol over the pipe; every
     command gets exactly one reply.  Errors are caught and shipped back as
@@ -1291,179 +1756,31 @@ def _shard_worker_main(
     deadline*: when the pipe stays quiet past it, the worker ticks
     :meth:`ProviderRuntime.poll` so aged decrypt windows fire with no new
     traffic (the idle-starvation fix — before this tick, a quiet shard held
-    parked decrypts until the next burst or drain).  Jobs finished by an
-    idle tick are stashed and ride back on the next results-bearing reply
-    (``burst``/``drain``/``poll``).
-
-    With a *checkpoint_dir*, the worker writes its open decrypt windows to a
-    :class:`FileSessionStore` at every burst/drain boundary (before replying,
-    so an acked burst is always recoverable), and the ``restore`` command
-    resumes those sessions after the parent has replayed registrations — the
-    recovery path a SIGKILLed worker's replacement takes.
-
-    Every results-bearing reply (``burst``/``drain``/``poll``/``restore``)
-    piggybacks a *cumulative* snapshot of this worker's metrics registry.
-    Cumulative — not a delta — so a lost reply or a killed worker can never
-    leave the parent holding a partial increment; the parent keeps only the
-    latest snapshot per worker incarnation and folds dead incarnations in
-    exactly once (see :meth:`ShardedRuntime.aggregated_metrics`).
+    parked decrypts until the next burst or drain).
     """
     # A fresh registry/tracer per worker process: under the fork start method
     # the child would otherwise inherit (and re-report) every count the
     # parent accumulated before the spawn.
     set_registry(MetricsRegistry())
     set_tracer(SpanTracer())
-    directory = MailboxDirectory()
-    runtime = ProviderRuntime(scheduler=_make_scheduler(scheduler_spec))
     store = FileSessionStore(checkpoint_dir) if checkpoint_dir is not None else None
-    checkpoint_key = f"shard-{shard_index}"
-    pending: dict[int, tuple[str, str]] = {}  # job_id -> (kind, address), open jobs
-    completed: list[tuple[int, Any]] = []  # idle-tick results awaiting a reply
-    restored_jobs = 0
-
-    def _write_checkpoint() -> None:
-        if store is None:
-            return
-        blob = checkpoint_open_windows(runtime, directory, pending, incarnation)
-        if blob is None:
-            store.delete(checkpoint_key)
-        else:
-            store.put(checkpoint_key, blob)
-
-    def _take_results(finished: Sequence[SessionJob]) -> list[tuple[int, Any]]:
-        results, taken = _worker_results(pending, finished), completed[:]
-        completed.clear()
-        return taken + results
-
+    core = ShardWorkerCore(
+        scheduler_spec,
+        checkpoint_store=store,
+        shard_index=shard_index,
+        incarnation=incarnation,
+    )
     while True:
         try:
-            deadline = runtime.scheduler.next_deadline()
-            timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
-            if not connection.poll(timeout):
-                # The pipe stayed quiet past an open window's age deadline:
-                # fire the trigger now instead of waiting for traffic.
-                finished = runtime.poll()
-                if finished:
-                    completed.extend(_worker_results(pending, finished))
-                    _write_checkpoint()
+            if not connection.poll(core.next_timeout()):
+                core.idle_tick()
                 continue
             command, payload = connection.recv()
         except (EOFError, OSError):
             return
-        try:
-            if command == "register_spam":
-                address, protocol, setup, *options = payload
-                directory.register_spam(
-                    address, protocol, setup, build_pool=not (options and options[0])
-                )
-                reply = ("ok", None)
-            elif command == "register_topics":
-                address, protocol, setup, *options = payload
-                directory.register_topics(
-                    address, protocol, setup, build_pool=not (options and options[0])
-                )
-                reply = ("ok", None)
-            elif command == "ensure_pools":
-                directory.ensure_pools()
-                reply = ("ok", None)
-            elif command == "burst":
-                jobs = []
-                for job_id, kind, address, features, candidates in payload:
-                    jobs.append(
-                        _worker_build_job(directory, kind, address, features, candidates, job_id)
-                    )
-                    pending[job_id] = (kind, address)
-                finished = runtime.serve_burst(jobs)
-                results = _take_results(finished)
-                _write_checkpoint()
-                reply = ("results", (results, get_registry().snapshot()))
-            elif command == "drain":
-                results = _take_results(runtime.drain())
-                _write_checkpoint()
-                reply = ("results", (results, get_registry().snapshot()))
-            elif command == "poll":
-                results = _take_results(runtime.poll())
-                if results:
-                    _write_checkpoint()
-                reply = ("results", (results, get_registry().snapshot()))
-            elif command == "restore":
-                resumed_ids: list[int] = []
-                jobs = []
-                try:
-                    blob = store.get(checkpoint_key) if store is not None else None
-                except SnapshotError:
-                    # The blob itself is unreadable (tampered, sealed under a
-                    # lost key, or a legacy plaintext file): same recovery as
-                    # a malformed checkpoint below.
-                    if store is not None:
-                        store.delete(checkpoint_key)
-                    blob = None
-                if blob is not None:
-                    try:
-                        restored = restore_open_windows(blob, directory, incarnation)
-                    except SnapshotError:
-                        # An unreadable checkpoint (older format, foreign
-                        # incarnation, corrupt bytes) must not fail recovery:
-                        # drop it and let the parent's resubmission recompute
-                        # the in-flight emails.  Delete so retries do not hit
-                        # the same poisoned blob.
-                        store.delete(checkpoint_key)
-                        restored = []
-                    for job_id, kind, address, job in restored:
-                        pending[job_id] = (kind, address)
-                        resumed_ids.append(job_id)
-                        jobs.append(job)
-                restored_jobs += len(jobs)
-                finished = runtime.serve_burst(jobs) if jobs else []
-                results = _take_results(finished)
-                _write_checkpoint()
-                reply = ("restored", (resumed_ids, results, get_registry().snapshot()))
-            elif command == "disconnect":
-                state = runtime.disconnect_job(payload)
-                _write_checkpoint()
-                reply = ("state", state.to_bytes())
-            elif command == "reconnect":
-                job_id, blob = payload
-                if job_id not in pending:
-                    raise ProtocolError(f"no open job {job_id} on this shard")
-                kind, address = pending[job_id]
-                client_state = SessionState.from_bytes(blob)
-                if kind == "spam":
-                    protocol, setup = directory.spam_of(address)
-                    client: Any = SpamClientSession.restore(
-                        protocol, setup, client_state, ot_pool=directory.spam_pool_of(address)
-                    )
-                else:
-                    protocol, setup = directory.topics_of(address)
-                    client = TopicClientSession.restore(
-                        protocol, setup, client_state, ot_pool=directory.topic_pool_of(address)
-                    )
-                channel = protocol.make_channel(setup, name=f"reconnect[{job_id}]")
-                runtime.reconnect_job(job_id, channel, client)
-                _write_checkpoint()
-                reply = ("ok", None)
-            elif command == "stats":
-                reply = (
-                    "stats",
-                    {
-                        "mailboxes": directory.mailbox_count(),
-                        "decrypt_batch_sizes": list(runtime.decrypt_batch_sizes),
-                        "outstanding_jobs": runtime.outstanding_jobs(),
-                        "disconnected_jobs": runtime.disconnected_jobs(),
-                        "pending_window_ciphertexts": runtime.scheduler.pending_ciphertexts(),
-                        "decrypt_ages": list(runtime.scheduler.decrypt_ages),
-                        "restored_jobs": restored_jobs,
-                        "metrics": get_registry().snapshot(),
-                    },
-                )
-            elif command == "stop":
-                connection.send(("ok", None))
-                return
-            else:
-                reply = ("error", f"unknown shard command {command!r}")
-        except Exception as error:  # noqa: BLE001 — every failure goes to the parent
-            reply = ("error", f"{type(error).__name__}: {error}")
-        connection.send(reply)
+        connection.send(core.handle(command, payload))
+        if command == "stop":
+            return
 
 
 @dataclass

@@ -187,6 +187,9 @@ class PretzelSystem:
 
         Pass a *runtime* to keep workers (and their warm OT pools) alive
         across serving passes; otherwise one is created and torn down here.
+        Any object with the sharded drive API works — in particular a
+        :class:`repro.fabric.FabricRuntime`, whose shards are standalone
+        agent processes reached over TCP, serves this loop unchanged.
         """
         from repro.core.runtime import ShardedRuntime
         from repro.core.spam_module import SpamFunctionModule

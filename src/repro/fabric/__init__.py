@@ -1,0 +1,66 @@
+"""Cross-host shard fabric: TCP agents, a versioned control plane, migration.
+
+The in-box :class:`~repro.core.runtime.ShardedRuntime` scales Pretzel's
+serving loop across *processes*; this package scales it across *hosts*.
+Each remote **agent** (:mod:`repro.fabric.agent`) is a standalone process
+serving one :class:`~repro.core.runtime.ShardWorkerCore` — the same shard
+brain the pipe workers run — over the reliable TCP control channel, so the
+two fabrics cannot drift in semantics.  The parent-side
+:class:`~repro.fabric.control.FabricRuntime` speaks the versioned CONTROL
+frame family of :mod:`repro.twopc.wire` (HELLO registration replay,
+seq-tagged COMMAND/REPLY, HEARTBEAT health, streamed METRICS snapshots) and
+mirrors the ``ShardedRuntime`` drive API, so
+:meth:`~repro.core.system.PretzelSystem.drain_all_mailboxes_sharded` runs
+unchanged on either.
+
+:mod:`repro.fabric.migrate` moves live shards between agents: checkpoint the
+open decrypt windows on host A, restore them bit-identically on host B,
+redirect the mailbox hash range, retire A — zero resubmissions, no email
+lost or served twice.  ``rebalance`` picks the migration itself, using the
+fabric's aggregated ``emails_served_total`` as the load signal.
+"""
+
+from repro.fabric.agent import AgentProcess, spawn_local_agent
+from repro.fabric.control import (
+    FabricRuntime,
+    metrics_projection,
+    pack_control,
+    unpack_control,
+)
+from repro.fabric.migrate import migrate, rebalance
+
+__all__ = [
+    "AgentProcess",
+    "FabricRuntime",
+    "launch_fabric",
+    "metrics_projection",
+    "migrate",
+    "pack_control",
+    "rebalance",
+    "spawn_local_agent",
+    "unpack_control",
+]
+
+
+def launch_fabric(
+    num_agents: int,
+    checkpoint_dir=None,
+    **runtime_options,
+) -> tuple[FabricRuntime, list[AgentProcess]]:
+    """Spawn *num_agents* localhost agents and a fabric runtime over them.
+
+    The two-line on-ramp the example, the bench suite and CI smoke use.  The
+    caller owns both halves: ``runtime.close()`` retires the agents (they
+    exit on BYE), then ``agent.wait()``/``agent.kill()`` reaps the processes.
+    """
+    agents = [
+        spawn_local_agent(shard_index=index, checkpoint_dir=checkpoint_dir)
+        for index in range(num_agents)
+    ]
+    try:
+        runtime = FabricRuntime(agents, **runtime_options)
+    except BaseException:
+        for agent in agents:
+            agent.kill()
+        raise
+    return runtime, agents

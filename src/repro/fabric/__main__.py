@@ -1,0 +1,5 @@
+"""``python -m repro.fabric`` runs one worker agent (see fabric.agent)."""
+
+from repro.fabric.agent import main
+
+raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Live shard migration: move open decrypt windows between fabric agents.
+
+A migration relocates every mailbox hash range (slot) one agent owns onto
+another agent *without losing or re-running a single email*:
+
+::
+
+    source agent                parent                       target agent
+    ────────────                ──────                       ────────────
+    serving ──checkpoint──▶ quiesced          │
+         (blob: open windows +  │  replay registrations ──▶  pools deferred
+          parked sessions,      │  restore(blob) ─────────▶  windows resumed
+          final metrics,        │  ensure_pools ──────────▶  pools backfilled
+          stray results)        │  redirect slots source→target
+                  ◀────BYE──────┤  fold source metrics once
+       exits                    │  resubmit anything the blob missed
+
+    The ``checkpoint`` command quiesces the source *before* serializing, so
+    the blob and the final metrics snapshot are a consistent cut: no idle
+    tick can fire a window the target is about to resume, which is what
+    makes the "every email served exactly once" accounting hold.
+
+The blob rides the control channel parent→target and is admissible there
+because every agent of one fabric shares the parent's incarnation — while
+a blob from some *other* parent's run is still refused (stale-incarnation
+protection, pinned in the session-state tests).  Resumed sessions restart
+bit-identically mid-protocol (same OT pads, same window cursors); whatever
+the checkpoint did not cover — work that raced past the last sync, or
+sessions that declined to snapshot — is resubmitted from features, and the
+return value counts those resubmissions so callers can assert ``0``.
+
+``rebalance`` picks the migration itself: the hottest serving agent by
+``emails_served_total`` (from the fabric's aggregated, streamed metrics)
+hands its range to the least-loaded spare.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ProtocolError
+
+if TYPE_CHECKING:  # import cycle: control.py's methods delegate here
+    from repro.fabric.control import FabricRuntime
+
+
+def migrate(fabric: "FabricRuntime", source: int, target: int) -> int:
+    """Move every slot *source* owns onto *target*, live; retire *source*.
+
+    Returns the number of emails that had to be *resubmitted* on the target
+    (not covered by the checkpoint); ``0`` means the whole in-flight window
+    state moved — the zero-resubmission property the fabric suite pins.
+    """
+    if source == target:
+        raise ProtocolError("cannot migrate an agent onto itself")
+    source_link = fabric._link(source)
+    target_link = fabric._link(target)
+    if not source_link.alive:
+        raise ProtocolError(
+            f"agent {source} is dead — use attach_replacement, not migrate"
+        )
+    if not target_link.alive:
+        raise ProtocolError(f"migration target agent {target} is dead")
+    slots = {slot for slot, owner in enumerate(fabric._slot_owner) if owner == source}
+    if not slots:
+        raise ProtocolError(f"agent {source} owns no slots; nothing to migrate")
+    # 1. Quiescing checkpoint: the source serializes its open windows and
+    #    stops serving.  Stray finished results and the final cumulative
+    #    metrics snapshot ride the same reply (absorbed by the request
+    #    plumbing), so nothing is stranded on the retiring agent.
+    blob, _results, _metrics = fabric._request(source, "checkpoint", None)
+    # 2. The target learns the moved mailboxes.  OT pools are deferred: the
+    #    checkpoint carries the live pools (mid-stream cursors intact), and
+    #    ensure_pools backfills mailboxes with nothing in flight — paying
+    #    base OTs only to overwrite them would be dead migration time.
+    for slot, command, payload in fabric._registrations:
+        if slot in slots:
+            fabric._request(target, command, (*payload, True))
+    resumed: set[int] = set()
+    if blob is not None:
+        resumed_ids, _results, _metrics = fabric._request(target, "restore", blob)
+        resumed = set(resumed_ids)
+    fabric._request(target, "ensure_pools", None)
+    # 3. Redirect the hash ranges; from here every burst routes to target.
+    for slot in slots:
+        fabric._slot_owner[slot] = target
+    # 4. Retire the source: BYE, fold its final metrics exactly once.
+    fabric._run(fabric._aretire(source_link))
+    # 5. Recompute fallback for anything the checkpoint did not cover.
+    resubmit = [
+        (job_id, item)
+        for job_id, item in sorted(fabric._outstanding.items())
+        if item.slot in slots and job_id not in resumed
+    ]
+    if resubmit:
+        fabric._request(
+            target,
+            "burst",
+            [
+                (job_id, item.kind, item.address, item.features, item.candidates)
+                for job_id, item in resubmit
+            ],
+        )
+    return len(resubmit)
+
+
+def rebalance(fabric: "FabricRuntime") -> tuple[int, int, int] | None:
+    """Migrate the hottest agent's hash range onto the least-loaded spare.
+
+    Load is ``emails_served_total`` from each agent's latest streamed
+    cumulative snapshot — the aggregation the control plane already keeps,
+    no extra round trip.  Candidates to receive the range are live agents
+    owning *no* slots (freshly attached spares); with no spare, or with no
+    load contrast at all, this is a no-op returning ``None``.  Otherwise
+    returns ``(source, target, resubmitted)``.
+    """
+    owners = set(fabric._slot_owner)
+    spares = [index for index in fabric._live_indexes() if index not in owners]
+    if not spares:
+        return None
+    loads: list[tuple[float, int]] = []
+    for index in fabric._live_indexes():
+        if index not in owners:
+            continue
+        snapshot = fabric._link(index).metrics
+        served = 0.0
+        for entry in (snapshot or {}).get("counters", []):
+            if entry["name"] == "emails_served_total":
+                served += entry["value"]
+        loads.append((served, index))
+    if not loads:
+        return None
+    served, hottest = max(loads)
+    if served <= 0:
+        return None  # nobody has served anything; nothing is "hot" yet
+    target = spares[0]
+    resubmitted = migrate(fabric, hottest, target)
+    return hottest, target, resubmitted

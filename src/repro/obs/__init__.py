@@ -39,7 +39,13 @@ from repro.obs.metrics import (
     scoped_registry,
     set_registry,
 )
-from repro.obs.spans import SpanTracer, get_tracer, scoped_tracer, set_tracer
+from repro.obs.spans import (
+    SpanTracer,
+    get_tracer,
+    scoped_tracer,
+    set_tracer,
+    trace_is_sampled,
+)
 
 from contextlib import contextmanager
 
@@ -74,4 +80,5 @@ __all__ = [
     "scoped_tracer",
     "set_registry",
     "set_tracer",
+    "trace_is_sampled",
 ]

@@ -19,6 +19,7 @@ Stdlib-only, like the rest of :mod:`repro.obs`.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import deque
@@ -27,6 +28,26 @@ from typing import Callable, Iterator
 
 SPAN_CAPACITY = 4096
 
+#: Denominator of the deterministic sampling hash: a trace is kept when
+#: ``sha256(trace_id) mod _SAMPLE_MODULUS < sample_rate * _SAMPLE_MODULUS``.
+_SAMPLE_MODULUS = 1 << 32
+
+
+def trace_is_sampled(trace_id: str, sample_rate: float) -> bool:
+    """Deterministic per-trace sampling decision (shared by every tracer).
+
+    Hash-based, not random: every span of one trace id shares its fate (a
+    sampled email keeps its *whole* ``enqueue → ... → reply`` chain), and the
+    same trace id samples identically in every process of a fabric — so a
+    cross-shard trace is either fully present or fully absent, never ragged.
+    """
+    if sample_rate >= 1.0:
+        return True
+    if sample_rate <= 0.0:
+        return False
+    digest = hashlib.sha256(trace_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") < int(sample_rate * _SAMPLE_MODULUS)
+
 
 class SpanTracer:
     """Fixed-capacity recorder of completed spans.
@@ -34,14 +55,30 @@ class SpanTracer:
     Spans are recorded *complete* (start and end known) because the serving
     loop discovers interval edges itself — there is no enter/exit stack to
     manage on the hot path, just one `record` per finished interval.
+
+    ``sample_rate`` (default 1.0 = keep everything) thins fabric-scale span
+    volume *by trace id* before the ring sees it, so a busy deployment keeps
+    representative whole-email chains instead of evicting interesting spans
+    with ring churn.  Sampled-out spans are counted in :attr:`sampled_out`
+    (the deliberate sibling of :attr:`dropped`, which keeps counting only
+    capacity evictions).
     """
 
-    def __init__(self, capacity: int = SPAN_CAPACITY, clock: Callable[[], float] = time.monotonic):
+    def __init__(
+        self,
+        capacity: int = SPAN_CAPACITY,
+        clock: Callable[[], float] = time.monotonic,
+        sample_rate: float = 1.0,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be within [0, 1], got {sample_rate}")
         self.capacity = capacity
         self.clock = clock
+        self.sample_rate = sample_rate
         self._lock = threading.Lock()
         self._spans: deque[dict] = deque(maxlen=capacity)
         self.dropped = 0
+        self.sampled_out = 0
 
     def record(
         self,
@@ -60,6 +97,10 @@ class SpanTracer:
             "end_seconds": end_seconds,
             "meta": meta,
         }
+        if not trace_is_sampled(trace_id, self.sample_rate):
+            with self._lock:
+                self.sampled_out += 1
+            return span
         with self._lock:
             if len(self._spans) == self.capacity:
                 self.dropped += 1
@@ -79,6 +120,7 @@ class SpanTracer:
         with self._lock:
             self._spans.clear()
             self.dropped = 0
+            self.sampled_out = 0
 
 
 _default_tracer = SpanTracer()

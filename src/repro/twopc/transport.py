@@ -409,6 +409,11 @@ class AsyncTcpTransport(Transport):
 
         return await asyncio.start_server(on_connect, host, port)
 
+    @staticmethod
+    def bound_port(server: asyncio.base_events.Server) -> int:
+        """The port a server actually bound (for ``port=0`` OS assignment)."""
+        return server.sockets[0].getsockname()[1]
+
     def _local_only(self, party: str) -> None:
         self._check_party(party)
         if party != self.local_party:

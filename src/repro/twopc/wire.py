@@ -57,6 +57,7 @@ class FrameType:
     FEATURES = 0x0A              # NoPriv: the plaintext feature vector (the email)
     CLASSIFY_RESULT = 0x0B       # NoPriv: the provider's category verdict
     SESSION_STATE = 0x0C         # a snapshotted party state (session persistence)
+    CONTROL = 0x0D               # fabric control plane: verb + version + body
 
 
 @dataclass(frozen=True, eq=False)
@@ -252,6 +253,58 @@ class SessionStateFrame:
     frame_type = FrameType.SESSION_STATE
 
 
+# ---------------------------------------------------------------------------
+# Control-plane frames (the fabric's parent <-> agent channel)
+# ---------------------------------------------------------------------------
+#: Version byte stamped on every control frame an endpoint emits.  An agent
+#: announces its version in HELLO; the parent refuses a mismatch at
+#: registration time (a *frame* with a foreign version still decodes — the
+#: compatibility check is a control-plane policy, not a codec failure).
+CONTROL_VERSION = 1
+
+
+class ControlVerb:
+    """Verb byte of a :class:`ControlFrame`: what the sender is doing."""
+
+    HELLO = 0x01      # agent -> parent: shard index, incarnation, version
+    COMMAND = 0x02    # parent -> agent: one shard command (burst, drain, ...)
+    REPLY = 0x03      # agent -> parent: the command's single reply
+    HEARTBEAT = 0x04  # agent -> parent: liveness beacon (health/eviction)
+    METRICS = 0x05    # agent -> parent: streamed cumulative registry snapshot
+    BYE = 0x06        # either side: orderly teardown announcement
+
+
+KNOWN_CONTROL_VERBS = frozenset(
+    value for name, value in vars(ControlVerb).items() if not name.startswith("_")
+)
+
+
+@dataclass(frozen=True)
+class ControlFrame:
+    """One fabric control-plane message: verb, version, opaque body.
+
+    The codec treats the body as bytes on purpose: control payloads are
+    rich Python structures (registrations carry protocol/setup objects)
+    serialized by the *control plane* for its trusted parent<->agent link,
+    and the wire layer must stay total — any byte string decodes or raises
+    :class:`~repro.exceptions.WireFormatError`, never executes content.
+    Versioning rides in the frame so both ends can refuse (or down-convert)
+    a peer's format without having to parse its body first.
+    """
+
+    verb: int
+    version: int
+    payload: bytes
+
+    frame_type = FrameType.CONTROL
+
+    def __post_init__(self) -> None:
+        if self.verb not in KNOWN_CONTROL_VERBS:
+            raise WireFormatError(f"unknown control verb 0x{self.verb:02x}")
+        if not 0 <= self.version < 256:
+            raise WireFormatError(f"control version {self.version} out of range")
+
+
 Frame = (
     BlindedScoresFrame
     | ExtractedCandidatesFrame
@@ -265,6 +318,7 @@ Frame = (
     | FeaturesFrame
     | ClassifyResultFrame
     | SessionStateFrame
+    | ControlFrame
 )
 
 
@@ -325,6 +379,8 @@ class WireCodec:
             writer.u32(frame.category)
         elif isinstance(frame, SessionStateFrame):
             writer.raw(frame.state.to_bytes())
+        elif isinstance(frame, ControlFrame):
+            writer.u8(frame.verb).u8(frame.version).blob(frame.payload)
         else:
             raise WireFormatError(f"no encoder for frame type {type(frame)!r}")
         return writer.getvalue()
@@ -395,6 +451,11 @@ class WireCodec:
             return ClassifyResultFrame(reader.u32())
         if frame_type == FrameType.SESSION_STATE:
             return SessionStateFrame(SessionState._read(reader))
+        if frame_type == FrameType.CONTROL:
+            verb = reader.u8()
+            if verb not in KNOWN_CONTROL_VERBS:
+                raise WireFormatError(f"unknown control verb 0x{verb:02x}")
+            return ControlFrame(verb=verb, version=reader.u8(), payload=reader.blob())
         raise WireFormatError(f"unknown frame type 0x{frame_type:02x}")
 
     def _decode_ciphertexts(self, reader: ByteReader) -> tuple[AHECiphertext, ...]:

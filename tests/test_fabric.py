@@ -1,0 +1,425 @@
+"""Cross-host fabric tests: control plane, equivalence, recovery, migration.
+
+The fabric's one-sentence contract: *moving a shard across a TCP boundary —
+or between hosts mid-stream — changes nothing observable*.  These tests pin:
+
+* the versioned control codec (roundtrip, foreign-version refusal, junk);
+* output and deterministic-metrics equivalence of a localhost-TCP
+  :class:`FabricRuntime` against the in-box :class:`ShardedRuntime` on the
+  same seeded stream (and the streamed METRICS scrape that feeds it);
+* SIGKILL of an agent mid-window → checkpoint restore on a *fresh process*
+  with zero resubmissions and exactly-once metrics;
+* live migration of open decrypt windows between agents — quiet links and
+  under a 1% chaos cocktail on the control channel — with no email lost,
+  duplicated, or re-executed;
+* heartbeat-timeout eviction of a hung (SIGSTOPped) agent; and
+* :meth:`PretzelSystem.drain_all_mailboxes_sharded` running unchanged with
+  a fabric runtime as its ``runtime=``.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.core.runtime import ShardedRuntime, shard_of_address
+from repro.exceptions import ProtocolError, WireFormatError
+from repro.fabric import (
+    FabricRuntime,
+    launch_fabric,
+    metrics_projection,
+    pack_control,
+    spawn_local_agent,
+    unpack_control,
+)
+from repro.obs import scoped_telemetry
+from repro.twopc.spam import SpamFilterProtocol
+from repro.twopc.transport import FaultSpec
+from repro.twopc.wire import CONTROL_VERSION, ControlFrame, ControlVerb, OtPublicsFrame, WireCodec
+
+SPAM_EMAILS = [
+    {1: 1, 5: 1, 9: 1},
+    {100: 1, 150: 1, 199: 1, 42: 1},
+    {0: 1},
+    {i: 1 for i in range(0, 200, 7)},
+    {3: 1, 77: 1},
+    {i: 1 for i in range(1, 200, 23)},
+]
+
+
+@pytest.fixture(scope="module")
+def spam_setup(bv_scheme, dh_group, small_spam_model):
+    protocol = SpamFilterProtocol(bv_scheme, dh_group)
+    return protocol, protocol.setup(small_spam_model)
+
+
+@pytest.fixture(scope="module")
+def spam_truth(small_spam_model):
+    return [small_spam_model.predict_is_spam(features) for features in SPAM_EMAILS]
+
+
+def _slot_addresses(num_slots: int, per_slot: int = 2) -> list[str]:
+    """Deterministic addresses covering every slot of the hash partition."""
+    found: dict[int, list[str]] = {slot: [] for slot in range(num_slots)}
+    index = 0
+    while any(len(bucket) < per_slot for bucket in found.values()):
+        address = f"user{index}@example.com"
+        slot = shard_of_address(address, num_slots)
+        if len(found[slot]) < per_slot:
+            found[slot].append(address)
+        index += 1
+    return [address for slot in range(num_slots) for address in found[slot]]
+
+
+def _stream(addresses: list[str]) -> list[tuple[str, dict]]:
+    return [
+        (addresses[index % len(addresses)], features)
+        for index, features in enumerate(SPAM_EMAILS)
+    ]
+
+
+def _served_total(snapshot: dict) -> float:
+    return sum(
+        entry["value"]
+        for entry in snapshot["counters"]
+        if entry["name"] == "emails_served_total"
+    )
+
+
+def _register_all(runtime, addresses, spam_setup) -> None:
+    protocol, setup = spam_setup
+    for address in addresses:
+        runtime.register_spam(address, protocol, setup)
+
+
+def _wait_until(predicate, timeout: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+def _reap(agents) -> None:
+    for agent in agents:
+        if agent.wait(timeout=10.0) is None:
+            agent.kill()
+            agent.wait(timeout=10.0)
+
+
+class TestControlCodec:
+    def test_roundtrip_preserves_verb_and_body(self):
+        body = {"seq": 7, "command": "burst", "payload": [(0, "spam", "a@x", {1: 1}, None)]}
+        verb, decoded = unpack_control(pack_control(ControlVerb.COMMAND, body))
+        assert verb == ControlVerb.COMMAND
+        assert decoded == body
+
+    def test_foreign_version_is_refused_before_unpickling(self):
+        frame = ControlFrame(
+            verb=ControlVerb.HELLO,
+            version=CONTROL_VERSION + 1,
+            payload=pickle.dumps({"incarnation": "deadbeef"}),
+        )
+        with pytest.raises(ProtocolError, match="version"):
+            unpack_control(WireCodec().encode(frame))
+
+    def test_non_control_frame_is_refused(self):
+        data = WireCodec().encode(OtPublicsFrame(elements=[1, 2, 3]))
+        with pytest.raises(ProtocolError, match="control"):
+            unpack_control(data)
+
+    def test_undecodable_payload_is_a_wire_error(self):
+        frame = ControlFrame(
+            verb=ControlVerb.REPLY, version=CONTROL_VERSION, payload=b"\x80junk\xff"
+        )
+        with pytest.raises(WireFormatError):
+            unpack_control(WireCodec().encode(frame))
+
+
+class TestMetricsProjection:
+    def test_keeps_only_partition_invariant_series(self):
+        snapshot = {
+            "counters": [
+                {"name": "emails_served_total", "labels": {}, "value": 4},
+                {"name": "transport_bytes_total", "labels": {"party": "client"}, "value": 999},
+                {"name": "transport_frames_total", "labels": {"party": "client"}, "value": 12},
+            ],
+            "histograms": [
+                {
+                    "name": "decrypt_batch_ciphertexts",
+                    "labels": {},
+                    "counts": [1, 2, 0],
+                    "count": 3,
+                    "sum": 9,
+                },
+                {
+                    "name": "decrypt_age_seconds",
+                    "labels": {},
+                    "counts": [5],
+                    "count": 5,
+                    "sum": 1.23,
+                },
+            ],
+        }
+        projected = metrics_projection(snapshot)
+        assert set(projected["counters"]) == {
+            ("emails_served_total", ()),
+            ("transport_frames_total", (("party", "client"),)),
+        }
+        assert set(projected["histograms"]) == {("decrypt_batch_ciphertexts", ())}
+
+    def test_duplicate_series_accumulate(self):
+        snapshot = {
+            "counters": [
+                {"name": "emails_served_total", "labels": {}, "value": 2},
+                {"name": "emails_served_total", "labels": {}, "value": 3},
+            ],
+            "histograms": [],
+        }
+        projected = metrics_projection(snapshot)
+        assert projected["counters"][("emails_served_total", ())] == 5
+
+
+class TestFabricEquivalence:
+    def test_fabric_matches_in_box_sharded(self, spam_setup, spam_truth):
+        """Same seeded stream, both fabrics: identical verdicts, equal
+        deterministic metrics — however the serving was partitioned."""
+        addresses = _slot_addresses(2)
+        stream = _stream(addresses)
+        waves = [stream[:4], stream[4:]]
+
+        with scoped_telemetry():
+            with ShardedRuntime(num_shards=2, window_bursts=2) as sharded:
+                _register_all(sharded, addresses, spam_setup)
+                in_box = [
+                    result.is_spam
+                    for result in sharded.run_spam_stream(waves)
+                ]
+                in_box_metrics = sharded.aggregated_metrics()
+
+        runtime, agents = launch_fabric(2, window_bursts=2, metrics_interval=0.05)
+        try:
+            _register_all(runtime, addresses, spam_setup)
+            fabric = [result.is_spam for result in runtime.run_spam_stream(waves)]
+            fabric_metrics = runtime.aggregated_metrics()
+        finally:
+            runtime.close()
+            _reap(agents)
+
+        assert fabric == in_box == spam_truth
+        assert metrics_projection(fabric_metrics) == metrics_projection(in_box_metrics)
+        assert _served_total(fabric_metrics) == len(SPAM_EMAILS)
+
+    def test_metrics_stream_without_a_results_reply(self, spam_setup):
+        """The streamed scrape: registrations alone never carry a snapshot,
+        so anything aggregated before the first burst must have arrived via
+        pushed METRICS frames on the control channel."""
+        addresses = _slot_addresses(2, per_slot=1)
+        runtime, agents = launch_fabric(2, metrics_interval=0.05)
+        try:
+            _register_all(runtime, addresses, spam_setup)
+            assert _wait_until(
+                lambda: runtime.aggregated_metrics()["counters"], timeout=10.0
+            ), "no streamed metrics snapshot arrived"
+        finally:
+            runtime.close()
+            _reap(agents)
+
+
+class TestFabricRecovery:
+    def test_sigkill_mid_window_restores_on_fresh_agent(
+        self, tmp_path, spam_setup, spam_truth
+    ):
+        """Kill an agent with every window open; a replacement process on the
+        same checkpoint directory resumes all of them — zero resubmissions,
+        verdicts intact, every email counted exactly once."""
+        addresses = _slot_addresses(2)
+        runtime, agents = launch_fabric(
+            2, checkpoint_dir=tmp_path, window_bursts=100, metrics_interval=0.05
+        )
+        try:
+            _register_all(runtime, addresses, spam_setup)
+            job_ids = runtime.submit_spam(_stream(addresses))
+            assert runtime.outstanding_count() == len(SPAM_EMAILS)
+
+            victim = 0
+            os.kill(runtime.agent_pid(victim), signal.SIGKILL)
+            agents[victim].wait(timeout=10.0)
+            assert _wait_until(lambda: not runtime.agent_alive(victim))
+            with pytest.raises(ProtocolError, match="gone|died"):
+                runtime._request(victim, "stats", None)
+
+            replacement = spawn_local_agent(shard_index=victim, checkpoint_dir=tmp_path)
+            agents.append(replacement)
+            resubmitted = runtime.attach_replacement(victim, replacement)
+            assert resubmitted == 0
+
+            runtime.drain()
+            verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
+            assert verdicts == spam_truth
+            assert runtime.outstanding_count() == 0
+            assert _served_total(runtime.aggregated_metrics()) == len(SPAM_EMAILS)
+        finally:
+            runtime.close()
+            _reap(agents)
+
+    def test_heartbeat_timeout_evicts_a_hung_agent(self, spam_setup):
+        """A SIGSTOPped agent keeps its socket open but goes silent; only the
+        liveness policy can notice — and must."""
+        addresses = _slot_addresses(2, per_slot=1)
+        runtime, agents = launch_fabric(
+            2, heartbeat_interval=0.05, heartbeat_timeout=1.0
+        )
+        stopped = None
+        try:
+            _register_all(runtime, addresses, spam_setup)
+            victim = 1
+            stopped = runtime.agent_pid(victim)
+            os.kill(stopped, signal.SIGSTOP)
+            assert _wait_until(lambda: not runtime.agent_alive(victim), timeout=20.0)
+            with pytest.raises(ProtocolError):
+                runtime._request(victim, "stats", None)
+            # The survivor still serves its own range.
+            survivor_address = addresses[0]
+            job_ids = runtime.submit_spam([(survivor_address, SPAM_EMAILS[0])])
+            runtime.drain()
+            assert runtime.take_result(job_ids[0]) is not None
+        finally:
+            if stopped is not None:
+                try:
+                    os.kill(stopped, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            runtime.close()
+            for agent in agents:
+                agent.kill()
+                agent.wait(timeout=10.0)
+
+
+class TestFabricMigration:
+    def _run_migration(self, spam_setup, spam_truth, fault_spec=None):
+        addresses = _slot_addresses(2)
+        runtime, agents = launch_fabric(
+            2, window_bursts=100, metrics_interval=0.05, fault_spec=fault_spec
+        )
+        try:
+            _register_all(runtime, addresses, spam_setup)
+            stream = _stream(addresses)
+            job_ids = runtime.submit_spam(stream[:4])
+            assert runtime.outstanding_count() == 4  # windows held open
+
+            spare = spawn_local_agent(shard_index=2)
+            agents.append(spare)
+            target = runtime.attach_agent(spare)
+            source = runtime.slot_owners()[0]
+            moved = [
+                slot for slot, owner in enumerate(runtime.slot_owners())
+                if owner == source
+            ]
+            resubmitted = runtime.migrate_agent(source, target)
+            assert resubmitted == 0
+            assert all(runtime.slot_owners()[slot] == target for slot in moved)
+            assert not runtime.agent_alive(source)
+
+            job_ids += runtime.submit_spam(stream[4:])
+            runtime.drain()
+            verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
+            assert verdicts == spam_truth
+            assert runtime.outstanding_count() == 0
+            # Exactly-once accounting across the handover: the quiesced
+            # source's fold plus the target's series sum to one serving.
+            assert _served_total(runtime.aggregated_metrics()) == len(SPAM_EMAILS)
+        finally:
+            runtime.close()
+            _reap(agents)
+
+    def test_live_migration_moves_open_windows(self, spam_setup, spam_truth):
+        self._run_migration(spam_setup, spam_truth)
+
+    def test_migration_survives_a_lossy_control_channel(self, spam_setup, spam_truth):
+        """1% each of drop/corrupt/reorder/duplicate on every parent-side
+        control frame; the reliable layer absorbs it all."""
+        self._run_migration(
+            spam_setup, spam_truth, fault_spec=FaultSpec.loss_cocktail(0.01, seed=1289)
+        )
+
+    def test_rebalance_moves_the_hottest_range_to_a_spare(
+        self, spam_setup, spam_truth
+    ):
+        addresses = _slot_addresses(2)
+        runtime, agents = launch_fabric(2, metrics_interval=0.05)
+        try:
+            _register_all(runtime, addresses, spam_setup)
+            # Skew the load: every email lands on slot 0's addresses.
+            hot = [addr for addr in addresses if shard_of_address(addr, 2) == 0]
+            job_ids = runtime.submit_spam(
+                [(hot[index % len(hot)], features) for index, features in enumerate(SPAM_EMAILS[:4])]
+            )
+            runtime.drain()
+            for job_id in job_ids:
+                runtime.take_result(job_id)
+
+            assert runtime.rebalance() is None  # no spare attached yet
+            spare = spawn_local_agent(shard_index=2)
+            agents.append(spare)
+            runtime.attach_agent(spare)
+            moved = runtime.rebalance()
+            assert moved is not None
+            source, target, resubmitted = moved
+            assert source == 0 and resubmitted == 0
+            assert runtime.slot_owners()[0] == target
+
+            # The moved range keeps serving, correctly, on its new host.
+            job_ids = runtime.submit_spam([(hot[0], SPAM_EMAILS[0])])
+            runtime.drain()
+            assert runtime.take_result(job_ids[0]).is_spam == spam_truth[0]
+        finally:
+            runtime.close()
+            _reap(agents)
+
+
+class TestSystemIntegration:
+    def test_drain_all_mailboxes_sharded_accepts_a_fabric(self, test_config):
+        """The system-level drive loop cannot tell the fabrics apart."""
+        from repro.core import PretzelSystem, SpamFunctionModule
+        from repro.datasets import lingspam_like, prepare_classification_data
+
+        data = prepare_classification_data(
+            lingspam_like(scale=0.1, seed=9), boolean=True, max_features=600
+        )
+        labels = [1 if label == 1 else 0 for label in data.train_labels]
+        module = SpamFunctionModule.train(
+            test_config, data.extractor, data.train_vectors, labels
+        )
+        system = PretzelSystem(test_config)
+        system.add_user("alice@example.com")
+        for address in ("bob@example.com", "carol@example.com"):
+            system.add_user(address).attach_module(module)
+        bodies = ["w000001 w000002", "w000500 w000900 w000002", "w000010 w000001"]
+        for recipient in ("bob@example.com", "carol@example.com"):
+            for body in bodies:
+                system.send_email("alice@example.com", recipient, "s", body)
+
+        runtime, agents = launch_fabric(2)
+        try:
+            over_fabric = system.drain_all_mailboxes_sharded(runtime=runtime)
+        finally:
+            runtime.close()
+            _reap(agents)
+        assert set(over_fabric) == {"bob@example.com", "carol@example.com"}
+
+        for recipient in ("bob@example.com", "carol@example.com"):
+            for body in bodies:
+                system.send_email("alice@example.com", recipient, "s", body)
+        in_process = system.drain_all_mailboxes()
+        for address in over_fabric:
+            assert [
+                report.output_of("spam-filter").is_spam
+                for report in over_fabric[address]
+            ] == [
+                report.output_of("spam-filter").is_spam
+                for report in in_process[address]
+            ]

@@ -33,6 +33,7 @@ from repro.obs import (
     merge_snapshots,
     scoped_registry,
     scoped_telemetry,
+    trace_is_sampled,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -205,6 +206,49 @@ class TestSpanTracer:
         assert len(tracer) == 3
         assert tracer.dropped == 2
         assert [span["trace_id"] for span in tracer.snapshot()] == ["t2", "t3", "t4"]
+
+
+class TestSpanSampling:
+    def test_sampling_is_deterministic_per_trace(self):
+        # The decision is a pure function of the trace id: two tracers (two
+        # processes of a fabric) keep exactly the same traces.
+        ids = [f"email-{index}" for index in range(200)]
+        first = {tid for tid in ids if trace_is_sampled(tid, 0.25)}
+        second = {tid for tid in ids if trace_is_sampled(tid, 0.25)}
+        assert first == second
+        assert 0 < len(first) < len(ids)  # thinned, but not degenerate
+
+    def test_rate_edges_keep_all_or_none(self):
+        assert trace_is_sampled("anything", 1.0)
+        assert not trace_is_sampled("anything", 0.0)
+
+    def test_whole_trace_shares_its_fate(self):
+        tracer = SpanTracer(sample_rate=0.5)
+        kept = [tid for tid in (f"e{i}" for i in range(50))
+                if trace_is_sampled(tid, 0.5)][0]
+        lost = [tid for tid in (f"e{i}" for i in range(50))
+                if not trace_is_sampled(tid, 0.5)][0]
+        for name in ("enqueue", "window_park", "decrypt", "reply"):
+            tracer.record(kept, name, 0.0, 1.0)
+            tracer.record(lost, name, 0.0, 1.0)
+        recorded = {span["trace_id"] for span in tracer.snapshot()}
+        assert recorded == {kept}  # never a ragged chain
+        assert len(tracer) == 4
+        assert tracer.sampled_out == 4
+        assert tracer.dropped == 0  # sampling is not capacity pressure
+
+    def test_sampled_out_resets_with_clear(self):
+        tracer = SpanTracer(sample_rate=0.0)
+        tracer.record("t", "step", 0.0, 1.0)
+        assert tracer.sampled_out == 1 and len(tracer) == 0
+        tracer.clear()
+        assert tracer.sampled_out == 0
+
+    def test_rate_is_validated(self):
+        with pytest.raises(ValueError):
+            SpanTracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            SpanTracer(sample_rate=-0.1)
 
 
 class TestExporters:

@@ -30,6 +30,7 @@ from repro.core.runtime import (
     InMemorySessionStore,
     MailboxDirectory,
     ProviderRuntime,
+    ShardCheckpointLog,
     ShardedRuntime,
     checkpoint_open_windows,
     restore_open_windows,
@@ -546,9 +547,9 @@ class TestCrashRecovery:
         ) as runtime:
             runtime.register_spam(address, protocol, setup)
             runtime.submit_spam([(address, SPAM_EMAILS[0])])
-            assert store.get("shard-0") is not None
+            assert store.read_records("shard-0")
             runtime.drain()
-            assert store.get("shard-0") is None
+            assert store.read_records("shard-0") is None
 
     def test_stale_checkpoint_from_another_parent_is_refused(
         self, spam_setup, spam_truth, tmp_path
@@ -568,16 +569,17 @@ class TestCrashRecovery:
             os.kill(old_parent.worker_pid(0), signal.SIGKILL)
             old_parent.join_worker(0)
         store = FileSessionStore(tmp_path)
-        assert store.get("shard-0") is not None
+        assert store.read_records("shard-0")
         with ShardedRuntime(
             num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
         ) as new_parent:
             new_parent.register_spam(address, protocol, setup)
-            # Restart while the stale blob is still on disk and the new
-            # parent has nothing outstanding: the foreign-incarnation blob
-            # must be refused (and dropped), not resumed as phantom jobs.
+            # Restart while the stale log is still on disk and the new
+            # parent has nothing outstanding: the foreign-incarnation
+            # checkpoint must be refused (and dropped), not resumed as
+            # phantom jobs.
             assert new_parent.restart_shard(0) == 0
-            assert store.get("shard-0") is None
+            assert store.read_records("shard-0") is None
             assert all(
                 stat["restored_jobs"] == 0 for stat in new_parent.shard_stats()
             )
@@ -591,9 +593,12 @@ class TestCrashRecovery:
     ):
         # An unreadable checkpoint must degrade to resubmission, not fail
         # recovery — and must be deleted so retries do not re-hit it.
+        # Mid-file damage in an append-only log is tampering (appends only
+        # ever extend it), so the AEAD refusal has to cover every record.
         protocol, setup = spam_setup
         address = "poisoned@example.com"
         store = FileSessionStore(tmp_path)
+        log_path = tmp_path / "shard-0.statelog"
         with ShardedRuntime(
             num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
         ) as runtime:
@@ -601,13 +606,99 @@ class TestCrashRecovery:
             job_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS])
             os.kill(runtime.worker_pid(0), signal.SIGKILL)
             runtime.join_worker(0)
-            store.put("shard-0", b"\xff not a checkpoint \xff")
+            poisoned = bytearray(log_path.read_bytes())
+            poisoned[8] ^= 0xFF  # flip a byte inside the first sealed record
+            log_path.write_bytes(bytes(poisoned))
+            with pytest.raises(SnapshotError):
+                store.read_records("shard-0")
             resubmitted = runtime.restart_shard(0)
             assert resubmitted == len(SPAM_EMAILS)  # recompute fallback
-            assert store.get("shard-0") != b"\xff not a checkpoint \xff"
+            assert log_path.read_bytes() != bytes(poisoned)  # dropped, not kept
             runtime.drain()
             verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
         assert verdicts == spam_truth
+
+    def test_torn_tail_loses_only_the_final_batch(
+        self, spam_setup, spam_truth, tmp_path
+    ):
+        # A crash mid-append tears the file inside the *last* batch.  The
+        # torn tail is dropped silently (its emails recover by resubmission);
+        # everything before it still restores.
+        protocol, setup = spam_setup
+        address = "torn@example.com"
+        store = FileSessionStore(tmp_path)
+        log_path = tmp_path / "shard-0.statelog"
+        with ShardedRuntime(
+            num_shards=1, window_bursts=100, checkpoint_dir=tmp_path
+        ) as runtime:
+            runtime.register_spam(address, protocol, setup)
+            job_ids = runtime.submit_spam([(address, f) for f in SPAM_EMAILS])
+            os.kill(runtime.worker_pid(0), signal.SIGKILL)
+            runtime.join_worker(0)
+            intact = store.read_records("shard-0")
+            log_path.write_bytes(log_path.read_bytes()[:-3])
+            survivors = store.read_records("shard-0")
+            assert len(survivors) == len(intact) - 1  # only the tail record fell
+            assert survivors == intact[: len(survivors)]
+            runtime.restart_shard(0)
+            runtime.drain()
+            verdicts = [runtime.take_result(job_id).is_spam for job_id in job_ids]
+        assert verdicts == spam_truth
+
+
+class TestShardCheckpointLog:
+    """The append-only checkpoint log: bounded writes, dedup, compaction."""
+
+    def _parked(self, spam_setup):
+        protocol, setup = spam_setup
+        directory = MailboxDirectory()
+        directory.register_spam("log@example.com", protocol, setup)
+        runtime, _jobs, context = _park_jobs(
+            directory, "spam", "log@example.com", SPAM_EMAILS
+        )
+        return directory, runtime, context
+
+    def test_unchanged_windows_are_never_rewritten(self, spam_setup, tmp_path):
+        # The whole point of the log: a sync where nothing moved appends
+        # nothing, so write cost tracks churn instead of backlog width.
+        directory, runtime, context = self._parked(spam_setup)
+        store = FileSessionStore(tmp_path)
+        log = ShardCheckpointLog(store, "shard-0")
+        log.sync(runtime, directory, context)
+        size = (tmp_path / "shard-0.statelog").stat().st_size
+        log.sync(runtime, directory, context)
+        assert (tmp_path / "shard-0.statelog").stat().st_size == size
+
+    def test_load_folds_to_a_restorable_blob_and_compacts(
+        self, spam_setup, spam_truth, tmp_path
+    ):
+        protocol, setup = spam_setup
+        directory, runtime, context = self._parked(spam_setup)
+        store = FileSessionStore(tmp_path)
+        ShardCheckpointLog(store, "shard-0").sync(runtime, directory, context)
+        # A fresh log instance (a replacement worker) folds the records into
+        # a blob the plain blob-restore path accepts unchanged.
+        blob = ShardCheckpointLog(store, "shard-0").load()
+        fresh = MailboxDirectory()
+        fresh.register_spam("log@example.com", protocol, setup)
+        restored = restore_open_windows(blob, fresh)
+        assert [job_id for job_id, _, _, _ in restored] == [0, 1, 2]
+        runtime2 = ProviderRuntime(scheduler=DecryptScheduler(window_bursts=100))
+        runtime2.serve_burst([job for *_, job in restored])
+        verdicts = {job.label: job.client.is_spam for job in runtime2.drain()}
+        assert [verdicts[i] for i in range(len(SPAM_EMAILS))] == spam_truth
+        # Compaction rewrote the file, but to an equivalent fold.
+        assert ShardCheckpointLog(store, "shard-0").load() == blob
+
+    def test_drained_log_is_deleted(self, spam_setup, tmp_path):
+        directory, runtime, context = self._parked(spam_setup)
+        store = FileSessionStore(tmp_path)
+        log = ShardCheckpointLog(store, "shard-0")
+        log.sync(runtime, directory, context)
+        assert store.read_records("shard-0")
+        runtime.drain()
+        log.sync(runtime, directory, context)
+        assert store.read_records("shard-0") is None
 
 
 class TestNoPrivResultFidelity:

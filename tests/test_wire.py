@@ -17,6 +17,8 @@ from repro.twopc.wire import (
     WIRE_VERSION,
     BlindedScoresFrame,
     ClassifyResultFrame,
+    ControlFrame,
+    ControlVerb,
     ExtractedCandidatesFrame,
     FeaturesFrame,
     GarbledCircuitFrame,
@@ -95,6 +97,18 @@ class TestRoundTrips:
     @settings(max_examples=20, deadline=None)
     def test_classify_result(self, category):
         frame = ClassifyResultFrame(category)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(
+        st.sampled_from(sorted(
+            value for name, value in vars(ControlVerb).items() if not name.startswith("_")
+        )),
+        st.integers(min_value=0, max_value=255),
+        blobs,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_control(self, verb, version, payload):
+        frame = ControlFrame(verb=verb, version=version, payload=payload)
         assert codec.decode(codec.encode(frame)) == frame
 
     @given(
@@ -220,6 +234,18 @@ class TestMalformedFrames:
         with pytest.raises(WireFormatError):
             codec.decode(encoded + b"\x00")
 
+    def test_unknown_control_verb(self):
+        encoded = bytearray(
+            codec.encode(ControlFrame(ControlVerb.HEARTBEAT, 1, b""))
+        )
+        encoded[3] = 0x7F  # verb byte, right after the 3-byte header
+        with pytest.raises(WireFormatError):
+            codec.decode(bytes(encoded))
+
+    def test_control_verb_validated_at_construction(self):
+        with pytest.raises(WireFormatError):
+            ControlFrame(verb=0x7F, version=1, payload=b"")
+
 
 # Pinned encodings: regenerate ONLY together with a WIRE_VERSION bump.
 GOLDEN_FRAMES = {
@@ -230,6 +256,7 @@ GOLDEN_FRAMES = {
     "features": "5a010a0000000200000001000000020000000300000004",
     "classify_result": "5a010b00000005",
     "session_state": "5a010c210100000003010203",
+    "control": "5a010d020100000003010203",
     "garbled_circuit": "5a01080000006c00000001000000030000000000000000000000000000000001010101010101010101010101010101020202020202020202020202020202020303030303030303030303030303030300000001aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb00000001cccccccccccccccccccccccccccccccc01",  # noqa: E501
 }
 
@@ -252,6 +279,10 @@ def _golden_frame(name):
             SessionState(
                 kind=SessionStateKind.SPAM_PROVIDER, version=1, payload=b"\x01\x02\x03"
             )
+        )
+    if name == "control":
+        return ControlFrame(
+            verb=ControlVerb.COMMAND, version=1, payload=b"\x01\x02\x03"
         )
     if name == "garbled_circuit":
         return GarbledCircuitFrame(

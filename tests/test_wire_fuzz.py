@@ -31,6 +31,8 @@ from repro.twopc.wire import (
     WIRE_VERSION,
     BlindedScoresFrame,
     ClassifyResultFrame,
+    ControlFrame,
+    ControlVerb,
     FeaturesFrame,
     FrameType,
     GarbledCircuitFrame,
@@ -85,6 +87,9 @@ def _valid_frames():
             SessionState(
                 kind=SessionStateKind.OT_POOL, version=1, payload=b"\x01\x02\x03\x04"
             )
+        ),
+        ControlFrame(
+            verb=ControlVerb.COMMAND, version=1, payload=b"\x05\x06\x07\x08"
         ),
     ]
 
